@@ -1,0 +1,133 @@
+// Command mdbench regenerates the tables and figures of "Characterizing
+// Molecular Dynamics Simulation on Commodity Platforms" (IISWC 2022)
+// from the gomd engine and platform models.
+//
+// Usage:
+//
+//	mdbench -exp fig6                # one experiment, paper-scale sweeps
+//	mdbench -exp all -quick          # everything, reduced fidelity
+//	mdbench -exp fig3 -sizes 32,256 -ranks 1,4,16 -csv out.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gomd/internal/harness"
+	"gomd/internal/trace"
+)
+
+func parseInts(s string) []int {
+	if s == "" {
+		return nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdbench: bad integer list %q: %v\n", s, err)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (table1..3, fig3..fig16, headline, all)")
+		list    = flag.Bool("list", false, "list experiments")
+		sizes   = flag.String("sizes", "", "system sizes in k atoms (default 32,256,864,2048)")
+		ranks   = flag.String("ranks", "", "CPU rank counts (default 1,2,4,8,16,32,64)")
+		devices = flag.String("gpus", "", "GPU device counts (default 1,2,4,6,8)")
+		cap_    = flag.Int("measure-cap", 0, "max atoms actually simulated per measurement")
+		steps   = flag.Int("steps", 0, "measured steps per configuration")
+		quick   = flag.Bool("quick", false, "reduced fidelity (cap 6000 atoms, 6 steps)")
+		csvPath = flag.String("csv", "", "also write results as CSV to this file")
+		logPath = flag.String("log", "", "write a JSONL data log of engine measurements")
+		chart   = flag.Bool("chart", false, "render percentage breakdowns as stacked bars")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range harness.FullRegistry() {
+			fmt.Printf("  %-13s %s\n", e.ID, e.Title)
+		}
+		if *exp == "" {
+			os.Exit(0)
+		}
+	}
+
+	opts := harness.Options{MeasureCap: *cap_, Steps: *steps}
+	if *quick {
+		if opts.MeasureCap == 0 {
+			opts.MeasureCap = 6000
+		}
+		if opts.Steps == 0 {
+			opts.Steps = 6
+		}
+	}
+	runner := harness.NewRunner(opts)
+	if *logPath != "" {
+		lf, err := os.Create(*logPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer lf.Close()
+		runner.Trace = trace.New(lf)
+	}
+	params := harness.Params{
+		Sizes:      parseInts(*sizes),
+		CPURanks:   parseInts(*ranks),
+		GPUDevices: parseInts(*devices),
+	}
+
+	var selected []harness.Experiment
+	if *exp == "all" {
+		selected = harness.FullRegistry()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, ok := harness.Get(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "mdbench: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	var csv *os.File
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		csv = f
+	}
+
+	for _, e := range selected {
+		tables, err := e.Run(runner, params)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		for i := range tables {
+			if *chart {
+				harness.Chart(&tables[i], os.Stdout, 60)
+			} else {
+				tables[i].Render(os.Stdout)
+			}
+			if csv != nil {
+				fmt.Fprintf(csv, "# %s\n", tables[i].Title)
+				tables[i].WriteCSV(csv)
+			}
+		}
+	}
+}

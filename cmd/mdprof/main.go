@@ -1,0 +1,107 @@
+// Command mdprof is the profiling mode of the characterization framework
+// (mode A of the paper's Figure 2): it measures one configuration on the
+// engine and prints the per-rank task breakdown, the per-MPI-function
+// profile, and — for GPU-instance projections — the per-device kernel
+// breakdown.
+//
+// Usage:
+//
+//	mdprof -bench rhodo -size 256 -ranks 16
+//	mdprof -bench lj -size 2048 -gpus 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gomd/internal/core"
+	"gomd/internal/harness"
+	"gomd/internal/workload"
+)
+
+func main() {
+	var (
+		bench = flag.String("bench", "lj", "workload: rhodo, lj, chain, eam, chute")
+		size  = flag.Int("size", 32, "system size in thousands of atoms")
+		ranks = flag.Int("ranks", 8, "CPU MPI ranks")
+		gpus  = flag.Int("gpus", 0, "GPU devices (0 = CPU instance)")
+		kacc  = flag.Float64("kspace-acc", 0, "rhodo PPPM error threshold")
+		capN  = flag.Int("measure-cap", 0, "max atoms actually simulated")
+		steps = flag.Int("steps", 0, "measured steps")
+	)
+	flag.Parse()
+
+	runner := harness.NewRunner(harness.Options{MeasureCap: *capN, Steps: *steps})
+	name := workload.Name(*bench)
+
+	ranksEff := *ranks
+	perGPU := 6
+	if *gpus > 0 {
+		ranksEff = *gpus * perGPU
+	}
+	m, err := runner.Measure(harness.Spec{
+		Workload: name, AtomsK: *size, Ranks: ranksEff, KspaceAcc: *kacc,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mdprof: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *gpus == 0 {
+		out := m.CPU()
+		fmt.Printf("%s %dk atoms on the CPU instance, %d ranks: %.3f TS/s, %.0f W, %.4f TS/s/W\n",
+			name, *size, ranksEff, out.TSps, out.PowerWatts, out.EnergyEff)
+		fmt.Println("\nper-rank task breakdown [% of step]:")
+		fmt.Printf("%4s", "rank")
+		for _, task := range core.Tasks() {
+			fmt.Printf("  %7s", task)
+		}
+		fmt.Println()
+		for r, t := range out.Tasks {
+			fmt.Printf("%4d", r)
+			for _, v := range t {
+				fmt.Printf("  %6.1f%%", 100*v/out.StepSeconds)
+			}
+			fmt.Println()
+		}
+		fmt.Println("\nper-rank MPI profile [% of MPI time]: init/send/sendrecv/wait/allreduce")
+		for r, mp := range out.MPI {
+			tot := mp.Total()
+			if tot == 0 {
+				continue
+			}
+			fmt.Printf("%4d  %5.1f  %5.1f  %5.1f  %5.1f  %5.1f   (MPI share %.1f%%, imbalance %.2f%%)\n",
+				r, 100*mp.Init/tot, 100*mp.Send/tot, 100*mp.Sendrecv/tot,
+				100*mp.Wait/tot, 100*mp.Allreduce/tot, out.MPIPct[r], out.ImbalancePct[r])
+		}
+		return
+	}
+
+	out, err := m.GPU(*gpus, perGPU)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mdprof: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s %dk atoms on the GPU instance, %d devices x %d ranks: %.3f TS/s, %.0f W, %.4f TS/s/W\n",
+		name, *size, *gpus, perGPU, out.TSps, out.PowerWatts, out.EnergyEff)
+	fmt.Println("\nper-device kernel/data-movement profile [% of device-active time]:")
+	for d, k := range out.Kernels {
+		tot := k.Total()
+		if tot == 0 {
+			continue
+		}
+		pc := func(v float64) float64 { return 100 * v / tot }
+		fmt.Printf("GPU %d (util %.1f%%): HtoD %.1f%%  DtoH %.1f%%  %s %.1f%%",
+			d, 100*out.DeviceUtil[d], pc(k.MemcpyHtoD), pc(k.MemcpyDtoH), k.PairKernel, pc(k.PairSeconds))
+		if k.PairEnergy > 0 {
+			fmt.Printf("  k_energy_fast %.1f%%", pc(k.PairEnergy))
+		}
+		fmt.Printf("  neigh %.1f%%", pc(k.NeighKernel))
+		if k.MakeRho > 0 {
+			fmt.Printf("  make_rho %.1f%%  particle_map %.1f%%  interp %.1f%%",
+				pc(k.MakeRho), pc(k.ParticleMap), pc(k.Interp))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,137 @@
+// Command mdrun runs one benchmark workload on the gomd engine and
+// streams thermodynamic output — the "run a simulation" entry point,
+// playing the role of the lmp binary for this repository.
+//
+// Usage:
+//
+//	mdrun -bench lj -atoms 32000 -steps 200 -thermo 20
+//	mdrun -bench rhodo -ranks 8 -steps 50
+//	mdrun -in examples/scripts/in.lj     # LAMMPS-style input script
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gomd/internal/atom"
+	"gomd/internal/core"
+	"gomd/internal/domain"
+	"gomd/internal/pair"
+	"gomd/internal/script"
+	"gomd/internal/workload"
+)
+
+func main() {
+	var (
+		inFile = flag.String("in", "", "LAMMPS-style input script (overrides -bench)")
+		bench  = flag.String("bench", "lj", "workload: rhodo, lj, chain, eam, chute")
+		atoms  = flag.Int("atoms", 32000, "approximate atom count")
+		steps  = flag.Int("steps", 100, "timesteps to run")
+		ranks  = flag.Int("ranks", 1, "MPI ranks (1 = serial engine)")
+		thermo = flag.Int("thermo", 10, "thermo output interval")
+		seed   = flag.Uint64("seed", 42, "RNG seed")
+		prec   = flag.String("precision", "double", "pair arithmetic: single, mixed, double")
+		kacc   = flag.Float64("kspace-acc", 0, "rhodo PPPM relative error threshold (default 1e-4)")
+	)
+	flag.Parse()
+
+	if *inFile != "" {
+		f, err := os.Open(*inFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdrun: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		interp := script.New(os.Stdout)
+		start := time.Now()
+		if err := interp.Run(f); err != nil {
+			fmt.Fprintf(os.Stderr, "mdrun: %s: %v\n", *inFile, err)
+			os.Exit(1)
+		}
+		if sim := interp.Sim(); sim != nil {
+			report(sim, time.Since(start), int(sim.Step))
+		}
+		return
+	}
+
+	var precision pair.Precision
+	switch *prec {
+	case "single":
+		precision = pair.Single
+	case "mixed":
+		precision = pair.Mixed
+	case "double":
+		precision = pair.Double
+	default:
+		fmt.Fprintf(os.Stderr, "mdrun: unknown precision %q\n", *prec)
+		os.Exit(2)
+	}
+
+	opts := workload.Options{
+		Atoms:          *atoms,
+		Precision:      precision,
+		KspaceAccuracy: *kacc,
+		Seed:           *seed,
+		ThermoEvery:    *thermo,
+	}
+	name := workload.Name(*bench)
+
+	start := time.Now()
+	if *ranks <= 1 {
+		cfg, st, err := workload.Build(name, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdrun: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.ThermoTo = os.Stdout
+		sim := core.New(cfg, st)
+		fmt.Printf("# %s: %d atoms, serial, dt=%g (%s units)\n",
+			name, st.N, cfg.Dt, cfg.Units.Style)
+		sim.Run(*steps)
+		report(sim, time.Since(start), *steps)
+		return
+	}
+
+	eng, err := domain.New(func() (core.Config, *atom.Store, error) {
+		cfg, st, err := workload.Build(name, opts)
+		cfg.ThermoTo = nil // rank-local thermo would interleave
+		return cfg, st, err
+	}, *ranks)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mdrun: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("# %s: %d atoms, %d ranks (grid %dx%dx%d)\n",
+		name, eng.NGlobal(), *ranks, eng.Grid[0], eng.Grid[1], eng.Grid[2])
+	for done := 0; done < *steps; {
+		chunk := *thermo
+		if chunk <= 0 || done+chunk > *steps {
+			chunk = *steps - done
+		}
+		eng.Run(chunk)
+		done += chunk
+		th := eng.Thermo()
+		fmt.Printf("step %8d  T %10.4f  P %12.5g  PE %14.6g  KE %14.6g  E %14.6g\n",
+			th.Step, th.Temperature, th.Pressure, th.PotEnergy, th.KinEnergy, th.TotalEnergy)
+	}
+	wall := time.Since(start)
+	fmt.Printf("# wall %.3fs  %.2f TS/s (host-machine rate, not the modeled platform)\n",
+		wall.Seconds(), float64(*steps)/wall.Seconds())
+}
+
+func report(sim *core.Simulation, wall time.Duration, steps int) {
+	th := sim.ComputeThermo()
+	fmt.Printf("# final: T %.4f  PE %.6g  E %.6g\n", th.Temperature, th.PotEnergy, th.TotalEnergy)
+	fmt.Printf("# wall %.3fs  %.2f TS/s (host-machine rate)\n",
+		wall.Seconds(), float64(steps)/wall.Seconds())
+	fmt.Printf("# task wall-time shares:")
+	tot := sim.Times.Total()
+	for _, task := range core.Tasks() {
+		if tot > 0 {
+			fmt.Printf("  %s %.1f%%", task, 100*float64(sim.Times[task])/float64(tot))
+		}
+	}
+	fmt.Println()
+}

@@ -1,0 +1,11 @@
+// Package gomd is a from-scratch Go reproduction of "Characterizing
+// Molecular Dynamics Simulation on Commodity Platforms" (IISWC 2022):
+// a molecular-dynamics engine covering the paper's five-benchmark LAMMPS
+// suite, a message-passing domain-decomposition runtime, platform
+// performance models for the paper's CPU and GPU instances, and a
+// characterization harness that regenerates every table and figure of
+// the evaluation.
+//
+// See README.md for the tour, DESIGN.md for the architecture and
+// substitution decisions, and EXPERIMENTS.md for paper-vs-model results.
+package gomd

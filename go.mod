@@ -1,0 +1,3 @@
+module gomd
+
+go 1.22

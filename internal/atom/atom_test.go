@@ -1,0 +1,180 @@
+package atom_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gomd/internal/atom"
+	"gomd/internal/rng"
+	"gomd/internal/vec"
+)
+
+func sample(tag int64) atom.Atom {
+	return atom.Atom{
+		Tag:  tag,
+		Type: int32(tag%3 + 1),
+		Pos:  vec.New(float64(tag), 0, 0),
+		Vel:  vec.New(0, float64(tag), 0),
+	}
+}
+
+func TestAddLookupExtract(t *testing.T) {
+	st := atom.New(4)
+	for i := int64(1); i <= 5; i++ {
+		st.Add(sample(i))
+	}
+	if st.N != 5 || st.Total() != 5 {
+		t.Fatalf("count %d/%d", st.N, st.Total())
+	}
+	for i := int64(1); i <= 5; i++ {
+		idx, ok := st.Lookup(i)
+		if !ok || st.Tag[idx] != i {
+			t.Fatalf("lookup tag %d failed", i)
+		}
+		if got := st.Extract(idx); got.Tag != i || got.Pos.X != float64(i) {
+			t.Fatalf("extract mismatch for %d: %+v", i, got)
+		}
+	}
+	if _, ok := st.Lookup(99); ok {
+		t.Error("lookup of absent tag succeeded")
+	}
+}
+
+func TestRemoveSwapsLast(t *testing.T) {
+	st := atom.New(4)
+	for i := int64(1); i <= 4; i++ {
+		st.Add(sample(i))
+	}
+	idx, _ := st.Lookup(2)
+	st.Remove(idx)
+	if st.N != 3 {
+		t.Fatalf("N after remove: %d", st.N)
+	}
+	if _, ok := st.Lookup(2); ok {
+		t.Error("removed tag still present")
+	}
+	// Remaining tags intact and addressable.
+	for _, tag := range []int64{1, 3, 4} {
+		i, ok := st.Lookup(tag)
+		if !ok || st.Tag[i] != tag {
+			t.Errorf("tag %d lost after remove", tag)
+		}
+	}
+}
+
+func TestGhostLifecycle(t *testing.T) {
+	st := atom.New(2)
+	st.Add(sample(1))
+	st.Add(sample(2))
+	g := st.AddGhost(atom.Ghost{Tag: 2, Type: 1, Pos: vec.New(-5, 0, 0)})
+	if st.Nghost != 1 || st.Total() != 3 {
+		t.Fatalf("ghost counts: %d %d", st.Nghost, st.Total())
+	}
+	// Owned copy wins lookups.
+	idx, _ := st.Lookup(2)
+	if idx == g {
+		t.Error("lookup returned ghost over owned copy")
+	}
+	// Ghost of a non-owned tag is findable.
+	st.AddGhost(atom.Ghost{Tag: 77, Type: 1})
+	if i, ok := st.Lookup(77); !ok || i < st.N {
+		t.Errorf("ghost tag 77 lookup: %d %v", i, ok)
+	}
+	st.ClearGhosts()
+	if st.Nghost != 0 || st.Total() != 2 {
+		t.Fatalf("after clear: %d %d", st.Nghost, st.Total())
+	}
+	if _, ok := st.Lookup(77); ok {
+		t.Error("ghost tag survived ClearGhosts")
+	}
+	if _, ok := st.Lookup(2); !ok {
+		t.Error("owned tag lost after ClearGhosts")
+	}
+}
+
+func TestAddWithGhostsPanics(t *testing.T) {
+	st := atom.New(1)
+	st.Add(sample(1))
+	st.AddGhost(atom.Ghost{Tag: 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("Add with ghosts present must panic")
+		}
+	}()
+	st.Add(sample(2))
+}
+
+func TestZeroForces(t *testing.T) {
+	st := atom.New(2)
+	st.Add(sample(1))
+	st.AddGhost(atom.Ghost{Tag: 9})
+	st.Force[0] = vec.New(1, 2, 3)
+	st.Force[1] = vec.New(4, 5, 6)
+	st.ZeroForces()
+	for i, f := range st.Force {
+		if f != (vec.V3{}) {
+			t.Errorf("force %d not zeroed: %v", i, f)
+		}
+	}
+}
+
+func TestIsSpecial(t *testing.T) {
+	st := atom.New(1)
+	a := sample(1)
+	a.Special = []atom.SpecialRef{{Tag: 2, Kind: atom.Special12}, {Tag: 3, Kind: atom.Special13}}
+	st.Add(a)
+	if k, ok := st.IsSpecial(0, 2); !ok || k != atom.Special12 {
+		t.Errorf("special 1-2: %v %v", k, ok)
+	}
+	if k, ok := st.IsSpecial(0, 3); !ok || k != atom.Special13 {
+		t.Errorf("special 1-3: %v %v", k, ok)
+	}
+	if _, ok := st.IsSpecial(0, 4); ok {
+		t.Error("non-special reported special")
+	}
+}
+
+// TestChurnProperty: random add/remove sequences keep the store's
+// tag-index mapping consistent.
+func TestChurnProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		st := atom.New(8)
+		live := map[int64]bool{}
+		next := int64(1)
+		for op := 0; op < 300; op++ {
+			if st.N == 0 || r.Float64() < 0.6 {
+				st.Add(sample(next))
+				live[next] = true
+				next++
+			} else {
+				i := r.Intn(st.N)
+				delete(live, st.Tag[i])
+				st.Remove(i)
+			}
+		}
+		if st.N != len(live) {
+			return false
+		}
+		for tag := range live {
+			i, ok := st.Lookup(tag)
+			if !ok || st.Tag[i] != tag {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMustLookupPanics(t *testing.T) {
+	st := atom.New(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLookup of absent tag must panic")
+		}
+	}()
+	st.MustLookup(5)
+}

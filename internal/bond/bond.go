@@ -1,0 +1,178 @@
+// Package bond implements the bonded interactions of the benchmark suite:
+// FENE bonds (the Chain benchmark's finite-extensible nonlinear elastic
+// springs), harmonic bonds, and harmonic angles (the Rhodopsin surrogate's
+// covalent skeleton).
+//
+// Bonds are owned by their lower-tag atom and angles by their central
+// atom, so each term is computed exactly once per step across ranks.
+// Partner coordinates are resolved through the store (owned or ghost copy)
+// and folded with the minimum-image convention, which covers both the
+// serial periodic case and decomposed halos.
+package bond
+
+import (
+	"math"
+
+	"gomd/internal/atom"
+	"gomd/internal/box"
+)
+
+// Result aggregates a bonded-force computation.
+type Result struct {
+	Energy float64
+	Virial float64
+	// Terms is the number of bond/angle terms evaluated (the Bond task
+	// work measure of the performance model).
+	Terms int64
+}
+
+// Style computes bonded forces over the topology in the store.
+type Style interface {
+	Name() string
+	Compute(st *atom.Store, bx box.Box) Result
+}
+
+// FENE is the finite-extensible nonlinear elastic bond of Kremer-Grest
+// bead-spring melts:
+//
+//	E = -0.5 K R0^2 ln(1 - (r/R0)^2) + 4 eps [(s/r)^12 - (s/r)^6] + eps
+//
+// with the LJ part cut at 2^(1/6) s (pure repulsion).
+type FENE struct {
+	K, R0      float64
+	Eps, Sigma float64
+}
+
+// NewFENEChain returns the chain-benchmark parameterization:
+// K=30, R0=1.5, eps=sigma=1.
+func NewFENEChain() *FENE { return &FENE{K: 30, R0: 1.5, Eps: 1, Sigma: 1} }
+
+// Name implements Style.
+func (f *FENE) Name() string { return "fene" }
+
+// Compute implements Style.
+func (f *FENE) Compute(st *atom.Store, bx box.Box) Result {
+	var res Result
+	r02 := f.R0 * f.R0
+	wcaCut2 := math.Pow(2, 1.0/3) * f.Sigma * f.Sigma // (2^(1/6) s)^2
+	s6 := math.Pow(f.Sigma, 6)
+	for i := 0; i < st.N; i++ {
+		for _, b := range st.Bonds[i] {
+			j := st.MustLookup(b.Partner)
+			d := bx.MinImage(st.Pos[i].Sub(st.Pos[j]))
+			r2 := d.Norm2()
+			res.Terms++
+
+			// FENE attraction.
+			ratio := r2 / r02
+			if ratio >= 1 {
+				// Overstretched bond: clamp just inside the divergence,
+				// like LAMMPS' "bad FENE bond" guard, to keep the run
+				// alive under aggressive initial conditions.
+				ratio = 0.99
+				r2 = ratio * r02
+			}
+			fbond := -f.K / (1 - ratio)
+			res.Energy += -0.5 * f.K * r02 * math.Log(1-ratio)
+
+			// WCA repulsion.
+			if r2 < wcaCut2 {
+				inv2 := 1 / r2
+				inv6 := inv2 * inv2 * inv2 * s6
+				fbond += 48 * f.Eps * inv6 * (inv6 - 0.5) * inv2
+				res.Energy += 4*f.Eps*inv6*(inv6-1) + f.Eps
+			}
+
+			fv := d.Scale(fbond)
+			st.Force[i] = st.Force[i].Add(fv)
+			st.Force[j] = st.Force[j].Sub(fv)
+			res.Virial += fbond * r2
+		}
+	}
+	return res
+}
+
+// Harmonic is the harmonic bond E = K (r - R0)^2 (LAMMPS convention:
+// K absorbs the 1/2).
+type Harmonic struct {
+	K, R0 float64
+}
+
+// Name implements Style.
+func (h *Harmonic) Name() string { return "harmonic" }
+
+// Compute implements Style.
+func (h *Harmonic) Compute(st *atom.Store, bx box.Box) Result {
+	var res Result
+	for i := 0; i < st.N; i++ {
+		for _, b := range st.Bonds[i] {
+			j := st.MustLookup(b.Partner)
+			d := bx.MinImage(st.Pos[i].Sub(st.Pos[j]))
+			r := d.Norm()
+			res.Terms++
+			dr := r - h.R0
+			res.Energy += h.K * dr * dr
+			var fbond float64
+			if r > 0 {
+				fbond = -2 * h.K * dr / r
+			}
+			fv := d.Scale(fbond)
+			st.Force[i] = st.Force[i].Add(fv)
+			st.Force[j] = st.Force[j].Sub(fv)
+			res.Virial += fbond * r * r
+		}
+	}
+	return res
+}
+
+// HarmonicAngle is the harmonic angle E = K (theta - Theta0)^2, computed
+// for angles owned by their central atom.
+type HarmonicAngle struct {
+	K      float64
+	Theta0 float64 // radians
+}
+
+// Name implements Style.
+func (h *HarmonicAngle) Name() string { return "angle/harmonic" }
+
+// Compute implements Style.
+func (h *HarmonicAngle) Compute(st *atom.Store, bx box.Box) Result {
+	var res Result
+	for i := 0; i < st.N; i++ {
+		for _, ang := range st.Angles[i] {
+			ia := st.MustLookup(ang.A)
+			ic := st.MustLookup(ang.C)
+			// Vectors from the vertex to the outer atoms.
+			d1 := bx.MinImage(st.Pos[ia].Sub(st.Pos[i]))
+			d2 := bx.MinImage(st.Pos[ic].Sub(st.Pos[i]))
+			r1 := d1.Norm()
+			r2 := d2.Norm()
+			if r1 == 0 || r2 == 0 {
+				continue
+			}
+			res.Terms++
+			c := d1.Dot(d2) / (r1 * r2)
+			c = math.Max(-1, math.Min(1, c))
+			s := math.Sqrt(1 - c*c)
+			if s < 1e-8 {
+				s = 1e-8
+			}
+			theta := math.Acos(c)
+			dtheta := theta - h.Theta0
+			res.Energy += h.K * dtheta * dtheta
+
+			// dE/dtheta, then distribute along the standard angle force
+			// expressions.
+			a := -2 * h.K * dtheta / s
+			a11 := a * c / (r1 * r1)
+			a12 := -a / (r1 * r2)
+			a22 := a * c / (r2 * r2)
+			f1 := d1.Scale(a11).Add(d2.Scale(a12))
+			f3 := d2.Scale(a22).Add(d1.Scale(a12))
+			st.Force[ia] = st.Force[ia].Add(f1)
+			st.Force[ic] = st.Force[ic].Add(f3)
+			st.Force[i] = st.Force[i].Sub(f1.Add(f3))
+		}
+	}
+	return res
+}

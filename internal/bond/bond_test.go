@@ -1,0 +1,262 @@
+package bond_test
+
+import (
+	"math"
+	"testing"
+
+	"gomd/internal/atom"
+	"gomd/internal/bond"
+	"gomd/internal/box"
+	"gomd/internal/rng"
+	"gomd/internal/vec"
+)
+
+func bigBox() box.Box {
+	return box.NewPeriodic(vec.V3{}, vec.Splat(100))
+}
+
+// bondedPair builds two atoms with a bond from tag 1 to tag 2.
+func bondedPair(r float64) *atom.Store {
+	st := atom.New(2)
+	st.Add(atom.Atom{Tag: 1, Type: 1, Pos: vec.New(10, 10, 10),
+		Bonds: []atom.BondRef{{Type: 1, Partner: 2}}})
+	st.Add(atom.Atom{Tag: 2, Type: 1, Pos: vec.New(10+r, 10, 10)})
+	return st
+}
+
+// numericBondForce validates forces against -dE/dx for any bond style.
+func numericBondForce(t *testing.T, style bond.Style, st *atom.Store, tol float64) {
+	t.Helper()
+	bx := bigBox()
+	st.ZeroForces()
+	style.Compute(st, bx)
+	forces := make([]vec.V3, st.N)
+	copy(forces, st.Force[:st.N])
+	h := 1e-7
+	for i := 0; i < st.N; i++ {
+		for d := 0; d < 3; d++ {
+			orig := st.Pos[i]
+			st.Pos[i] = orig.WithComponent(d, orig.Component(d)+h)
+			st.ZeroForces()
+			ep := style.Compute(st, bx).Energy
+			st.Pos[i] = orig.WithComponent(d, orig.Component(d)-h)
+			st.ZeroForces()
+			em := style.Compute(st, bx).Energy
+			st.Pos[i] = orig
+			want := -(ep - em) / (2 * h)
+			if got := forces[i].Component(d); math.Abs(got-want) > tol*(1+math.Abs(want)) {
+				t.Errorf("atom %d dim %d: force %v vs -dE/dx %v", i, d, got, want)
+			}
+		}
+	}
+}
+
+func TestFENEForceGradient(t *testing.T) {
+	for _, r := range []float64{0.8, 0.97, 1.2, 1.4} {
+		numericBondForce(t, bond.NewFENEChain(), bondedPair(r), 1e-5)
+	}
+}
+
+func TestFENEEquilibrium(t *testing.T) {
+	// The FENE + WCA force balance sits near r ~ 0.97 sigma for the
+	// Kremer-Grest parameters; verify a sign change brackets it.
+	f := bond.NewFENEChain()
+	forceAt := func(r float64) float64 {
+		st := bondedPair(r)
+		st.ZeroForces()
+		f.Compute(st, bigBox())
+		return st.Force[0].X
+	}
+	// Atom 1 sits at smaller x: pushing apart drives it toward -x,
+	// pulling together toward +x.
+	if forceAt(0.90) >= 0 {
+		t.Errorf("compressed bond must push apart (-x on atom 1): %v", forceAt(0.90))
+	}
+	if forceAt(1.05) <= 0 {
+		t.Errorf("stretched bond must pull together (+x on atom 1): %v", forceAt(1.05))
+	}
+}
+
+func TestFENEOverstretchGuard(t *testing.T) {
+	// Beyond R0 the guard clamps instead of producing NaN/Inf.
+	st := bondedPair(1.6)
+	st.ZeroForces()
+	res := bond.NewFENEChain().Compute(st, bigBox())
+	if math.IsNaN(res.Energy) || math.IsInf(res.Energy, 0) {
+		t.Fatalf("overstretched FENE produced %v", res.Energy)
+	}
+	if st.Force[0].X <= 0 {
+		t.Error("overstretched bond must strongly restore (+x on atom 1)")
+	}
+}
+
+func TestHarmonicBond(t *testing.T) {
+	h := &bond.Harmonic{K: 450, R0: 1.0}
+	st := bondedPair(1.0)
+	st.ZeroForces()
+	res := h.Compute(st, bigBox())
+	if math.Abs(res.Energy) > 1e-12 || st.Force[0].Norm() > 1e-9 {
+		t.Errorf("at r0: E=%v F=%v", res.Energy, st.Force[0])
+	}
+	numericBondForce(t, h, bondedPair(1.13), 1e-5)
+
+	// Energy is K (r-r0)^2 (LAMMPS convention).
+	st = bondedPair(1.2)
+	st.ZeroForces()
+	res = h.Compute(st, bigBox())
+	want := 450 * 0.2 * 0.2
+	if math.Abs(res.Energy-want) > 1e-9*want {
+		t.Errorf("harmonic energy %v want %v", res.Energy, want)
+	}
+}
+
+// angleTriplet builds a vertex atom (owning the angle) and two outer atoms.
+func angleTriplet(theta float64) *atom.Store {
+	st := atom.New(3)
+	st.Add(atom.Atom{Tag: 1, Type: 1, Pos: vec.New(10, 10, 10),
+		Angles: []atom.AngleRef{{Type: 1, A: 2, C: 3}}})
+	st.Add(atom.Atom{Tag: 2, Type: 1, Pos: vec.New(11, 10, 10)})
+	st.Add(atom.Atom{Tag: 3, Type: 1,
+		Pos: vec.New(10+math.Cos(theta), 10+math.Sin(theta), 10)})
+	return st
+}
+
+func TestHarmonicAngle(t *testing.T) {
+	theta0 := 109.47 * math.Pi / 180
+	h := &bond.HarmonicAngle{K: 55, Theta0: theta0}
+
+	// At the rest angle: no energy, no force.
+	st := angleTriplet(theta0)
+	st.ZeroForces()
+	res := h.Compute(st, bigBox())
+	if math.Abs(res.Energy) > 1e-12 {
+		t.Errorf("rest-angle energy %v", res.Energy)
+	}
+	for i := 0; i < 3; i++ {
+		if st.Force[i].Norm() > 1e-9 {
+			t.Errorf("rest-angle force on %d: %v", i, st.Force[i])
+		}
+	}
+
+	// Gradient consistency away from rest.
+	numericBondForce(t, h, angleTriplet(1.7), 1e-4)
+
+	// Total force and torque must vanish (internal interaction).
+	st = angleTriplet(2.0)
+	st.ZeroForces()
+	h.Compute(st, bigBox())
+	var ftot, tau vec.V3
+	for i := 0; i < 3; i++ {
+		ftot = ftot.Add(st.Force[i])
+		tau = tau.Add(st.Pos[i].Cross(st.Force[i]))
+	}
+	if ftot.Norm() > 1e-10 {
+		t.Errorf("net force %v", ftot)
+	}
+	if tau.Norm() > 1e-9 {
+		t.Errorf("net torque %v", tau)
+	}
+}
+
+// TestBondAcrossPeriodicBoundary: the bond must use the minimum image.
+func TestBondAcrossPeriodicBoundary(t *testing.T) {
+	bx := box.NewPeriodic(vec.V3{}, vec.Splat(10))
+	st := atom.New(2)
+	st.Add(atom.Atom{Tag: 1, Type: 1, Pos: vec.New(0.2, 5, 5),
+		Bonds: []atom.BondRef{{Type: 1, Partner: 2}}})
+	st.Add(atom.Atom{Tag: 2, Type: 1, Pos: vec.New(9.8, 5, 5)}) // 0.4 away through the boundary
+	h := &bond.Harmonic{K: 100, R0: 0.4}
+	st.ZeroForces()
+	res := h.Compute(st, bx)
+	if math.Abs(res.Energy) > 1e-10 {
+		t.Errorf("boundary-crossing bond at rest length has energy %v", res.Energy)
+	}
+}
+
+func TestFENETermCount(t *testing.T) {
+	r := rng.New(2)
+	st := atom.New(10)
+	for i := 0; i < 10; i++ {
+		a := atom.Atom{Tag: int64(i + 1), Type: 1,
+			Pos: vec.New(float64(i), r.Range(0, 0.1), 0).Add(vec.Splat(20))}
+		if i < 9 {
+			a.Bonds = []atom.BondRef{{Type: 1, Partner: int64(i + 2)}}
+		}
+		st.Add(a)
+	}
+	st.ZeroForces()
+	res := bond.NewFENEChain().Compute(st, bigBox())
+	if res.Terms != 9 {
+		t.Errorf("expected 9 bond terms, got %d", res.Terms)
+	}
+}
+
+// dihedralQuad builds an A-B-C-D quadruple with dihedral angle phi and
+// the dihedral owned by B (tag 2).
+func dihedralQuad(phi float64) *atom.Store {
+	st := atom.New(4)
+	st.Add(atom.Atom{Tag: 1, Type: 1, Pos: vec.New(10, 11, 10)})
+	st.Add(atom.Atom{Tag: 2, Type: 1, Pos: vec.New(10, 10, 10),
+		Dihedrals: []atom.DihedralRef{{Type: 1, A: 1, C: 3, D: 4}}})
+	st.Add(atom.Atom{Tag: 3, Type: 1, Pos: vec.New(11, 10, 10)})
+	st.Add(atom.Atom{Tag: 4, Type: 1,
+		Pos: vec.New(11, 10+math.Cos(phi), 10+math.Sin(phi))})
+	return st
+}
+
+func TestDihedralEnergyAtKnownAngles(t *testing.T) {
+	h := &bond.DihedralHarmonic{K: 2.5, N: 1, D: 0}
+	// phi = 0 (cis): E = K(1+cos 0) = 2K. phi = pi (trans): E = 0.
+	st := dihedralQuad(0)
+	st.ZeroForces()
+	if e := h.Compute(st, bigBox()).Energy; math.Abs(e-5) > 1e-9 {
+		t.Errorf("cis energy %v want 5", e)
+	}
+	st = dihedralQuad(math.Pi)
+	st.ZeroForces()
+	if e := h.Compute(st, bigBox()).Energy; math.Abs(e) > 1e-9 {
+		t.Errorf("trans energy %v want 0", e)
+	}
+}
+
+func TestDihedralForceGradient(t *testing.T) {
+	for _, phi := range []float64{0.3, 1.2, 2.0, -1.1} {
+		for _, n := range []int{1, 2, 3} {
+			h := &bond.DihedralHarmonic{K: 3.0, N: n, D: 0.7}
+			numericBondForce(t, h, dihedralQuad(phi), 1e-4)
+		}
+	}
+}
+
+func TestDihedralNoNetForceOrTorque(t *testing.T) {
+	h := &bond.DihedralHarmonic{K: 4.0, N: 2, D: 0.5}
+	st := dihedralQuad(0.9)
+	st.ZeroForces()
+	h.Compute(st, bigBox())
+	var f, tau vec.V3
+	for i := 0; i < 4; i++ {
+		f = f.Add(st.Force[i])
+		tau = tau.Add(st.Pos[i].Cross(st.Force[i]))
+	}
+	if f.Norm() > 1e-10 {
+		t.Errorf("net dihedral force %v", f)
+	}
+	if tau.Norm() > 1e-9 {
+		t.Errorf("net dihedral torque %v", tau)
+	}
+}
+
+func TestDihedralDegenerateGeometry(t *testing.T) {
+	// Collinear A-B-C: the term must be skipped, not NaN.
+	st := atom.New(4)
+	st.Add(atom.Atom{Tag: 1, Type: 1, Pos: vec.New(9, 10, 10)})
+	st.Add(atom.Atom{Tag: 2, Type: 1, Pos: vec.New(10, 10, 10),
+		Dihedrals: []atom.DihedralRef{{Type: 1, A: 1, C: 3, D: 4}}})
+	st.Add(atom.Atom{Tag: 3, Type: 1, Pos: vec.New(11, 10, 10)})
+	st.Add(atom.Atom{Tag: 4, Type: 1, Pos: vec.New(12, 10, 10)})
+	st.ZeroForces()
+	res := (&bond.DihedralHarmonic{K: 1, N: 1}).Compute(st, bigBox())
+	if res.Terms != 0 || math.IsNaN(res.Energy) {
+		t.Errorf("degenerate dihedral: terms=%d E=%v", res.Terms, res.Energy)
+	}
+}

@@ -1,0 +1,80 @@
+package bond
+
+import (
+	"math"
+
+	"gomd/internal/atom"
+	"gomd/internal/box"
+)
+
+// DihedralHarmonic is the CHARMM-style proper dihedral
+//
+//	E = K (1 + cos(n φ - d))
+//
+// over quadruples A-B-C-D, owned by atom B (the LAMMPS
+// dihedral_style charmm functional form with weighting factor 0).
+type DihedralHarmonic struct {
+	K float64
+	N int     // multiplicity
+	D float64 // phase, radians
+}
+
+// Name implements Style.
+func (h *DihedralHarmonic) Name() string { return "dihedral/charmm" }
+
+// Compute implements Style. Forces are the analytic gradient of the
+// cosine-form energy, distributed over the four sites with zero net
+// force and torque.
+func (h *DihedralHarmonic) Compute(st *atom.Store, bx box.Box) Result {
+	var res Result
+	for i := 0; i < st.N; i++ {
+		for _, dh := range st.Dihedrals[i] {
+			ia := st.MustLookup(dh.A)
+			ic := st.MustLookup(dh.C)
+			id := st.MustLookup(dh.D)
+
+			// Bond vectors (minimum image): b1 = B-A, b2 = C-B, b3 = D-C.
+			b1 := bx.MinImage(st.Pos[i].Sub(st.Pos[ia]))
+			b2 := bx.MinImage(st.Pos[ic].Sub(st.Pos[i]))
+			b3 := bx.MinImage(st.Pos[id].Sub(st.Pos[ic]))
+
+			n1 := b1.Cross(b2)
+			n2 := b2.Cross(b3)
+			n1sq := n1.Norm2()
+			n2sq := n2.Norm2()
+			b2len := b2.Norm()
+			if n1sq < 1e-12 || n2sq < 1e-12 || b2len < 1e-12 {
+				continue // collinear degenerate geometry
+			}
+			res.Terms++
+
+			// Signed dihedral angle.
+			cosphi := n1.Dot(n2) / math.Sqrt(n1sq*n2sq)
+			cosphi = math.Max(-1, math.Min(1, cosphi))
+			sinphi := n1.Cross(n2).Dot(b2) / (b2len * math.Sqrt(n1sq*n2sq))
+			phi := math.Atan2(sinphi, cosphi)
+
+			arg := float64(h.N)*phi - h.D
+			res.Energy += h.K * (1 + math.Cos(arg))
+			// dE/dphi, with the sign matching this file's angle
+			// convention (sinphi measured against +b2).
+			dEdPhi := h.K * float64(h.N) * math.Sin(arg)
+
+			// Standard analytic distribution (e.g. Allen & Tildesley):
+			// fA = -dE/dphi * b2len / n1sq * n1, fD = dE/dphi * b2len / n2sq * n2.
+			fA := n1.Scale(-dEdPhi * b2len / n1sq)
+			fD := n2.Scale(dEdPhi * b2len / n2sq)
+			// Internal coupling terms.
+			s := b1.Dot(b2) / (b2len * b2len)
+			tt := b3.Dot(b2) / (b2len * b2len)
+			fB := fA.Scale(s - 1).Sub(fD.Scale(tt))
+			fC := fD.Scale(tt - 1).Sub(fA.Scale(s))
+
+			st.Force[ia] = st.Force[ia].Add(fA)
+			st.Force[i] = st.Force[i].Add(fB)
+			st.Force[ic] = st.Force[ic].Add(fC)
+			st.Force[id] = st.Force[id].Add(fD)
+		}
+	}
+	return res
+}

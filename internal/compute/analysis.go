@@ -1,0 +1,167 @@
+package compute
+
+import (
+	"math"
+
+	"gomd/internal/atom"
+	"gomd/internal/box"
+	"gomd/internal/vec"
+)
+
+// RDF accumulates the radial distribution function g(r) of owned atoms
+// over one or more frames.
+type RDF struct {
+	RMax float64
+	Bins int
+
+	hist   []float64
+	frames int
+	atoms  int
+	rho    float64
+}
+
+// NewRDF returns an accumulator with the given range and resolution.
+func NewRDF(rmax float64, bins int) *RDF {
+	return &RDF{RMax: rmax, Bins: bins, hist: make([]float64, bins)}
+}
+
+// Accumulate adds one frame. It is O(N^2) over owned atoms and intended
+// for analysis-scale systems.
+func (r *RDF) Accumulate(st *atom.Store, bx box.Box) {
+	n := st.N
+	r.frames++
+	r.atoms = n
+	r.rho = float64(n) / bx.Volume()
+	inv := float64(r.Bins) / r.RMax
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := bx.MinImage(st.Pos[i].Sub(st.Pos[j])).Norm()
+			if d >= r.RMax {
+				continue
+			}
+			b := int(d * inv)
+			if b >= 0 && b < r.Bins {
+				r.hist[b] += 2 // each pair counts for both atoms
+			}
+		}
+	}
+}
+
+// Result returns bin centers and g(r), normalized by the ideal-gas shell
+// population.
+func (r *RDF) Result() (rs, g []float64) {
+	rs = make([]float64, r.Bins)
+	g = make([]float64, r.Bins)
+	if r.frames == 0 || r.atoms == 0 {
+		return rs, g
+	}
+	dr := r.RMax / float64(r.Bins)
+	for b := 0; b < r.Bins; b++ {
+		rLo := float64(b) * dr
+		rHi := rLo + dr
+		rs[b] = rLo + dr/2
+		shell := 4.0 / 3.0 * math.Pi * (rHi*rHi*rHi - rLo*rLo*rLo)
+		ideal := shell * r.rho * float64(r.atoms) * float64(r.frames)
+		if ideal > 0 {
+			g[b] = r.hist[b] / ideal
+		}
+	}
+	return rs, g
+}
+
+// FirstPeak returns the position and height of the maximum of g(r).
+func (r *RDF) FirstPeak() (pos, height float64) {
+	rs, g := r.Result()
+	for i, v := range g {
+		if v > height {
+			height = v
+			pos = rs[i]
+		}
+	}
+	return pos, height
+}
+
+// MSD tracks the mean-square displacement from a reference frame, with
+// unwrapped trajectories reconstructed from per-step displacements (call
+// Update every step or at least more often than atoms cross half a box).
+type MSD struct {
+	ref      map[int64]vec.V3 // reference (unwrapped) positions by tag
+	unwrap   map[int64]vec.V3 // current unwrapped positions
+	lastSeen map[int64]vec.V3 // last wrapped positions
+}
+
+// NewMSD initializes the reference from the current positions.
+func NewMSD(st *atom.Store) *MSD {
+	m := &MSD{
+		ref:      make(map[int64]vec.V3, st.N),
+		unwrap:   make(map[int64]vec.V3, st.N),
+		lastSeen: make(map[int64]vec.V3, st.N),
+	}
+	for i := 0; i < st.N; i++ {
+		m.ref[st.Tag[i]] = st.Pos[i]
+		m.unwrap[st.Tag[i]] = st.Pos[i]
+		m.lastSeen[st.Tag[i]] = st.Pos[i]
+	}
+	return m
+}
+
+// Update folds per-step displacements into the unwrapped trajectory.
+func (m *MSD) Update(st *atom.Store, bx box.Box) {
+	for i := 0; i < st.N; i++ {
+		tag := st.Tag[i]
+		last, ok := m.lastSeen[tag]
+		if !ok {
+			continue
+		}
+		d := bx.MinImage(st.Pos[i].Sub(last))
+		m.unwrap[tag] = m.unwrap[tag].Add(d)
+		m.lastSeen[tag] = st.Pos[i]
+	}
+}
+
+// Value returns the current mean-square displacement.
+func (m *MSD) Value() float64 {
+	if len(m.ref) == 0 {
+		return 0
+	}
+	var sum float64
+	for tag, ref := range m.ref {
+		d := m.unwrap[tag].Sub(ref)
+		sum += d.Norm2()
+	}
+	return sum / float64(len(m.ref))
+}
+
+// VACF accumulates the normalized velocity autocorrelation function
+// C(t) = <v(0)·v(t)> / <v(0)·v(0)> against the reference frame.
+type VACF struct {
+	v0    map[int64]vec.V3
+	norm  float64
+	Trace []float64
+}
+
+// NewVACF captures the reference velocities.
+func NewVACF(st *atom.Store) *VACF {
+	v := &VACF{v0: make(map[int64]vec.V3, st.N)}
+	for i := 0; i < st.N; i++ {
+		v.v0[st.Tag[i]] = st.Vel[i]
+		v.norm += st.Vel[i].Norm2()
+	}
+	return v
+}
+
+// Sample appends C(t) for the current frame.
+func (v *VACF) Sample(st *atom.Store) float64 {
+	if v.norm == 0 {
+		return 0
+	}
+	var dot float64
+	for i := 0; i < st.N; i++ {
+		if v0, ok := v.v0[st.Tag[i]]; ok {
+			dot += v0.Dot(st.Vel[i])
+		}
+	}
+	c := dot / v.norm
+	v.Trace = append(v.Trace, c)
+	return c
+}

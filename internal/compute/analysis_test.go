@@ -1,0 +1,130 @@
+package compute_test
+
+import (
+	"math"
+	"testing"
+
+	"gomd/internal/box"
+	"gomd/internal/compute"
+	"gomd/internal/core"
+	"gomd/internal/vec"
+	"gomd/internal/workload"
+)
+
+// TestRDFIdealGas: uncorrelated positions give g(r) ~ 1 everywhere.
+func TestRDFIdealGas(t *testing.T) {
+	cfg, st := workload.MustBuild(workload.LJ, workload.Options{Atoms: 2000, Seed: 9})
+	// Scatter positions uniformly (ignore the lattice).
+	l := cfg.Box.Lengths().X
+	r := newRand(5)
+	for i := 0; i < st.N; i++ {
+		st.Pos[i] = vec.New(r()*l, r()*l, r()*l)
+	}
+	rdf := compute.NewRDF(l/2, 50)
+	rdf.Accumulate(st, cfg.Box)
+	_, g := rdf.Result()
+	for b := 5; b < 50; b++ { // skip the tiny-shell noise bins
+		if math.Abs(g[b]-1) > 0.25 {
+			t.Errorf("ideal-gas g(r) bin %d = %v", b, g[b])
+		}
+	}
+}
+
+// newRand is a tiny deterministic uniform source for the test.
+func newRand(seed uint64) func() float64 {
+	s := seed*2685821657736338717 + 1
+	return func() float64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return float64(s>>11) / (1 << 53)
+	}
+}
+
+// TestRDFLennardJonesMelt: the LJ liquid's first coordination peak sits
+// near r = 1.1 sigma with g(r) well above 2.
+func TestRDFLennardJonesMelt(t *testing.T) {
+	cfg, st := workload.MustBuild(workload.LJ, workload.Options{Atoms: 2048, Seed: 10})
+	sim := core.New(cfg, st)
+	sim.Run(150) // melt and equilibrate a bit
+	rdf := compute.NewRDF(3.0, 120)
+	for k := 0; k < 4; k++ {
+		sim.Run(10)
+		rdf.Accumulate(st, sim.Box)
+	}
+	pos, height := rdf.FirstPeak()
+	t.Logf("LJ melt first RDF peak: g(%0.3f) = %.2f", pos, height)
+	if pos < 0.95 || pos > 1.25 {
+		t.Errorf("first peak at %v, expected ~1.1 sigma", pos)
+	}
+	if height < 2 {
+		t.Errorf("first peak height %v, expected > 2 for a dense liquid", height)
+	}
+	// g(r) must vanish inside the core.
+	rs, g := rdf.Result()
+	for i, rv := range rs {
+		if rv < 0.8 && g[i] > 0.05 {
+			t.Errorf("core not excluded: g(%v) = %v", rv, g[i])
+		}
+	}
+}
+
+// TestMSDGrowsInLiquid: diffusing atoms accumulate displacement;
+// unwrapping must keep MSD growing across periodic boundaries.
+func TestMSDGrowsInLiquid(t *testing.T) {
+	cfg, st := workload.MustBuild(workload.LJ, workload.Options{Atoms: 1000, Seed: 12})
+	sim := core.New(cfg, st)
+	sim.Run(100)
+	msd := compute.NewMSD(st)
+	prev := 0.0
+	grew := 0
+	for k := 0; k < 5; k++ {
+		for s := 0; s < 20; s++ {
+			sim.Run(1)
+			msd.Update(st, sim.Box)
+		}
+		v := msd.Value()
+		if v > prev {
+			grew++
+		}
+		prev = v
+	}
+	if grew < 4 {
+		t.Errorf("MSD not monotone-ish in a liquid: final %v", prev)
+	}
+	if prev <= 0.01 {
+		t.Errorf("MSD %v suspiciously small after 100 steps", prev)
+	}
+}
+
+// TestVACFDecays: velocity correlations decay from 1 in a dense liquid.
+func TestVACFDecays(t *testing.T) {
+	cfg, st := workload.MustBuild(workload.LJ, workload.Options{Atoms: 1000, Seed: 14})
+	sim := core.New(cfg, st)
+	sim.Run(100)
+	v := compute.NewVACF(st)
+	c0 := v.Sample(st)
+	if math.Abs(c0-1) > 1e-12 {
+		t.Fatalf("C(0) = %v", c0)
+	}
+	sim.Run(60)
+	c1 := v.Sample(st)
+	if c1 >= 0.8 {
+		t.Errorf("VACF barely decayed: C=%v after 60 steps", c1)
+	}
+	if len(v.Trace) != 2 {
+		t.Errorf("trace length %d", len(v.Trace))
+	}
+}
+
+// TestMSDStaticIsZero: without motion, MSD stays exactly zero.
+func TestMSDStaticIsZero(t *testing.T) {
+	_, st := workload.MustBuild(workload.LJ, workload.Options{Atoms: 500, Seed: 2})
+	bx := box.NewPeriodic(vec.V3{}, vec.Splat(10))
+	msd := compute.NewMSD(st)
+	msd.Update(st, bx)
+	msd.Update(st, bx)
+	if msd.Value() != 0 {
+		t.Errorf("static MSD %v", msd.Value())
+	}
+}

@@ -1,0 +1,62 @@
+// Package compute provides the thermodynamic observables of a simulation
+// (the paper's step VIII, "compute system properties of interest"):
+// kinetic energy, temperature, pressure, and momentum.
+package compute
+
+import (
+	"gomd/internal/atom"
+	"gomd/internal/units"
+	"gomd/internal/vec"
+)
+
+// KineticEnergy returns the kinetic energy of the owned atoms of st.
+func KineticEnergy(st *atom.Store, mass []float64, u units.System) float64 {
+	var ke float64
+	for i := 0; i < st.N; i++ {
+		ke += 0.5 * u.MVV2E * mass[st.Type[i]-1] * st.Vel[i].Norm2()
+	}
+	return ke
+}
+
+// Temperature converts a global kinetic energy into a temperature for
+// nGlobal atoms (3N-3 degrees of freedom, LAMMPS convention).
+func Temperature(ke float64, nGlobal int, u units.System) float64 {
+	dof := float64(3*nGlobal - 3)
+	if dof <= 0 {
+		return 0
+	}
+	return 2 * ke / (dof * u.Boltz)
+}
+
+// Pressure returns the instantaneous pressure from global kinetic energy
+// and scalar virial in volume vol.
+func Pressure(ke, virial, vol float64) float64 {
+	if vol == 0 {
+		return 0
+	}
+	return (2*ke/3 + virial/3) / vol
+}
+
+// Momentum returns the total momentum of the owned atoms.
+func Momentum(st *atom.Store, mass []float64) vec.V3 {
+	var p vec.V3
+	for i := 0; i < st.N; i++ {
+		p = p.Add(st.Vel[i].Scale(mass[st.Type[i]-1]))
+	}
+	return p
+}
+
+// CenterOfMass returns the center of mass of the owned atoms.
+func CenterOfMass(st *atom.Store, mass []float64) vec.V3 {
+	var c vec.V3
+	var m float64
+	for i := 0; i < st.N; i++ {
+		mi := mass[st.Type[i]-1]
+		c = c.Add(st.Pos[i].Scale(mi))
+		m += mi
+	}
+	if m == 0 {
+		return c
+	}
+	return c.Scale(1 / m)
+}

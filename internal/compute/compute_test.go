@@ -1,0 +1,67 @@
+package compute_test
+
+import (
+	"math"
+	"testing"
+
+	"gomd/internal/atom"
+	"gomd/internal/compute"
+	"gomd/internal/units"
+	"gomd/internal/vec"
+)
+
+func store2() *atom.Store {
+	st := atom.New(2)
+	st.Add(atom.Atom{Tag: 1, Type: 1, Pos: vec.New(0, 0, 0), Vel: vec.New(2, 0, 0)})
+	st.Add(atom.Atom{Tag: 2, Type: 2, Pos: vec.New(1, 1, 1), Vel: vec.New(0, -1, 0)})
+	return st
+}
+
+var masses = []float64{1, 4}
+
+func TestKineticEnergy(t *testing.T) {
+	u := units.ForStyle(units.LJ)
+	ke := compute.KineticEnergy(store2(), masses, u)
+	want := 0.5*1*4 + 0.5*4*1
+	if math.Abs(ke-want) > 1e-12 {
+		t.Errorf("KE %v want %v", ke, want)
+	}
+}
+
+func TestTemperature(t *testing.T) {
+	u := units.ForStyle(units.LJ)
+	// 3N-3 dof with N=2 -> 3 dof; T = 2 KE / 3.
+	if got := compute.Temperature(6, 2, u); math.Abs(got-4) > 1e-12 {
+		t.Errorf("T %v", got)
+	}
+	if got := compute.Temperature(6, 1, u); got != 0 {
+		t.Errorf("single atom T %v", got)
+	}
+}
+
+func TestPressure(t *testing.T) {
+	// Ideal gas limit: P V = 2/3 KE.
+	if got := compute.Pressure(15, 0, 10); math.Abs(got-1) > 1e-12 {
+		t.Errorf("ideal pressure %v", got)
+	}
+	// Virial contribution adds W/3V.
+	if got := compute.Pressure(0, 30, 10); math.Abs(got-1) > 1e-12 {
+		t.Errorf("virial pressure %v", got)
+	}
+	if got := compute.Pressure(1, 1, 0); got != 0 {
+		t.Errorf("zero volume: %v", got)
+	}
+}
+
+func TestMomentumAndCOM(t *testing.T) {
+	st := store2()
+	p := compute.Momentum(st, masses)
+	if p.Sub(vec.New(2, -4, 0)).Norm() > 1e-12 {
+		t.Errorf("momentum %v", p)
+	}
+	c := compute.CenterOfMass(st, masses)
+	want := vec.New(4.0/5, 4.0/5, 4.0/5)
+	if c.Sub(want).Norm() > 1e-12 {
+		t.Errorf("com %v want %v", c, want)
+	}
+}

@@ -1,0 +1,61 @@
+package core_test
+
+import (
+	"testing"
+
+	"gomd/internal/core"
+	"gomd/internal/kspace"
+	"gomd/internal/workload"
+)
+
+// Engine micro-benchmarks: wall-clock per timestep of this Go engine on
+// the host machine (not the modeled platforms), one per workload.
+
+func benchWorkload(b *testing.B, name workload.Name, atoms int) {
+	cfg, st := workload.MustBuild(name, workload.Options{Atoms: atoms, Seed: 1})
+	sim := core.New(cfg, st)
+	sim.Run(5) // settle transient, build lists
+	b.ResetTimer()
+	sim.Run(b.N)
+	b.ReportMetric(float64(sim.Counters.PairOps)/float64(b.Elapsed().Nanoseconds()+1), "pairops/ns")
+}
+
+func BenchmarkStepLJ(b *testing.B)    { benchWorkload(b, workload.LJ, 4000) }
+func BenchmarkStepChain(b *testing.B) { benchWorkload(b, workload.Chain, 4000) }
+func BenchmarkStepEAM(b *testing.B)   { benchWorkload(b, workload.EAM, 4000) }
+func BenchmarkStepChute(b *testing.B) { benchWorkload(b, workload.Chute, 4000) }
+func BenchmarkStepRhodo(b *testing.B) { benchWorkload(b, workload.Rhodo, 1500) }
+
+// TestRhodoWithEwaldSolver: the kspace Solver interface is
+// interchangeable — running the rhodo surrogate with the Ewald reference
+// instead of PPPM must give matching energies at the same splitting
+// parameter.
+func TestRhodoWithEwaldSolver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	g := kspace.SplitParameter(1e-4, 10.0) // rhodo's default split
+	build := func(useEwald bool) *core.Simulation {
+		cfg, st := workload.MustBuild(workload.Rhodo, workload.Options{Atoms: 400, Seed: 5})
+		if useEwald {
+			ew := kspace.NewEwald(1e-5, 10.0) // tighter k cutoff
+			ew.GOverride = g                  // identical real/reciprocal split
+			cfg.Kspace = ew
+		}
+		return core.New(cfg, st)
+	}
+	pp := build(false)
+	ew := build(true)
+	pp.Run(3)
+	ew.Run(3)
+	a := pp.ComputeThermo()
+	b := ew.ComputeThermo()
+	rel := (a.PotEnergy - b.PotEnergy) / a.PotEnergy
+	if rel < 0 {
+		rel = -rel
+	}
+	t.Logf("PPPM PE %.6g vs Ewald PE %.6g (rel %.2g)", a.PotEnergy, b.PotEnergy, rel)
+	if rel > 0.01 {
+		t.Errorf("solver mismatch: %v vs %v", a.PotEnergy, b.PotEnergy)
+	}
+}

@@ -1,0 +1,231 @@
+package core_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"gomd/internal/compute"
+	"gomd/internal/core"
+	"gomd/internal/fix"
+	"gomd/internal/pair"
+	"gomd/internal/vec"
+	"gomd/internal/workload"
+)
+
+// TestEnergyConservationNVE: the conservative workloads must hold total
+// energy after the initial transient (LJ uses an unshifted cutoff, so a
+// small diffusive drift from cutoff crossings is expected and bounded).
+func TestEnergyConservationNVE(t *testing.T) {
+	cases := []struct {
+		name  workload.Name
+		atoms int
+		tol   float64 // per atom over 200 steps
+	}{
+		{workload.LJ, 2048, 0.02},
+		{workload.EAM, 2048, 0.002}, // eV/atom
+	}
+	for _, tc := range cases {
+		cfg, st := workload.MustBuild(tc.name, workload.Options{Atoms: tc.atoms, Seed: 13, Precision: pair.Double})
+		s := core.New(cfg, st)
+		s.Run(10) // settle
+		a := s.ComputeThermo()
+		s.Run(200)
+		b := s.ComputeThermo()
+		drift := math.Abs(b.TotalEnergy-a.TotalEnergy) / float64(st.N)
+		t.Logf("%s: E/atom drift %.3g over 200 steps (T %.3f -> %.3f)",
+			tc.name, drift, a.Temperature, b.Temperature)
+		if drift > tc.tol {
+			t.Errorf("%s: energy drift %v exceeds %v", tc.name, drift, tc.tol)
+		}
+	}
+}
+
+// TestMomentumConservation: NVE workloads without external forcing must
+// conserve linear momentum exactly (pairwise-equal forces). Double
+// precision: the mixed path rounds ghost images independently of their
+// originals, which is real float32 behavior, not a symmetry bug.
+func TestMomentumConservation(t *testing.T) {
+	for _, name := range []workload.Name{workload.LJ, workload.EAM} {
+		cfg, st := workload.MustBuild(name, workload.Options{Atoms: 1000, Seed: 3, Precision: pair.Double})
+		s := core.New(cfg, st)
+		s.Run(50)
+		p := compute.Momentum(st, cfg.Mass)
+		if p.Norm() > 1e-8 {
+			t.Errorf("%s: net momentum %v after 50 steps", name, p)
+		}
+	}
+}
+
+// TestChainStability: the chain workload must keep FENE bonds within
+// their extensibility limit through the melt transient.
+func TestChainStability(t *testing.T) {
+	cfg, st := workload.MustBuild(workload.Chain, workload.Options{Atoms: 3000, Seed: 21})
+	s := core.New(cfg, st)
+	s.Run(300)
+	worst := 0.0
+	for i := 0; i < st.N; i++ {
+		for _, b := range st.Bonds[i] {
+			j := st.MustLookup(b.Partner)
+			if d := s.Box.MinImage(st.Pos[i].Sub(st.Pos[j])).Norm(); d > worst {
+				worst = d
+			}
+		}
+	}
+	t.Logf("chain: max bond length %.3f after 300 steps", worst)
+	if worst >= 1.5 {
+		t.Errorf("FENE bond reached limit: %v", worst)
+	}
+}
+
+// TestChuteGainsDownslopeMomentum: tilted gravity must accelerate the
+// granular pack in +x.
+func TestChuteGainsDownslopeMomentum(t *testing.T) {
+	cfg, st := workload.MustBuild(workload.Chute, workload.Options{Atoms: 1000, Seed: 2})
+	s := core.New(cfg, st)
+	s.Run(2000)
+	var vx float64
+	for i := 0; i < st.N; i++ {
+		vx += st.Vel[i].X
+	}
+	if vx <= 0 {
+		t.Errorf("chute flow not moving downhill: total vx %v", vx)
+	}
+}
+
+// TestThermoOutput: the Output task writes formatted thermo lines at the
+// configured cadence.
+func TestThermoOutput(t *testing.T) {
+	var sb strings.Builder
+	cfg, st := workload.MustBuild(workload.LJ, workload.Options{Atoms: 500, Seed: 1, ThermoEvery: 5})
+	cfg.ThermoTo = &sb
+	s := core.New(cfg, st)
+	s.Run(20)
+	lines := strings.Count(sb.String(), "\n")
+	if lines != 4 {
+		t.Errorf("expected 4 thermo lines, got %d:\n%s", lines, sb.String())
+	}
+	if !strings.Contains(sb.String(), "step") || !strings.Contains(sb.String(), "T ") {
+		t.Errorf("thermo format: %q", sb.String())
+	}
+	if s.Counters.ThermoEvals != 4 {
+		t.Errorf("thermo evals counter %d", s.Counters.ThermoEvals)
+	}
+}
+
+// TestCountersAccumulate: every task counter must be live for a workload
+// exercising all machinery (rhodo).
+func TestCountersAccumulate(t *testing.T) {
+	cfg, st := workload.MustBuild(workload.Rhodo, workload.Options{Atoms: 400, Seed: 6})
+	s := core.New(cfg, st)
+	s.Run(25)
+	c := s.Counters
+	if c.Steps != 25 {
+		t.Errorf("steps %d", c.Steps)
+	}
+	checks := map[string]int64{
+		"PairOps":         c.PairOps,
+		"BondTerms":       c.BondTerms,
+		"KspaceSpreadOps": c.KspaceSpreadOps,
+		"KspaceInterpOps": c.KspaceInterpOps,
+		"KspaceFFTOps":    c.KspaceFFTOps,
+		"KspaceGridPts":   c.KspaceGridPts,
+		"NeighBuilds":     c.NeighBuilds,
+		"NeighPairs":      c.NeighPairs,
+		"ModifyOps":       c.ModifyOps,
+		"GhostAtoms":      c.GhostAtoms,
+	}
+	for name, v := range checks {
+		if v <= 0 {
+			t.Errorf("counter %s not accumulating", name)
+		}
+	}
+	// Task wall-clock must be attributed across categories.
+	for _, task := range []core.Task{core.TaskPair, core.TaskKspace, core.TaskModify, core.TaskComm} {
+		if s.Times[task] <= 0 {
+			t.Errorf("no wall time attributed to %v", task)
+		}
+	}
+}
+
+// TestWrapOwnedMoleculeRigid: cluster wrapping must preserve raw
+// intra-molecular distances even when a molecule leaves the cell.
+func TestWrapOwnedMoleculeRigid(t *testing.T) {
+	cfg, st := workload.MustBuild(workload.Rhodo, workload.Options{Atoms: 400, Seed: 6})
+	s := core.New(cfg, st)
+	// Push the first molecule far outside the box.
+	shift := vec.New(3*s.Box.Lengths().X+1.3, 0, 0)
+	for i := 0; i < 3; i++ {
+		st.Pos[i] = st.Pos[i].Add(shift)
+	}
+	d12 := st.Pos[0].Sub(st.Pos[1]).Norm()
+	s.WrapOwned()
+	if !s.Box.Contains(st.Pos[0]) {
+		t.Errorf("anchor not wrapped into the box: %v", st.Pos[0])
+	}
+	if after := st.Pos[0].Sub(st.Pos[1]).Norm(); math.Abs(after-d12) > 1e-9 {
+		t.Errorf("molecule torn by wrap: OH %v -> %v", d12, after)
+	}
+}
+
+// TestTaskTimesHelpers covers the Task formatting/aggregation helpers.
+func TestTaskTimesHelpers(t *testing.T) {
+	var tt core.TaskTimes
+	tt[core.TaskPair] = 30
+	tt[core.TaskComm] = 10
+	if tt.Total() != 40 {
+		t.Errorf("total %v", tt.Total())
+	}
+	if f := tt.Fraction(core.TaskPair); math.Abs(f-0.75) > 1e-12 {
+		t.Errorf("fraction %v", f)
+	}
+	if core.TaskPair.String() != "Pair" || core.TaskOther.String() != "Other" {
+		t.Error("task names")
+	}
+	if len(core.Tasks()) != int(core.NumTasks) {
+		t.Error("Tasks() length")
+	}
+}
+
+// TestNeighEverySemantics: with NeighNoCheck and NeighEvery=N, rebuilds
+// happen exactly at the cadence.
+func TestNeighEverySemantics(t *testing.T) {
+	cfg, st := workload.MustBuild(workload.LJ, workload.Options{Atoms: 500, Seed: 9})
+	cfg.NeighEvery = 10
+	cfg.NeighNoCheck = true
+	s := core.New(cfg, st)
+	s.Run(35)
+	// Builds at steps 0, 10, 20, 30 = 4.
+	if s.Counters.NeighBuilds != 4 {
+		t.Errorf("rebuilds %d, want 4", s.Counters.NeighBuilds)
+	}
+}
+
+// TestFixOrderMatters ensures fixes run in registration order within a
+// phase (shake must follow the integrator).
+func TestFixOrderMatters(t *testing.T) {
+	var order []string
+	mk := func(name string) fix.Fix { return &orderSpy{name: name, log: &order} }
+	cfg, st := workload.MustBuild(workload.LJ, workload.Options{Atoms: 108, Seed: 9})
+	cfg.Fixes = []fix.Fix{mk("a"), mk("b")}
+	s := core.New(cfg, st)
+	s.Run(1)
+	want := []string{"a.II", "b.II", "a.PF", "b.PF", "a.FI", "b.FI", "a.ES", "b.ES"}
+	if strings.Join(order, ",") != strings.Join(want, ",") {
+		t.Errorf("fix phase order: %v", order)
+	}
+}
+
+type orderSpy struct {
+	fix.Base
+	name string
+	log  *[]string
+}
+
+func (o *orderSpy) Name() string { return o.name }
+func (o *orderSpy) InitialIntegrate(*fix.Context) {
+	*o.log = append(*o.log, o.name+".II")
+}
+func (o *orderSpy) PostForce(*fix.Context)      { *o.log = append(*o.log, o.name+".PF") }
+func (o *orderSpy) FinalIntegrate(*fix.Context) { *o.log = append(*o.log, o.name+".FI") }
+func (o *orderSpy) EndOfStep(*fix.Context)      { *o.log = append(*o.log, o.name+".ES") }

@@ -1,0 +1,57 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"gomd/internal/core"
+	"gomd/internal/vec"
+	"gomd/internal/workload"
+)
+
+// TestForcesVsBruteForce compares engine forces (neighbor lists + ghost
+// images) against a direct O(N^2) minimum-image sum for a small LJ system.
+func TestForcesVsBruteForce(t *testing.T) {
+	cfg, st := workload.MustBuild(workload.LJ, workload.Options{Atoms: 500})
+	s := core.New(cfg, st)
+	s.Run(3) // move off the lattice so forces are nonzero
+
+	// Snapshot engine forces for owned atoms (recompute by stepping 0?):
+	// run one more step and capture force array right after: instead,
+	// recompute via brute force at current positions and compare with
+	// st.Force (forces from the last evaluation at current positions...).
+	// The last force evaluation used the positions before FinalIntegrate,
+	// which are the *current* positions (positions change in
+	// InitialIntegrate of the NEXT step). So st.Force matches st.Pos.
+	n := st.N
+	bf := make([]vec.V3, n)
+	eps, sig, rc := 1.0, 1.0, 2.5
+	rc2 := rc * rc
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := s.Box.MinImage(st.Pos[i].Sub(st.Pos[j]))
+			r2 := d.Norm2()
+			if r2 > rc2 {
+				continue
+			}
+			s6 := math.Pow(sig, 6)
+			inv2 := 1 / r2
+			inv6 := inv2 * inv2 * inv2 * s6
+			fp := 24 * eps * inv6 * (2*inv6 - 1) * inv2
+			bf[i] = bf[i].Add(d.Scale(fp))
+			bf[j] = bf[j].Sub(d.Scale(fp))
+		}
+	}
+	var maxErr float64
+	for i := 0; i < n; i++ {
+		e := st.Force[i].Sub(bf[i]).Norm()
+		scale := 1 + bf[i].Norm()
+		if e/scale > maxErr {
+			maxErr = e / scale
+		}
+	}
+	t.Logf("max relative force error: %g", maxErr)
+	if maxErr > 1e-4 { // float32 kernel default (mixed precision)
+		t.Errorf("force mismatch vs brute force: %g", maxErr)
+	}
+}

@@ -1,0 +1,422 @@
+// Package core orchestrates an MD simulation: it owns the timestep loop
+// of Figure 1 of the paper (integrate, communicate, rebuild neighbor
+// lists, compute forces, apply fixes, output), attributing every unit of
+// work and wall time to the LAMMPS task taxonomy of Table 1.
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"gomd/internal/atom"
+	"gomd/internal/bond"
+	"gomd/internal/box"
+	"gomd/internal/compute"
+	"gomd/internal/fix"
+	"gomd/internal/kspace"
+	"gomd/internal/neighbor"
+	"gomd/internal/pair"
+	"gomd/internal/rng"
+	"gomd/internal/units"
+	"gomd/internal/vec"
+)
+
+// Config assembles a simulation, playing the role of a LAMMPS input
+// script.
+type Config struct {
+	Name  string
+	Units units.System
+	Box   box.Box
+	// Mass holds per-type masses (index = type-1).
+	Mass []float64
+	Pair pair.Style
+	// Bonds lists bonded styles (bond + angle) to evaluate each step.
+	Bonds []bond.Style
+	// Kspace, when non-nil, is the long-range electrostatics solver.
+	Kspace kspace.Solver
+	Fixes  []fix.Fix
+	Dt     float64
+	Skin   float64
+	// GhostCutoff overrides the halo range (default: pair cutoff + skin).
+	// Workloads whose bonded interactions can stretch beyond the pair
+	// range (FENE) set it so bond partners always have halo copies.
+	GhostCutoff float64
+	// NeighEvery is how often (in steps) the rebuild trigger is
+	// considered; NeighDelay suppresses rebuilds within that many steps
+	// of the previous one; NeighNoCheck forces a rebuild whenever
+	// considered instead of testing displacements — together these
+	// mirror the LAMMPS neigh_modify every/delay/check settings the
+	// bench inputs use.
+	NeighEvery   int
+	NeighDelay   int
+	NeighNoCheck bool
+	// ClusterMigrate makes migration keep molecules on one rank (needed
+	// by SHAKE); see the domain package.
+	ClusterMigrate bool
+	Seed           uint64
+	// ThermoEvery is the thermo output interval (0 disables).
+	ThermoEvery int
+	// ThermoTo receives thermo lines (nil discards them).
+	ThermoTo io.Writer
+}
+
+// Backend abstracts the communication substrate: the serial engine uses
+// periodic-image ghosts; the decomposed engine (internal/domain) uses
+// rank-to-rank messages over the simulated MPI runtime.
+type Backend interface {
+	// Setup is called once after atoms are loaded.
+	Setup(s *Simulation)
+	// Rebuild re-wraps positions, migrates atoms between owners, and
+	// reconstructs ghost entries; called on neighbor-rebuild steps.
+	Rebuild(s *Simulation)
+	// ForwardPositions refreshes ghost positions (and velocities) from
+	// owners; called on every other step.
+	ForwardPositions(s *Simulation)
+	// ReverseForces accumulates ghost forces back into owners; called
+	// after force evaluation when bonded topology exists.
+	ReverseForces(s *Simulation)
+	// ForwardScalar implements pair.GhostSync for per-atom fields.
+	ForwardScalar(s *Simulation, buf []float64)
+	// ReduceScalar sums a scalar across ranks.
+	ReduceScalar(v float64) float64
+	// ReduceBool ORs a flag across ranks (the global neighbor-rebuild
+	// decision must be collective).
+	ReduceBool(v bool) bool
+	// GridReducer returns the mesh reducer passed to kspace solvers
+	// (nil in serial runs).
+	GridReducer(s *Simulation) func([]float64)
+	// NGlobal returns the global atom count.
+	NGlobal(s *Simulation) int
+	// Size returns the number of ranks sharing the run.
+	Size() int
+}
+
+// Thermo is one thermodynamic output sample.
+type Thermo struct {
+	Step        int64
+	Temperature float64
+	Pressure    float64
+	PotEnergy   float64
+	KinEnergy   float64
+	TotalEnergy float64
+	Volume      float64
+}
+
+// Simulation is a runnable MD system.
+type Simulation struct {
+	Cfg   Config
+	Box   box.Box
+	Store *atom.Store
+	NL    *neighbor.List
+	RNG   *rng.Source
+
+	Times    TaskTimes
+	Counters Counters
+
+	Step        int64
+	lastRebuild int64
+	// LastPE/LastVirial hold the most recent force-evaluation results.
+	LastPE     float64
+	LastVirial float64
+	LastThermo Thermo
+
+	backend Backend
+	fixCtx  fix.Context
+}
+
+// ghostSync adapts the backend to pair.GhostSync.
+type ghostSync struct{ s *Simulation }
+
+// ForwardScalar implements pair.GhostSync.
+func (g ghostSync) ForwardScalar(buf []float64) {
+	g.s.backend.ForwardScalar(g.s, buf)
+}
+
+// New builds a simulation over a pre-populated store using the serial
+// backend. Decomposed simulations are built by the domain package.
+func New(cfg Config, st *atom.Store) *Simulation {
+	return NewWithBackend(cfg, st, &SerialBackend{})
+}
+
+// NewWithBackend builds a simulation with an explicit backend.
+func NewWithBackend(cfg Config, st *atom.Store, be Backend) *Simulation {
+	if cfg.Dt == 0 {
+		cfg.Dt = cfg.Units.DefaultDt
+	}
+	if cfg.NeighEvery == 0 {
+		cfg.NeighEvery = 1
+	}
+	s := &Simulation{
+		Cfg:     cfg,
+		Box:     cfg.Box,
+		Store:   st,
+		RNG:     rng.New(cfg.Seed + 0x5eed),
+		backend: be,
+	}
+	s.NL = neighbor.NewList(cfg.Pair.ListMode(), cfg.Pair.Cutoff(), cfg.Skin)
+	if _, isCharmm := cfg.Pair.(*pair.CharmmCoulLong); isCharmm {
+		// coul/long keeps special pairs in the list (LJ weight 0, k-space
+		// correction in the kernel).
+		s.NL.SpecialWeight = func(atom.SpecialKind) (float64, bool) { return 0, true }
+	}
+	be.Setup(s)
+	if cfg.Kspace != nil {
+		q2 := 0.0
+		for i := 0; i < st.N; i++ {
+			q2 += st.Charge[i] * st.Charge[i]
+		}
+		q2 = be.ReduceScalar(q2)
+		cfg.Kspace.Setup(s.Box, be.NGlobal(s), q2, cfg.Units.QQr2E)
+		// Replicated-mesh decomposition: every rank evaluates the full
+		// reciprocal sum, so each reports 1/ranks of energy and virial.
+		cfg.Kspace.SetShare(1 / float64(be.Size()))
+		if ch, ok := cfg.Pair.(*pair.CharmmCoulLong); ok {
+			ch.GEwald = cfg.Kspace.GEwald()
+		}
+	}
+	return s
+}
+
+// NGlobal returns the global atom count.
+func (s *Simulation) NGlobal() int { return s.backend.NGlobal(s) }
+
+// Run advances the simulation by n timesteps.
+func (s *Simulation) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.step()
+	}
+}
+
+func (s *Simulation) step() {
+	st := s.Store
+	cfg := &s.Cfg
+
+	// --- Modify: initial integration (step I/II of Figure 1).
+	t0 := time.Now()
+	ctx := s.fixContext()
+	for _, f := range cfg.Fixes {
+		f.InitialIntegrate(ctx)
+	}
+	s.Times[TaskModify] += time.Since(t0)
+
+	// --- Comm/Neigh: boundary conditions, exchange, list rebuild
+	// (steps III/IV).
+	rebuild := false
+	if s.Step%int64(cfg.NeighEvery) == 0 &&
+		(s.Step == 0 || s.Step-s.lastRebuild >= int64(cfg.NeighDelay)) {
+		tN := time.Now()
+		if cfg.NeighNoCheck && s.Step > 0 {
+			rebuild = true
+		} else {
+			rebuild = s.backend.ReduceBool(s.NL.NeedsRebuild(st))
+		}
+		s.Times[TaskNeigh] += time.Since(tN)
+	}
+	tC := time.Now()
+	if rebuild {
+		s.backend.Rebuild(s)
+	} else {
+		s.backend.ForwardPositions(s)
+	}
+	s.Times[TaskComm] += time.Since(tC)
+	if rebuild {
+		s.lastRebuild = s.Step
+		tN := time.Now()
+		s.NL.Build(st)
+		s.Times[TaskNeigh] += time.Since(tN)
+		s.Counters.NeighBuilds = int64(s.NL.Stats.Builds)
+		s.Counters.NeighPairs = s.NL.Stats.TotalPairs
+		s.Counters.NeighChecks = s.NL.Stats.DistanceChecks
+	}
+
+	// --- Forces (steps V/VI/VII).
+	s.evaluateForces()
+
+	// --- Modify: post-force, final integration, end-of-step.
+	tM := time.Now()
+	ctx = s.fixContext()
+	for _, f := range cfg.Fixes {
+		f.PostForce(ctx)
+	}
+	for _, f := range cfg.Fixes {
+		f.FinalIntegrate(ctx)
+	}
+	for _, f := range cfg.Fixes {
+		f.EndOfStep(ctx)
+	}
+	s.Counters.ModifyOps = ctx.Ops
+	s.Times[TaskModify] += time.Since(tM)
+
+	s.Step++
+	s.Counters.Steps++
+
+	// --- Output (step VIII).
+	if cfg.ThermoEvery > 0 && s.Step%int64(cfg.ThermoEvery) == 0 {
+		tO := time.Now()
+		s.LastThermo = s.ComputeThermo()
+		s.Counters.ThermoEvals++
+		if cfg.ThermoTo != nil {
+			th := s.LastThermo
+			fmt.Fprintf(cfg.ThermoTo,
+				"step %8d  T %10.4f  P %12.5g  PE %14.6g  KE %14.6g  E %14.6g\n",
+				th.Step, th.Temperature, th.Pressure, th.PotEnergy, th.KinEnergy, th.TotalEnergy)
+		}
+		s.Times[TaskOutput] += time.Since(tO)
+	}
+}
+
+// evaluateForces runs the force pipeline (pair, bonded, k-space, reverse
+// halo accumulation) at the current positions, updating LastPE and
+// LastVirial.
+func (s *Simulation) evaluateForces() {
+	st := s.Store
+	cfg := &s.Cfg
+
+	tF := time.Now()
+	st.ZeroForces()
+	s.Times[TaskOther] += time.Since(tF)
+
+	pe := 0.0
+	vir := 0.0
+
+	tP := time.Now()
+	pres := cfg.Pair.Compute(&pair.Context{
+		Store: st,
+		List:  s.NL,
+		Sync:  ghostSync{s},
+		QQr2E: cfg.Units.QQr2E,
+		Dt:    cfg.Dt,
+	})
+	s.Times[TaskPair] += time.Since(tP)
+	s.Counters.PairOps += pres.Pairs
+	pe += pres.Energy
+	vir += pres.Virial
+
+	if len(cfg.Bonds) > 0 {
+		tB := time.Now()
+		for _, bs := range cfg.Bonds {
+			bres := bs.Compute(st, s.Box)
+			s.Counters.BondTerms += bres.Terms
+			pe += bres.Energy
+			vir += bres.Virial
+		}
+		s.Times[TaskBond] += time.Since(tB)
+	}
+
+	if cfg.Kspace != nil {
+		tK := time.Now()
+		kres := cfg.Kspace.Compute(st, s.Box, s.backend.GridReducer(s))
+		s.Times[TaskKspace] += time.Since(tK)
+		s.Counters.KspaceSpreadOps += kres.SpreadOps
+		s.Counters.KspaceInterpOps += kres.InterpOps
+		s.Counters.KspaceMapOps += kres.MapOps
+		s.Counters.KspaceFFTOps += kres.FFTOps
+		s.Counters.KspaceGridOps += kres.GridOps
+		s.Counters.KspaceGridPts += kres.GridPoints
+		pe += kres.Energy
+		vir += kres.Virial
+	}
+
+	if len(cfg.Bonds) > 0 || cfg.ClusterMigrate {
+		tC2 := time.Now()
+		s.backend.ReverseForces(s)
+		s.Times[TaskComm] += time.Since(tC2)
+	}
+
+	s.LastPE = pe
+	s.LastVirial = vir
+}
+
+// Prime evaluates forces at the current positions without advancing time
+// (LAMMPS "run 0"): required when resuming from a restart, whose state
+// carries positions and velocities but not forces.
+func (s *Simulation) Prime() {
+	s.backend.Rebuild(s)
+	s.NL.Build(s.Store)
+	s.Counters.NeighBuilds = int64(s.NL.Stats.Builds)
+	s.Counters.NeighPairs = s.NL.Stats.TotalPairs
+	s.Counters.NeighChecks = s.NL.Stats.DistanceChecks
+	s.evaluateForces()
+}
+
+// fixContext refreshes the shared fix context with the current step
+// state; the Ops counter persists across phases and steps and is mirrored
+// into the simulation counters.
+func (s *Simulation) fixContext() *fix.Context {
+	ops := s.fixCtx.Ops
+	s.fixCtx = fix.Context{
+		Store:        s.Store,
+		Box:          &s.Box,
+		Mass:         s.Cfg.Mass,
+		Dt:           s.Cfg.Dt,
+		U:            s.Cfg.Units,
+		RNG:          s.RNG,
+		Step:         s.Step,
+		Virial:       s.LastVirial,
+		NAtomsGlobal: s.backend.NGlobal(s),
+		ReduceScalar: s.backend.ReduceScalar,
+		Ops:          ops,
+	}
+	return &s.fixCtx
+}
+
+// WrapOwned folds owned positions into the primary cell. With cluster
+// migration, molecules wrap rigidly — every member gets the image shift
+// of the molecule's anchor (lowest-tag member) — so raw intra-molecular
+// differences stay small, which SHAKE and the halo criteria rely on.
+func (s *Simulation) WrapOwned() {
+	st := s.Store
+	if !s.Cfg.ClusterMigrate {
+		for i := 0; i < st.N; i++ {
+			st.Pos[i], _ = s.Box.Wrap(st.Pos[i])
+		}
+		return
+	}
+	type anch struct {
+		tag int64
+		idx int
+	}
+	anchors := make(map[int32]anch, st.N/3)
+	for i := 0; i < st.N; i++ {
+		m := st.Mol[i]
+		if m == 0 {
+			st.Pos[i], _ = s.Box.Wrap(st.Pos[i])
+			continue
+		}
+		a, ok := anchors[m]
+		if !ok || st.Tag[i] < a.tag {
+			anchors[m] = anch{st.Tag[i], i}
+		}
+	}
+	l := s.Box.Lengths()
+	shifts := make(map[int32]vec.V3, len(anchors))
+	for m, a := range anchors {
+		_, sh := s.Box.Wrap(st.Pos[a.idx])
+		shifts[m] = vec.New(l.X*float64(sh[0]), l.Y*float64(sh[1]), l.Z*float64(sh[2]))
+	}
+	for i := 0; i < st.N; i++ {
+		if m := st.Mol[i]; m != 0 {
+			st.Pos[i] = st.Pos[i].Add(shifts[m])
+		}
+	}
+}
+
+// ComputeThermo evaluates the current global thermodynamic state.
+func (s *Simulation) ComputeThermo() Thermo {
+	ke := s.backend.ReduceScalar(compute.KineticEnergy(s.Store, s.Cfg.Mass, s.Cfg.Units))
+	pe := s.backend.ReduceScalar(s.LastPE)
+	vir := s.backend.ReduceScalar(s.LastVirial)
+	n := s.backend.NGlobal(s)
+	t := compute.Temperature(ke, n, s.Cfg.Units)
+	p := compute.Pressure(ke, vir, s.Box.Volume())
+	return Thermo{
+		Step:        s.Step,
+		Temperature: t,
+		Pressure:    p,
+		PotEnergy:   pe,
+		KinEnergy:   ke,
+		TotalEnergy: pe + ke,
+		Volume:      s.Box.Volume(),
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import "time"
+
+// Task enumerates the computational tasks of a LAMMPS timestep exactly as
+// the paper's Table 1 does; every piece of per-step work and wall time in
+// the engine is attributed to one of them.
+type Task int
+
+const (
+	// TaskPair is the computation of pairwise potentials (step V).
+	TaskPair Task = iota
+	// TaskBond is the computation of bonded forces (step VII).
+	TaskBond
+	// TaskKspace is the computation of long-range interaction forces
+	// (step VI).
+	TaskKspace
+	// TaskNeigh is neighbor list construction (step III).
+	TaskNeigh
+	// TaskComm is inter-processor communication of atoms and their
+	// properties (step IV).
+	TaskComm
+	// TaskModify is fixes and computes invoked by fixes (step II).
+	TaskModify
+	// TaskOutput is output of thermodynamic info (step VIII).
+	TaskOutput
+	// TaskOther is all remaining bookkeeping.
+	TaskOther
+
+	// NumTasks is the number of task categories.
+	NumTasks
+)
+
+var taskNames = [NumTasks]string{
+	"Pair", "Bond", "Kspace", "Neigh", "Comm", "Modify", "Output", "Other",
+}
+
+// String implements fmt.Stringer.
+func (t Task) String() string {
+	if t >= 0 && t < NumTasks {
+		return taskNames[t]
+	}
+	return "Task(?)"
+}
+
+// Tasks lists all task categories in Table 1 order.
+func Tasks() []Task {
+	out := make([]Task, NumTasks)
+	for i := range out {
+		out[i] = Task(i)
+	}
+	return out
+}
+
+// TaskTimes accumulates wall time per task.
+type TaskTimes [NumTasks]time.Duration
+
+// Total returns the summed wall time.
+func (t *TaskTimes) Total() time.Duration {
+	var sum time.Duration
+	for _, d := range t {
+		sum += d
+	}
+	return sum
+}
+
+// Fraction returns the share of task k of the total (0 when empty).
+func (t *TaskTimes) Fraction(k Task) float64 {
+	tot := t.Total()
+	if tot == 0 {
+		return 0
+	}
+	return float64(t[k]) / float64(tot)
+}
+
+// Counters aggregates the operation counts the engine meters; the
+// performance model converts them into platform time (see perfmodel).
+type Counters struct {
+	Steps int64
+
+	// Pair task.
+	PairOps int64 // in-cutoff pair kernel evaluations
+
+	// Bond task.
+	BondTerms int64 // bond + angle terms evaluated
+
+	// Kspace task.
+	KspaceSpreadOps int64
+	KspaceInterpOps int64
+	KspaceMapOps    int64
+	KspaceFFTOps    int64
+	KspaceGridOps   int64
+	KspaceGridPts   int64
+
+	// Neigh task.
+	NeighBuilds int64
+	NeighPairs  int64 // pairs stored across builds
+	NeighChecks int64 // candidate distance checks across builds
+
+	// Comm task (filled by the communication backend). Halo and
+	// migration traffic only; the k-space mesh reduction is metered
+	// separately because LAMMPS files FFT communication under Kspace.
+	CommMsgs      int64
+	CommBytes     int64
+	GhostAtoms    int64 // ghost entries refreshed per step, accumulated
+	MigratedAtoms int64
+
+	// Kspace mesh communication (replicated-mesh reduction in the
+	// engine; priced as distributed-FFT transposes by the model).
+	KspaceCommMsgs  int64
+	KspaceCommBytes int64
+
+	// Modify task.
+	ModifyOps int64
+
+	// Output task.
+	ThermoEvals int64
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o Counters) {
+	c.Steps += o.Steps
+	c.PairOps += o.PairOps
+	c.BondTerms += o.BondTerms
+	c.KspaceSpreadOps += o.KspaceSpreadOps
+	c.KspaceInterpOps += o.KspaceInterpOps
+	c.KspaceMapOps += o.KspaceMapOps
+	c.KspaceFFTOps += o.KspaceFFTOps
+	c.KspaceGridOps += o.KspaceGridOps
+	c.KspaceGridPts += o.KspaceGridPts
+	c.NeighBuilds += o.NeighBuilds
+	c.NeighPairs += o.NeighPairs
+	c.NeighChecks += o.NeighChecks
+	c.CommMsgs += o.CommMsgs
+	c.CommBytes += o.CommBytes
+	c.KspaceCommMsgs += o.KspaceCommMsgs
+	c.KspaceCommBytes += o.KspaceCommBytes
+	c.GhostAtoms += o.GhostAtoms
+	c.MigratedAtoms += o.MigratedAtoms
+	c.ModifyOps += o.ModifyOps
+	c.ThermoEvals += o.ThermoEvals
+}

@@ -1,0 +1,415 @@
+package domain
+
+import (
+	"fmt"
+
+	"gomd/internal/atom"
+	"gomd/internal/core"
+	"gomd/internal/mpi"
+	"gomd/internal/vec"
+)
+
+// historyCarrier is implemented by pair styles with per-contact state
+// that must migrate with atoms (the granular style).
+type historyCarrier interface {
+	ExtractHistory(tag int64) map[int64]vec.V3
+	InjectHistory(tag int64, h map[int64]vec.V3)
+}
+
+// Message tags. Each (purpose, dim, dir) triple gets a distinct tag so
+// out-of-order delivery across stages is unambiguous.
+const (
+	tagMigrate = 100
+	tagGhost   = 200
+	tagFwd     = 300
+	tagRev     = 400
+	tagScalar  = 500
+)
+
+func stageTag(base, dim, dir int) int { return base + 10*dim + dir }
+
+// migrant is one atom in flight between owners.
+type migrant struct {
+	Atom    atom.Atom
+	History map[int64]vec.V3
+}
+
+// Backend implements core.Backend over the mpi runtime for one rank of
+// the brick decomposition.
+type Backend struct {
+	comm    *mpi.Comm
+	grid    [3]int
+	coord   [3]int
+	nglobal int
+
+	// Halo bookkeeping, rebuilt on every Rebuild: per dimension and
+	// direction (0: +d, 1: -d), the local indices whose state is sent,
+	// the periodic shift applied, and the ghost slot range received.
+	sendIdx   [3][2][]int32
+	sendShift [3][2]vec.V3
+	recvStart [3][2]int
+	recvCount [3][2]int
+}
+
+// neighborRank returns the rank one step along dim in direction dir
+// (0:+, 1:-), or -1 at a non-periodic boundary.
+func (b *Backend) neighborRank(s *core.Simulation, dim, dir int) int {
+	c := b.coord
+	step := 1
+	if dir == 1 {
+		step = -1
+	}
+	n := c[dim] + step
+	if n < 0 || n >= b.grid[dim] {
+		if !s.Box.Periodic[dim] {
+			return -1
+		}
+		n = (n + b.grid[dim]) % b.grid[dim]
+	}
+	cc := c
+	cc[dim] = n
+	return cc[0] + b.grid[0]*(cc[1]+b.grid[1]*cc[2])
+}
+
+// subBounds returns this rank's sub-domain box under the current global
+// box (which the NPT barostat may have rescaled).
+func (b *Backend) subBounds(s *core.Simulation) (lo, hi vec.V3) {
+	l := s.Box.Lengths()
+	for d := 0; d < 3; d++ {
+		step := l.Component(d) / float64(b.grid[d])
+		lo = lo.WithComponent(d, s.Box.Lo.Component(d)+step*float64(b.coord[d]))
+		hi = hi.WithComponent(d, s.Box.Lo.Component(d)+step*float64(b.coord[d]+1))
+	}
+	return lo, hi
+}
+
+// Setup implements core.Backend.
+func (b *Backend) Setup(s *core.Simulation) {
+	// Global count fixed at construction; establish the initial halo.
+	b.Rebuild(s)
+}
+
+// Rebuild implements core.Backend: wrap, migrate, rebuild ghosts.
+func (b *Backend) Rebuild(s *core.Simulation) {
+	st := s.Store
+	st.ClearGhosts()
+	s.WrapOwned()
+	b.migrate(s)
+	b.buildGhosts(s)
+}
+
+// exchange is Sendrecv that tolerates missing partners at non-periodic
+// boundaries: dst/src may be -1 independently (a rank at the top of a
+// slab box still receives from below even though it sends nothing up).
+// Returns nil when there is no source.
+func (b *Backend) exchange(dst int, sdata any, sbytes, src, tag int) any {
+	switch {
+	case dst >= 0 && src >= 0:
+		return b.comm.Sendrecv(dst, sdata, sbytes, src, tag)
+	case dst >= 0:
+		b.comm.Send(dst, tag, sdata, sbytes)
+		return nil
+	case src >= 0:
+		return b.comm.Recv(src, tag)
+	default:
+		return nil
+	}
+}
+
+// migrate moves atoms (or whole molecules) whose owner changed, staged
+// one dimension at a time so diagonal moves relay through edge ranks.
+func (b *Backend) migrate(s *core.Simulation) {
+	st := s.Store
+	hc, _ := s.Cfg.Pair.(historyCarrier)
+	for d := 0; d < 3; d++ {
+		if b.grid[d] == 1 {
+			continue
+		}
+		anchor := b.ownedAnchors(s)
+		var out [2][]migrant
+		// Collect departures (descending index so Remove is stable).
+		for i := st.N - 1; i >= 0; i-- {
+			p, _ := s.Box.Wrap(anchor[i])
+			t := s.Box.Owner(p, b.grid[0], b.grid[1], b.grid[2])[d]
+			delta := t - b.coord[d]
+			if delta == 0 {
+				continue
+			}
+			// Shortest signed hop on the periodic ring.
+			if delta > b.grid[d]/2 {
+				delta -= b.grid[d]
+			} else if delta < -b.grid[d]/2 {
+				delta += b.grid[d]
+			}
+			dir := 0
+			if delta < 0 {
+				dir = 1
+			}
+			if delta > 1 || delta < -1 {
+				panic(fmt.Sprintf("domain: atom tag %d moved %d sub-domains in one rebuild", st.Tag[i], delta))
+			}
+			m := migrant{Atom: st.Extract(i)}
+			if hc != nil {
+				m.History = hc.ExtractHistory(st.Tag[i])
+			}
+			out[dir] = append(out[dir], m)
+			st.Remove(i)
+		}
+		for dir := 0; dir < 2; dir++ {
+			nb := b.neighborRank(s, d, dir)
+			from := b.neighborRank(s, d, 1-dir)
+			if nb < 0 && len(out[dir]) > 0 {
+				panic("domain: migration across non-periodic boundary")
+			}
+			if nb < 0 && from < 0 {
+				continue
+			}
+			bytes := migrantBytes(out[dir])
+			in := b.exchange(nb, out[dir], bytes, from, stageTag(tagMigrate, d, dir))
+			s.Counters.CommMsgs++
+			s.Counters.CommBytes += int64(bytes)
+			if in == nil {
+				continue
+			}
+			for _, m := range in.([]migrant) {
+				st.Add(m.Atom)
+				s.Counters.MigratedAtoms++
+				if hc != nil && m.History != nil {
+					hc.InjectHistory(m.Atom.Tag, m.History)
+				}
+			}
+		}
+	}
+}
+
+// ownedAnchors mirrors anchorPositions for the rank-local store.
+func (b *Backend) ownedAnchors(s *core.Simulation) []vec.V3 {
+	st := s.Store
+	if !s.Cfg.ClusterMigrate {
+		return st.Pos[:st.N]
+	}
+	return anchorPositions(st, true, s.Box)
+}
+
+// migrantBytes models the wire size of a migration payload.
+func migrantBytes(ms []migrant) int {
+	bytes := 0
+	for _, m := range ms {
+		bytes += 9 * 8 // tag,type,mol,q,pos3,vel... packed doubles
+		bytes += 16 * (len(m.Atom.Bonds) + len(m.Atom.Angles) + len(m.Atom.Special))
+		bytes += 28 * len(m.Atom.Dihedrals)
+		bytes += 32 * len(m.History)
+	}
+	return bytes
+}
+
+// buildGhosts runs the staged halo exchange, recording send lists so the
+// per-step forward/reverse passes can reuse them.
+func (b *Backend) buildGhosts(s *core.Simulation) {
+	st := s.Store
+	cut := s.GhostCutoff()
+	lo, hi := b.subBounds(s)
+	l := s.Box.Lengths()
+
+	for d := 0; d < 3; d++ {
+		// Candidates for this dimension: owned atoms plus ghosts from
+		// previous dimensions only. Including same-dimension ghosts
+		// would re-wrap periodic images onto their originals.
+		total := st.Total()
+		for dir := 0; dir < 2; dir++ {
+			b.sendIdx[d][dir] = b.sendIdx[d][dir][:0]
+			b.recvCount[d][dir] = 0
+			nb := b.neighborRank(s, d, dir)
+			from := b.neighborRank(s, d, 1-dir)
+			if nb < 0 && from < 0 {
+				continue
+			}
+			// Owned atoms and ghosts from earlier stages within cut of
+			// this face.
+			var bound float64
+			if dir == 0 {
+				bound = hi.Component(d) - cut
+			} else {
+				bound = lo.Component(d) + cut
+			}
+			shift := vec.V3{}
+			crossing := (dir == 0 && b.coord[d] == b.grid[d]-1) ||
+				(dir == 1 && b.coord[d] == 0)
+			if crossing {
+				sign := -1.0
+				if dir == 1 {
+					sign = 1.0
+				}
+				shift = shift.WithComponent(d, sign*l.Component(d))
+			}
+			ghosts := make([]atom.Ghost, 0, 64)
+			if nb >= 0 {
+				for i := 0; i < total; i++ {
+					c := st.Pos[i].Component(d)
+					if (dir == 0 && c > bound) || (dir == 1 && c < bound) {
+						b.sendIdx[d][dir] = append(b.sendIdx[d][dir], int32(i))
+						ghosts = append(ghosts, atom.Ghost{
+							Tag:    st.Tag[i],
+							Type:   st.Type[i],
+							Pos:    st.Pos[i].Add(shift),
+							Charge: st.Charge[i],
+							Vel:    st.Vel[i],
+						})
+					}
+				}
+			}
+			b.sendShift[d][dir] = shift
+
+			bytes := 9 * 8 * len(ghosts)
+			in := b.exchange(nb, ghosts, bytes, from, stageTag(tagGhost, d, dir))
+			s.Counters.CommMsgs++
+			s.Counters.CommBytes += int64(bytes)
+			b.recvStart[d][dir] = st.Total()
+			if in != nil {
+				inGhosts := in.([]atom.Ghost)
+				b.recvCount[d][dir] = len(inGhosts)
+				for _, g := range inGhosts {
+					st.AddGhost(g)
+				}
+				s.Counters.GhostAtoms += int64(len(inGhosts))
+			}
+		}
+	}
+}
+
+// ForwardPositions implements core.Backend: refresh ghost positions and
+// velocities along the recorded halo routes.
+func (b *Backend) ForwardPositions(s *core.Simulation) {
+	st := s.Store
+	for d := 0; d < 3; d++ {
+		for dir := 0; dir < 2; dir++ {
+			nb := b.neighborRank(s, d, dir)
+			from := b.neighborRank(s, d, 1-dir)
+			if nb < 0 && from < 0 {
+				continue
+			}
+			idxs := b.sendIdx[d][dir]
+			shift := b.sendShift[d][dir]
+			buf := make([]float64, 6*len(idxs))
+			for k, i := range idxs {
+				p := st.Pos[i].Add(shift)
+				v := st.Vel[i]
+				buf[6*k], buf[6*k+1], buf[6*k+2] = p.X, p.Y, p.Z
+				buf[6*k+3], buf[6*k+4], buf[6*k+5] = v.X, v.Y, v.Z
+			}
+			got := b.exchange(nb, buf, -1, from, stageTag(tagFwd, d, dir))
+			s.Counters.CommMsgs++
+			s.Counters.CommBytes += int64(8 * len(buf))
+			if got == nil {
+				continue
+			}
+			in := got.([]float64)
+			// The ghosts received in buildGhosts from `from` during this
+			// stage occupy recvStart[d][dir]..+recvCount.
+			base := b.recvStart[d][dir]
+			for k := 0; k < len(in)/6; k++ {
+				st.Pos[base+k] = vec.New(in[6*k], in[6*k+1], in[6*k+2])
+				st.Vel[base+k] = vec.New(in[6*k+3], in[6*k+4], in[6*k+5])
+			}
+		}
+	}
+	s.Counters.GhostAtoms += int64(st.Nghost)
+}
+
+// ReverseForces implements core.Backend: fold ghost forces back to their
+// owners, traversing stages in reverse so relayed (corner) contributions
+// propagate fully.
+func (b *Backend) ReverseForces(s *core.Simulation) {
+	st := s.Store
+	for d := 2; d >= 0; d-- {
+		for dir := 1; dir >= 0; dir-- {
+			nb := b.neighborRank(s, d, dir)
+			from := b.neighborRank(s, d, 1-dir)
+			if nb < 0 && from < 0 {
+				continue
+			}
+			// Send back the forces accumulated on ghosts we received in
+			// this stage; receive the forces for atoms we sent.
+			base := b.recvStart[d][dir]
+			cnt := b.recvCount[d][dir]
+			buf := make([]float64, 3*cnt)
+			for k := 0; k < cnt; k++ {
+				f := st.Force[base+k]
+				buf[3*k], buf[3*k+1], buf[3*k+2] = f.X, f.Y, f.Z
+				st.Force[base+k] = vec.V3{}
+			}
+			// Reverse routing: this stage's ghosts came FROM the 1-dir
+			// neighbor; return them there, and receive from nb the
+			// forces of the atoms we sent to it.
+			got := b.exchange(from, buf, -1, nb, stageTag(tagRev, d, dir))
+			s.Counters.CommMsgs++
+			s.Counters.CommBytes += int64(8 * len(buf))
+			if got == nil {
+				continue
+			}
+			in := got.([]float64)
+			idxs := b.sendIdx[d][dir]
+			for k, i := range idxs {
+				st.Force[i] = st.Force[i].Add(vec.New(in[3*k], in[3*k+1], in[3*k+2]))
+			}
+		}
+	}
+}
+
+// ForwardScalar implements core.Backend: per-atom scalar halo refresh
+// (EAM electron densities and embedding derivatives).
+func (b *Backend) ForwardScalar(s *core.Simulation, bufAll []float64) {
+	st := s.Store
+	_ = st
+	for d := 0; d < 3; d++ {
+		for dir := 0; dir < 2; dir++ {
+			nb := b.neighborRank(s, d, dir)
+			from := b.neighborRank(s, d, 1-dir)
+			if nb < 0 && from < 0 {
+				continue
+			}
+			idxs := b.sendIdx[d][dir]
+			buf := make([]float64, len(idxs))
+			for k, i := range idxs {
+				buf[k] = bufAll[i]
+			}
+			got := b.exchange(nb, buf, -1, from, stageTag(tagScalar, d, dir))
+			s.Counters.CommMsgs++
+			s.Counters.CommBytes += int64(8 * len(buf))
+			if got == nil {
+				continue
+			}
+			in := got.([]float64)
+			base := b.recvStart[d][dir]
+			copy(bufAll[base:base+len(in)], in)
+		}
+	}
+}
+
+// ReduceScalar implements core.Backend.
+func (b *Backend) ReduceScalar(v float64) float64 { return b.comm.AllreduceScalar(v) }
+
+// ReduceBool implements core.Backend.
+func (b *Backend) ReduceBool(v bool) bool {
+	x := 0.0
+	if v {
+		x = 1
+	}
+	return b.comm.AllreduceMax(x) > 0.5
+}
+
+// GridReducer implements core.Backend: PPPM's replicated mesh is summed
+// element-wise across ranks.
+func (b *Backend) GridReducer(s *core.Simulation) func([]float64) {
+	return func(grid []float64) {
+		b.comm.Allreduce(grid)
+		s.Counters.KspaceCommMsgs++
+		s.Counters.KspaceCommBytes += int64(8 * len(grid))
+	}
+}
+
+// NGlobal implements core.Backend.
+func (b *Backend) NGlobal(*core.Simulation) int { return b.nglobal }
+
+// Size implements core.Backend.
+func (b *Backend) Size() int { return b.comm.Size() }

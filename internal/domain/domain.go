@@ -1,0 +1,224 @@
+// Package domain implements the spatial domain decomposition of the
+// engine (§2.2 of the paper): the simulation box is split into a brick
+// grid of sub-domains, one per MPI rank; each rank integrates its own
+// atoms, exchanges halo ("ghost") atoms with its six spatial neighbors in
+// the staged x/y/z pattern LAMMPS uses, migrates atoms whose owner
+// changed, and participates in the global reductions (thermo, PPPM mesh).
+//
+// Communication runs on the instrumented runtime of internal/mpi, so a
+// decomposed run yields both a physically correct trajectory (validated
+// against the serial engine) and the per-rank, per-MPI-function profile
+// behind the paper's Figures 4, 5, 12, and 14.
+package domain
+
+import (
+	"fmt"
+	"math"
+
+	"gomd/internal/atom"
+	"gomd/internal/box"
+	"gomd/internal/core"
+	"gomd/internal/mpi"
+	"gomd/internal/vec"
+)
+
+// Factory builds one instance of the simulation input. It is invoked
+// once for the global atom population and once per rank for fresh style
+// instances (pair styles, kspace solvers, and fixes carry per-rank
+// mutable state and must not be shared).
+type Factory func() (core.Config, *atom.Store, error)
+
+// Engine is a decomposed simulation: one core.Simulation per rank over a
+// shared message-passing world.
+type Engine struct {
+	World *mpi.World
+	Sims  []*core.Simulation
+	Grid  [3]int
+
+	nglobal int
+}
+
+// ChooseGrid factors nranks into a px × py × pz grid minimizing the
+// total sub-domain surface area for the given box, like LAMMPS' procmap.
+// Non-periodic dimensions are not cut more than necessary.
+func ChooseGrid(bx box.Box, nranks int) [3]int {
+	l := bx.Lengths()
+	best := [3]int{nranks, 1, 1}
+	bestCost := math.Inf(1)
+	for px := 1; px <= nranks; px++ {
+		if nranks%px != 0 {
+			continue
+		}
+		rem := nranks / px
+		for py := 1; py <= rem; py++ {
+			if rem%py != 0 {
+				continue
+			}
+			pz := rem / py
+			sx := l.X / float64(px)
+			sy := l.Y / float64(py)
+			sz := l.Z / float64(pz)
+			cost := sx*sy + sy*sz + sx*sz
+			// Penalize cutting non-periodic dimensions (chute's z).
+			if !bx.Periodic[2] && pz > 1 {
+				cost *= 1.5
+			}
+			if cost < bestCost {
+				bestCost = cost
+				best = [3]int{px, py, pz}
+			}
+		}
+	}
+	return best
+}
+
+// New builds a decomposed engine with nranks ranks.
+func New(factory Factory, nranks int) (*Engine, error) {
+	cfg, global, err := factory()
+	if err != nil {
+		return nil, err
+	}
+	grid := ChooseGrid(cfg.Box, nranks)
+	subs := cfg.Box.Decompose(grid[0], grid[1], grid[2])
+
+	// Sub-domain extents must cover the interaction range for the
+	// single-swap halo exchange.
+	cut := cfg.Pair.Cutoff() + cfg.Skin
+	if cfg.GhostCutoff > cut {
+		cut = cfg.GhostCutoff
+	}
+	for d := 0; d < 3; d++ {
+		if grid[d] > 1 && cfg.Box.Lengths().Component(d)/float64(grid[d]) < cut {
+			return nil, fmt.Errorf(
+				"domain: %d ranks give sub-domain %.3g < interaction range %.3g along dim %d",
+				nranks, cfg.Box.Lengths().Component(d)/float64(grid[d]), cut, d)
+		}
+	}
+
+	// Partition atoms by (cluster-anchor) position.
+	stores := make([]*atom.Store, nranks)
+	for r := range stores {
+		stores[r] = atom.New(global.N/nranks + 16)
+	}
+	anchor := anchorPositions(global, cfg.ClusterMigrate, cfg.Box)
+	for i := 0; i < global.N; i++ {
+		p, _ := cfg.Box.Wrap(anchor[i])
+		c := cfg.Box.Owner(p, grid[0], grid[1], grid[2])
+		r := c[0] + grid[0]*(c[1]+grid[1]*c[2])
+		stores[r].Add(global.Extract(i))
+	}
+
+	world := mpi.NewWorld(nranks)
+	e := &Engine{World: world, Sims: make([]*core.Simulation, nranks), Grid: grid, nglobal: global.N}
+
+	// Per-rank configs need fresh style instances.
+	cfgs := make([]core.Config, nranks)
+	cfgs[0] = cfg
+	for r := 1; r < nranks; r++ {
+		c2, _, err := factory()
+		if err != nil {
+			return nil, err
+		}
+		cfgs[r] = c2
+	}
+	// Decorrelate per-rank RNG streams (Langevin noise, velocity init).
+	for r := range cfgs {
+		cfgs[r].Seed = cfg.Seed + uint64(r)*0x9e3779b9
+	}
+
+	errs := make([]error, nranks)
+	world.Parallel(func(c *mpi.Comm) {
+		r := c.Rank()
+		be := &Backend{
+			comm:    c,
+			grid:    grid,
+			coord:   subs[r].Coord,
+			nglobal: global.N,
+		}
+		defer func() {
+			if rec := recover(); rec != nil {
+				errs[r] = fmt.Errorf("rank %d: %v", r, rec)
+			}
+		}()
+		e.Sims[r] = core.NewWithBackend(cfgs[r], stores[r], be)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// anchorPositions returns, per atom, the position used for ownership:
+// its own position, or its molecule anchor's (lowest-tag member) when
+// cluster migration is on.
+func anchorPositions(st *atom.Store, cluster bool, bx box.Box) []vec.V3 {
+	out := make([]vec.V3, st.N)
+	if !cluster {
+		copy(out, st.Pos[:st.N])
+		return out
+	}
+	type anch struct {
+		tag int64
+		pos vec.V3
+	}
+	anchors := make(map[int32]anch)
+	for i := 0; i < st.N; i++ {
+		m := st.Mol[i]
+		if m == 0 {
+			continue
+		}
+		a, ok := anchors[m]
+		if !ok || st.Tag[i] < a.tag {
+			anchors[m] = anch{st.Tag[i], st.Pos[i]}
+		}
+	}
+	for i := 0; i < st.N; i++ {
+		if m := st.Mol[i]; m != 0 {
+			out[i] = anchors[m].pos
+		} else {
+			out[i] = st.Pos[i]
+		}
+	}
+	return out
+}
+
+// Run advances all ranks by n steps in parallel.
+func (e *Engine) Run(n int) {
+	e.World.Parallel(func(c *mpi.Comm) {
+		e.Sims[c.Rank()].Run(n)
+	})
+}
+
+// Thermo computes the current global thermodynamic state (identical on
+// every rank; rank 0's copy is returned).
+func (e *Engine) Thermo() core.Thermo {
+	out := make([]core.Thermo, e.World.Size)
+	e.World.Parallel(func(c *mpi.Comm) {
+		out[c.Rank()] = e.Sims[c.Rank()].ComputeThermo()
+	})
+	return out[0]
+}
+
+// NGlobal returns the global atom count.
+func (e *Engine) NGlobal() int { return e.nglobal }
+
+// Counters sums engine counters across ranks.
+func (e *Engine) Counters() core.Counters {
+	var out core.Counters
+	for _, s := range e.Sims {
+		out.Add(s.Counters)
+	}
+	out.Steps = e.Sims[0].Counters.Steps
+	return out
+}
+
+// MPIStats returns per-rank MPI profiles.
+func (e *Engine) MPIStats() []mpi.Stats {
+	out := make([]mpi.Stats, e.World.Size)
+	for r := range out {
+		out[r] = e.World.Comm(r).Stats
+	}
+	return out
+}

@@ -1,0 +1,343 @@
+package dump
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"gomd/internal/atom"
+	"gomd/internal/box"
+	"gomd/internal/vec"
+)
+
+// DataFile is the parsed content of a LAMMPS data file (atom_style
+// full): box, per-type masses, atoms with charges and molecule ids, and
+// bond/angle/dihedral topology.
+type DataFile struct {
+	Box       box.Box
+	Masses    []float64 // per type, index = type-1
+	Atoms     []atom.Atom
+	NumBonds  int
+	NumAngles int
+}
+
+// WriteData serializes a store in LAMMPS data-file format (atom_style
+// full), the interchange format of the LAMMPS ecosystem's topology tools.
+func WriteData(w io.Writer, st *atom.Store, bx box.Box, masses []float64) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "LAMMPS data file via gomd")
+	fmt.Fprintln(bw)
+
+	nbonds, nangles, ndihedrals := 0, 0, 0
+	maxBondT, maxAngleT, maxDihedT := 0, 0, 0
+	for i := 0; i < st.N; i++ {
+		nbonds += len(st.Bonds[i])
+		nangles += len(st.Angles[i])
+		ndihedrals += len(st.Dihedrals[i])
+		for _, b := range st.Bonds[i] {
+			if int(b.Type) > maxBondT {
+				maxBondT = int(b.Type)
+			}
+		}
+		for _, a := range st.Angles[i] {
+			if int(a.Type) > maxAngleT {
+				maxAngleT = int(a.Type)
+			}
+		}
+		for _, d := range st.Dihedrals[i] {
+			if int(d.Type) > maxDihedT {
+				maxDihedT = int(d.Type)
+			}
+		}
+	}
+	fmt.Fprintf(bw, "%d atoms\n", st.N)
+	fmt.Fprintf(bw, "%d bonds\n", nbonds)
+	fmt.Fprintf(bw, "%d angles\n", nangles)
+	fmt.Fprintf(bw, "%d dihedrals\n", ndihedrals)
+	fmt.Fprintf(bw, "%d atom types\n", len(masses))
+	if maxBondT > 0 {
+		fmt.Fprintf(bw, "%d bond types\n", maxBondT)
+	}
+	if maxAngleT > 0 {
+		fmt.Fprintf(bw, "%d angle types\n", maxAngleT)
+	}
+	if maxDihedT > 0 {
+		fmt.Fprintf(bw, "%d dihedral types\n", maxDihedT)
+	}
+	fmt.Fprintln(bw)
+	fmt.Fprintf(bw, "%g %g xlo xhi\n", bx.Lo.X, bx.Hi.X)
+	fmt.Fprintf(bw, "%g %g ylo yhi\n", bx.Lo.Y, bx.Hi.Y)
+	fmt.Fprintf(bw, "%g %g zlo zhi\n", bx.Lo.Z, bx.Hi.Z)
+
+	fmt.Fprint(bw, "\nMasses\n\n")
+	for t, m := range masses {
+		fmt.Fprintf(bw, "%d %g\n", t+1, m)
+	}
+
+	fmt.Fprint(bw, "\nAtoms # full\n\n")
+	for i := 0; i < st.N; i++ {
+		p := st.Pos[i]
+		fmt.Fprintf(bw, "%d %d %d %g %.10g %.10g %.10g\n",
+			st.Tag[i], st.Mol[i], st.Type[i], st.Charge[i], p.X, p.Y, p.Z)
+	}
+
+	fmt.Fprint(bw, "\nVelocities\n\n")
+	for i := 0; i < st.N; i++ {
+		v := st.Vel[i]
+		fmt.Fprintf(bw, "%d %.10g %.10g %.10g\n", st.Tag[i], v.X, v.Y, v.Z)
+	}
+
+	if nbonds > 0 {
+		fmt.Fprint(bw, "\nBonds\n\n")
+		id := 0
+		for i := 0; i < st.N; i++ {
+			for _, b := range st.Bonds[i] {
+				id++
+				fmt.Fprintf(bw, "%d %d %d %d\n", id, b.Type, st.Tag[i], b.Partner)
+			}
+		}
+	}
+	if nangles > 0 {
+		fmt.Fprint(bw, "\nAngles\n\n")
+		id := 0
+		for i := 0; i < st.N; i++ {
+			for _, a := range st.Angles[i] {
+				id++
+				fmt.Fprintf(bw, "%d %d %d %d %d\n", id, a.Type, a.A, st.Tag[i], a.C)
+			}
+		}
+	}
+	if ndihedrals > 0 {
+		fmt.Fprint(bw, "\nDihedrals\n\n")
+		id := 0
+		for i := 0; i < st.N; i++ {
+			for _, d := range st.Dihedrals[i] {
+				id++
+				fmt.Fprintf(bw, "%d %d %d %d %d %d\n", id, d.Type, d.A, st.Tag[i], d.C, d.D)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadData parses a LAMMPS data file (atom_style full or atomic).
+// Topology is attached per gomd's ownership conventions: bonds to the
+// lower-tag end, angles and dihedrals to their second atom; 1-2 special
+// exclusions are derived from the bond list.
+func ReadData(r io.Reader) (*DataFile, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	df := &DataFile{}
+	byTag := map[int64]*atom.Atom{}
+	var order []int64
+	natoms, nbonds, nangles, ndihedrals, ntypes := 0, 0, 0, 0, 0
+
+	// First line is a comment.
+	if !sc.Scan() {
+		return nil, fmt.Errorf("dump: empty data file")
+	}
+	section := ""
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		f := strings.Fields(line)
+
+		// Header entries.
+		if section == "" || isHeaderLine(f) {
+			switch {
+			case len(f) == 2 && f[1] == "atoms":
+				natoms, _ = strconv.Atoi(f[0])
+				continue
+			case len(f) == 2 && f[1] == "bonds":
+				nbonds, _ = strconv.Atoi(f[0])
+				continue
+			case len(f) == 2 && f[1] == "angles":
+				nangles, _ = strconv.Atoi(f[0])
+				continue
+			case len(f) == 2 && f[1] == "dihedrals":
+				ndihedrals, _ = strconv.Atoi(f[0])
+				continue
+			case len(f) == 3 && f[1] == "atom" && f[2] == "types":
+				ntypes, _ = strconv.Atoi(f[0])
+				df.Masses = make([]float64, ntypes)
+				continue
+			case len(f) >= 3 && (f[2] == "types"):
+				continue // bond/angle/dihedral types counts
+			case len(f) == 4 && f[2] == "xlo":
+				df.Box.Lo.X, _ = strconv.ParseFloat(f[0], 64)
+				df.Box.Hi.X, _ = strconv.ParseFloat(f[1], 64)
+				continue
+			case len(f) == 4 && f[2] == "ylo":
+				df.Box.Lo.Y, _ = strconv.ParseFloat(f[0], 64)
+				df.Box.Hi.Y, _ = strconv.ParseFloat(f[1], 64)
+				continue
+			case len(f) == 4 && f[2] == "zlo":
+				df.Box.Lo.Z, _ = strconv.ParseFloat(f[0], 64)
+				df.Box.Hi.Z, _ = strconv.ParseFloat(f[1], 64)
+				continue
+			}
+		}
+
+		// Section markers.
+		switch f[0] {
+		case "Masses", "Atoms", "Velocities", "Bonds", "Angles", "Dihedrals":
+			section = f[0]
+			continue
+		}
+
+		switch section {
+		case "Masses":
+			t, err1 := strconv.Atoi(f[0])
+			m, err2 := strconv.ParseFloat(f[1], 64)
+			if err1 != nil || err2 != nil || t < 1 || t > ntypes {
+				return nil, fmt.Errorf("dump: bad mass line %d", lineNo)
+			}
+			df.Masses[t-1] = m
+		case "Atoms":
+			a, err := parseAtomLine(f)
+			if err != nil {
+				return nil, fmt.Errorf("dump: line %d: %w", lineNo, err)
+			}
+			byTag[a.Tag] = a
+			order = append(order, a.Tag)
+		case "Velocities":
+			if len(f) != 4 {
+				return nil, fmt.Errorf("dump: bad velocity line %d", lineNo)
+			}
+			tag, _ := strconv.ParseInt(f[0], 10, 64)
+			a, ok := byTag[tag]
+			if !ok {
+				return nil, fmt.Errorf("dump: velocity for unknown atom %d", tag)
+			}
+			a.Vel = vec.New(pf(f[1]), pf(f[2]), pf(f[3]))
+		case "Bonds":
+			if len(f) != 4 {
+				return nil, fmt.Errorf("dump: bad bond line %d", lineNo)
+			}
+			bt, _ := strconv.Atoi(f[1])
+			a1, _ := strconv.ParseInt(f[2], 10, 64)
+			a2, _ := strconv.ParseInt(f[3], 10, 64)
+			lo, hi := a1, a2
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			owner, ok := byTag[lo]
+			other, ok2 := byTag[hi]
+			if !ok || !ok2 {
+				return nil, fmt.Errorf("dump: bond references unknown atom at line %d", lineNo)
+			}
+			owner.Bonds = append(owner.Bonds, atom.BondRef{Type: int32(bt), Partner: hi})
+			owner.Special = append(owner.Special, atom.SpecialRef{Tag: hi, Kind: atom.Special12})
+			other.Special = append(other.Special, atom.SpecialRef{Tag: lo, Kind: atom.Special12})
+		case "Angles":
+			if len(f) != 5 {
+				return nil, fmt.Errorf("dump: bad angle line %d", lineNo)
+			}
+			at, _ := strconv.Atoi(f[1])
+			a1, _ := strconv.ParseInt(f[2], 10, 64)
+			a2, _ := strconv.ParseInt(f[3], 10, 64)
+			a3, _ := strconv.ParseInt(f[4], 10, 64)
+			vertex, ok := byTag[a2]
+			if !ok {
+				return nil, fmt.Errorf("dump: angle references unknown atom at line %d", lineNo)
+			}
+			vertex.Angles = append(vertex.Angles, atom.AngleRef{Type: int32(at), A: a1, C: a3})
+		case "Dihedrals":
+			if len(f) != 6 {
+				return nil, fmt.Errorf("dump: bad dihedral line %d", lineNo)
+			}
+			dt, _ := strconv.Atoi(f[1])
+			a1, _ := strconv.ParseInt(f[2], 10, 64)
+			a2, _ := strconv.ParseInt(f[3], 10, 64)
+			a3, _ := strconv.ParseInt(f[4], 10, 64)
+			a4, _ := strconv.ParseInt(f[5], 10, 64)
+			second, ok := byTag[a2]
+			if !ok {
+				return nil, fmt.Errorf("dump: dihedral references unknown atom at line %d", lineNo)
+			}
+			second.Dihedrals = append(second.Dihedrals, atom.DihedralRef{
+				Type: int32(dt), A: a1, C: a3, D: a4,
+			})
+		case "":
+			return nil, fmt.Errorf("dump: unparsed line %d: %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(order) != natoms {
+		return nil, fmt.Errorf("dump: header promises %d atoms, found %d", natoms, len(order))
+	}
+	df.Box.Periodic = [3]bool{true, true, true}
+	df.NumBonds = nbonds
+	df.NumAngles = nangles
+	_ = ndihedrals
+	for _, tag := range order {
+		df.Atoms = append(df.Atoms, *byTag[tag])
+	}
+	return df, nil
+}
+
+// Store materializes the data file into an atom store.
+func (df *DataFile) Store() *atom.Store {
+	st := atom.New(len(df.Atoms))
+	for _, a := range df.Atoms {
+		st.Add(a)
+	}
+	return st
+}
+
+// parseAtomLine handles "id mol type q x y z" (full) and "id type x y z"
+// (atomic).
+func parseAtomLine(f []string) (*atom.Atom, error) {
+	a := &atom.Atom{}
+	switch len(f) {
+	case 7: // full
+		a.Tag, _ = strconv.ParseInt(f[0], 10, 64)
+		mol, _ := strconv.Atoi(f[1])
+		typ, _ := strconv.Atoi(f[2])
+		a.Mol = int32(mol)
+		a.Type = int32(typ)
+		a.Charge = pf(f[3])
+		a.Pos = vec.New(pf(f[4]), pf(f[5]), pf(f[6]))
+	case 5: // atomic
+		a.Tag, _ = strconv.ParseInt(f[0], 10, 64)
+		typ, _ := strconv.Atoi(f[1])
+		a.Type = int32(typ)
+		a.Pos = vec.New(pf(f[2]), pf(f[3]), pf(f[4]))
+	default:
+		return nil, fmt.Errorf("unsupported atom line with %d fields", len(f))
+	}
+	if a.Tag <= 0 || a.Type <= 0 {
+		return nil, fmt.Errorf("bad atom ids in %v", f)
+	}
+	return a, nil
+}
+
+func pf(s string) float64 {
+	v, _ := strconv.ParseFloat(s, 64)
+	return v
+}
+
+// isHeaderLine distinguishes header counts/bounds from section bodies.
+func isHeaderLine(f []string) bool {
+	if len(f) < 2 {
+		return false
+	}
+	switch f[len(f)-1] {
+	case "atoms", "bonds", "angles", "dihedrals", "types", "xhi", "yhi", "zhi":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,196 @@
+package dump
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"gomd/internal/atom"
+	"gomd/internal/box"
+	"gomd/internal/vec"
+)
+
+// restartMagic identifies gomd restart files; the version gates format
+// evolution.
+const (
+	restartMagic   = 0x474f4d44 // "GOMD"
+	restartVersion = 1
+)
+
+// Restart is the state needed to resume a run: step, box, and the full
+// owned-atom population including topology.
+type Restart struct {
+	Step  int64
+	Box   box.Box
+	Atoms []atom.Atom
+}
+
+// Capture snapshots a store into a Restart.
+func Capture(st *atom.Store, bx box.Box, step int64) *Restart {
+	r := &Restart{Step: step, Box: bx, Atoms: make([]atom.Atom, st.N)}
+	for i := 0; i < st.N; i++ {
+		r.Atoms[i] = st.Extract(i)
+	}
+	return r
+}
+
+// Restore populates a fresh store from the restart.
+func (r *Restart) Restore() *atom.Store {
+	st := atom.New(len(r.Atoms))
+	for _, a := range r.Atoms {
+		st.Add(a)
+	}
+	return st
+}
+
+// WriteBinary serializes the restart (little-endian, versioned).
+func (r *Restart) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	le := binary.LittleEndian
+	wU32 := func(v uint32) { binary.Write(bw, le, v) }
+	wI64 := func(v int64) { binary.Write(bw, le, v) }
+	wF := func(v float64) { binary.Write(bw, le, v) }
+	wV := func(v vec.V3) { wF(v.X); wF(v.Y); wF(v.Z) }
+
+	wU32(restartMagic)
+	wU32(restartVersion)
+	wI64(r.Step)
+	wV(r.Box.Lo)
+	wV(r.Box.Hi)
+	for d := 0; d < 3; d++ {
+		p := uint32(0)
+		if r.Box.Periodic[d] {
+			p = 1
+		}
+		wU32(p)
+	}
+	wI64(int64(len(r.Atoms)))
+	for _, a := range r.Atoms {
+		wI64(a.Tag)
+		wU32(uint32(a.Type))
+		wU32(uint32(a.Mol))
+		wV(a.Pos)
+		wV(a.Vel)
+		wF(a.Charge)
+		wU32(uint32(len(a.Special)))
+		for _, s := range a.Special {
+			wI64(s.Tag)
+			wU32(uint32(s.Kind))
+		}
+		wU32(uint32(len(a.Bonds)))
+		for _, b := range a.Bonds {
+			wU32(uint32(b.Type))
+			wI64(b.Partner)
+		}
+		wU32(uint32(len(a.Angles)))
+		for _, an := range a.Angles {
+			wU32(uint32(an.Type))
+			wI64(an.A)
+			wI64(an.C)
+		}
+		wU32(uint32(len(a.Dihedrals)))
+		for _, d := range a.Dihedrals {
+			wU32(uint32(d.Type))
+			wI64(d.A)
+			wI64(d.C)
+			wI64(d.D)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a restart written by WriteBinary.
+func ReadBinary(rd io.Reader) (*Restart, error) {
+	br := bufio.NewReader(rd)
+	le := binary.LittleEndian
+	var err error
+	rU32 := func() uint32 {
+		var v uint32
+		if err == nil {
+			err = binary.Read(br, le, &v)
+		}
+		return v
+	}
+	rI64 := func() int64 {
+		var v int64
+		if err == nil {
+			err = binary.Read(br, le, &v)
+		}
+		return v
+	}
+	rF := func() float64 {
+		var v float64
+		if err == nil {
+			err = binary.Read(br, le, &v)
+		}
+		return v
+	}
+	rV := func() vec.V3 { return vec.New(rF(), rF(), rF()) }
+
+	if m := rU32(); err != nil || m != restartMagic {
+		if err == nil {
+			err = fmt.Errorf("dump: bad restart magic %#x", m)
+		}
+		return nil, err
+	}
+	if v := rU32(); err != nil || v != restartVersion {
+		if err == nil {
+			err = fmt.Errorf("dump: unsupported restart version %d", v)
+		}
+		return nil, err
+	}
+	out := &Restart{}
+	out.Step = rI64()
+	out.Box.Lo = rV()
+	out.Box.Hi = rV()
+	for d := 0; d < 3; d++ {
+		out.Box.Periodic[d] = rU32() == 1
+	}
+	n := rI64()
+	if err != nil {
+		return nil, err
+	}
+	if n < 0 || n > 1<<31 {
+		return nil, fmt.Errorf("dump: implausible atom count %d", n)
+	}
+	out.Atoms = make([]atom.Atom, 0, n)
+	for i := int64(0); i < n && err == nil; i++ {
+		var a atom.Atom
+		a.Tag = rI64()
+		a.Type = int32(rU32())
+		a.Mol = int32(rU32())
+		a.Pos = rV()
+		a.Vel = rV()
+		a.Charge = rF()
+		ns := rU32()
+		for k := uint32(0); k < ns && err == nil; k++ {
+			a.Special = append(a.Special, atom.SpecialRef{
+				Tag: rI64(), Kind: atom.SpecialKind(rU32()),
+			})
+		}
+		nb := rU32()
+		for k := uint32(0); k < nb && err == nil; k++ {
+			a.Bonds = append(a.Bonds, atom.BondRef{
+				Type: int32(rU32()), Partner: rI64(),
+			})
+		}
+		na := rU32()
+		for k := uint32(0); k < na && err == nil; k++ {
+			a.Angles = append(a.Angles, atom.AngleRef{
+				Type: int32(rU32()), A: rI64(), C: rI64(),
+			})
+		}
+		nd := rU32()
+		for k := uint32(0); k < nd && err == nil; k++ {
+			a.Dihedrals = append(a.Dihedrals, atom.DihedralRef{
+				Type: int32(rU32()), A: rI64(), C: rI64(), D: rI64(),
+			})
+		}
+		out.Atoms = append(out.Atoms, a)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("dump: truncated restart: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,109 @@
+// Package fix implements the "fixes" of the engine — operations applied
+// to atoms at fixed points of the timestep, mirroring the LAMMPS concept
+// the paper's Table 1 files under the Modify task: time integration (NVE,
+// NPT Nose-Hoover), thermostats (Langevin), constraints (SHAKE), and
+// external forcing (gravity, granular walls).
+//
+// The timestep invokes fixes in four phases:
+//
+//	InitialIntegrate -> (comm, neighbor, forces) -> PostForce ->
+//	FinalIntegrate -> EndOfStep
+package fix
+
+import (
+	"gomd/internal/atom"
+	"gomd/internal/box"
+	"gomd/internal/rng"
+	"gomd/internal/units"
+)
+
+// Context is the per-step state shared with fixes.
+type Context struct {
+	Store *atom.Store
+	Box   *box.Box
+	// Mass holds per-type masses, indexed by type-1.
+	Mass []float64
+	Dt   float64
+	U    units.System
+	RNG  *rng.Source
+	Step int64
+
+	// Thermodynamic feedback from the previous force evaluation,
+	// consumed by barostats/thermostats. Virial is the scalar sum r·f of
+	// all owned interactions; PotentialEnergy likewise.
+	Virial float64
+
+	// NAtomsGlobal is the total atom count across all ranks (temperature
+	// normalization must be global, not per-rank).
+	NAtomsGlobal int
+
+	// ReduceScalar, when non-nil, sums a value across ranks (decomposed
+	// runs). Serial runs leave it nil.
+	ReduceScalar func(float64) float64
+
+	// Ops accumulates the Modify-task work measure (per-atom fix
+	// operations), read by the performance model.
+	Ops int64
+}
+
+// Reduce applies the cross-rank scalar reduction if configured.
+func (c *Context) Reduce(v float64) float64 {
+	if c.ReduceScalar == nil {
+		return v
+	}
+	return c.ReduceScalar(v)
+}
+
+// KineticEnergy returns the kinetic energy of owned atoms (not reduced).
+func (c *Context) KineticEnergy() float64 {
+	st := c.Store
+	var ke float64
+	for i := 0; i < st.N; i++ {
+		m := c.Mass[st.Type[i]-1]
+		ke += 0.5 * c.U.MVV2E * m * st.Vel[i].Norm2()
+	}
+	return ke
+}
+
+// Temperature returns the instantaneous global temperature.
+func (c *Context) Temperature() float64 {
+	ke := c.Reduce(c.KineticEnergy())
+	dof := float64(3*c.NAtomsGlobal - 3)
+	if dof <= 0 {
+		return 0
+	}
+	return 2 * ke / (dof * c.U.Boltz)
+}
+
+// Pressure returns the instantaneous global pressure from the previous
+// force evaluation's virial.
+func (c *Context) Pressure() float64 {
+	ke := c.Reduce(c.KineticEnergy())
+	w := c.Reduce(c.Virial)
+	v := c.Box.Volume()
+	return (2*ke/3 + w/3) / v
+}
+
+// Fix is one timestep operation.
+type Fix interface {
+	Name() string
+	InitialIntegrate(*Context)
+	PostForce(*Context)
+	FinalIntegrate(*Context)
+	EndOfStep(*Context)
+}
+
+// Base is a no-op Fix for embedding.
+type Base struct{}
+
+// InitialIntegrate implements Fix.
+func (Base) InitialIntegrate(*Context) {}
+
+// PostForce implements Fix.
+func (Base) PostForce(*Context) {}
+
+// FinalIntegrate implements Fix.
+func (Base) FinalIntegrate(*Context) {}
+
+// EndOfStep implements Fix.
+func (Base) EndOfStep(*Context) {}

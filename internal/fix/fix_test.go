@@ -1,0 +1,302 @@
+package fix_test
+
+import (
+	"math"
+	"testing"
+
+	"gomd/internal/atom"
+	"gomd/internal/box"
+	"gomd/internal/fix"
+	"gomd/internal/rng"
+	"gomd/internal/units"
+	"gomd/internal/vec"
+)
+
+// ctx builds a fix context over a fresh store.
+func ctx(st *atom.Store, dt float64) *fix.Context {
+	bx := box.NewPeriodic(vec.V3{}, vec.Splat(50))
+	return &fix.Context{
+		Store:        st,
+		Box:          &bx,
+		Mass:         []float64{1, 2},
+		Dt:           dt,
+		U:            units.ForStyle(units.LJ),
+		RNG:          rng.New(5),
+		NAtomsGlobal: st.N,
+	}
+}
+
+func freeAtom(v vec.V3) *atom.Store {
+	st := atom.New(1)
+	st.Add(atom.Atom{Tag: 1, Type: 1, Pos: vec.New(25, 25, 25), Vel: v})
+	return st
+}
+
+// TestNVEFreeFlight: with zero force, positions advance linearly and
+// velocities stay constant.
+func TestNVEFreeFlight(t *testing.T) {
+	st := freeAtom(vec.New(1, -2, 0.5))
+	c := ctx(st, 0.01)
+	nve := &fix.NVE{}
+	for i := 0; i < 10; i++ {
+		nve.InitialIntegrate(c)
+		nve.FinalIntegrate(c)
+	}
+	want := vec.New(25, 25, 25).Add(vec.New(1, -2, 0.5).Scale(0.1))
+	if st.Pos[0].Sub(want).Norm() > 1e-12 {
+		t.Errorf("free flight: %v want %v", st.Pos[0], want)
+	}
+	if st.Vel[0] != vec.New(1, -2, 0.5) {
+		t.Errorf("velocity changed without force: %v", st.Vel[0])
+	}
+}
+
+// TestNVEHarmonicOscillator: velocity Verlet must conserve the energy of
+// x” = -x to O(dt^2) and track the analytic period.
+func TestNVEHarmonicOscillator(t *testing.T) {
+	st := freeAtom(vec.V3{})
+	st.Pos[0] = vec.New(26, 25, 25) // displaced 1 from the "spring" center
+	c := ctx(st, 0.01)
+	nve := &fix.NVE{}
+	force := func() {
+		st.Force[0] = vec.New(25, 25, 25).Sub(st.Pos[0]) // k = 1
+	}
+	force()
+	e0 := 0.5*st.Vel[0].Norm2() + 0.5*st.Pos[0].Sub(vec.New(25, 25, 25)).Norm2()
+	steps := int(math.Round(2 * math.Pi / 0.01)) // one period
+	for i := 0; i < steps; i++ {
+		nve.InitialIntegrate(c)
+		force()
+		nve.FinalIntegrate(c)
+	}
+	e1 := 0.5*st.Vel[0].Norm2() + 0.5*st.Pos[0].Sub(vec.New(25, 25, 25)).Norm2()
+	if math.Abs(e1-e0) > 1e-4 {
+		t.Errorf("oscillator energy drift: %v -> %v", e0, e1)
+	}
+	// After one period the displacement returns near +1.
+	if d := st.Pos[0].X - 26; math.Abs(d) > 0.01 {
+		t.Errorf("period error: x=%v", st.Pos[0].X)
+	}
+}
+
+// TestNVELimitCapsDisplacement.
+func TestNVELimitCapsDisplacement(t *testing.T) {
+	st := freeAtom(vec.New(1000, 0, 0))
+	c := ctx(st, 0.01)
+	lim := &fix.NVELimit{MaxDisp: 0.05}
+	x0 := st.Pos[0].X
+	lim.InitialIntegrate(c)
+	if d := st.Pos[0].X - x0; math.Abs(d-0.05) > 1e-12 {
+		t.Errorf("displacement %v, cap 0.05", d)
+	}
+}
+
+// TestLangevinThermostats: starting cold, the thermostat must bring the
+// system near the target temperature.
+func TestLangevinThermostats(t *testing.T) {
+	st := atom.New(500)
+	r := rng.New(3)
+	for i := 0; i < 500; i++ {
+		st.Add(atom.Atom{Tag: int64(i + 1), Type: 1,
+			Pos: vec.New(r.Range(0, 50), r.Range(0, 50), r.Range(0, 50))})
+	}
+	c := ctx(st, 0.005)
+	nve := &fix.NVE{}
+	lv := &fix.Langevin{T: 1.5, Damp: 0.5}
+	for i := 0; i < 2000; i++ {
+		nve.InitialIntegrate(c)
+		st.ZeroForces()
+		lv.PostForce(c)
+		nve.FinalIntegrate(c)
+	}
+	T := c.Temperature()
+	if math.Abs(T-1.5) > 0.15 {
+		t.Errorf("Langevin temperature %v, target 1.5", T)
+	}
+}
+
+// TestShakeTriatomic: SHAKE must hold a water-like triangle rigid under
+// integration with random forces.
+func TestShakeTriatomic(t *testing.T) {
+	st := atom.New(3)
+	st.Add(atom.Atom{Tag: 1, Type: 2, Mol: 1, Pos: vec.New(25, 25, 25),
+		Bonds:  []atom.BondRef{{Type: 1, Partner: 2}, {Type: 1, Partner: 3}},
+		Angles: []atom.AngleRef{{Type: 1, A: 2, C: 3}}})
+	st.Add(atom.Atom{Tag: 2, Type: 1, Mol: 1, Pos: vec.New(26, 25, 25)})
+	st.Add(atom.Atom{Tag: 3, Type: 1, Mol: 1, Pos: vec.New(25, 26, 25)})
+	dSS := math.Sqrt2
+
+	sh := fix.NewShake()
+	sh.BondDist[1] = 1.0
+	sh.AngleDist[1] = dSS
+
+	c := ctx(st, 0.002)
+	nve := &fix.NVE{}
+	r := rng.New(8)
+	for step := 0; step < 300; step++ {
+		nve.InitialIntegrate(c)
+		sh.InitialIntegrate(c)
+		for i := 0; i < 3; i++ {
+			st.Force[i] = vec.New(r.Gaussian(), r.Gaussian(), r.Gaussian()).Scale(5)
+		}
+		nve.FinalIntegrate(c)
+		sh.EndOfStep(c)
+	}
+	d12 := st.Pos[0].Sub(st.Pos[1]).Norm()
+	d13 := st.Pos[0].Sub(st.Pos[2]).Norm()
+	d23 := st.Pos[1].Sub(st.Pos[2]).Norm()
+	if math.Abs(d12-1) > 1e-4 || math.Abs(d13-1) > 1e-4 || math.Abs(d23-dSS) > 1e-4 {
+		t.Errorf("constraints violated: %v %v %v", d12, d13, d23)
+	}
+	if sh.Iterations == 0 {
+		t.Error("SHAKE never iterated")
+	}
+
+	// RATTLE: no relative velocity along constrained bonds.
+	for _, pr := range [][2]int{{0, 1}, {0, 2}, {1, 2}} {
+		rv := st.Vel[pr[0]].Sub(st.Vel[pr[1]])
+		d := st.Pos[pr[0]].Sub(st.Pos[pr[1]])
+		if proj := math.Abs(rv.Dot(d)) / d.Norm(); proj > 1e-5 {
+			t.Errorf("bond %v: residual radial velocity %v", pr, proj)
+		}
+	}
+}
+
+func TestGravityVector(t *testing.T) {
+	g := &fix.Gravity{Mag: 1, Angle: 26}
+	v := g.Vector()
+	if math.Abs(v.Norm()-1) > 1e-12 {
+		t.Errorf("gravity magnitude %v", v.Norm())
+	}
+	if v.Z >= 0 || v.X <= 0 || v.Y != 0 {
+		t.Errorf("chute gravity direction: %v", v)
+	}
+	wantX := math.Sin(26 * math.Pi / 180)
+	if math.Abs(v.X-wantX) > 1e-12 {
+		t.Errorf("tilt component %v want %v", v.X, wantX)
+	}
+
+	st := freeAtom(vec.V3{})
+	c := ctx(st, 0.01)
+	g.PostForce(c)
+	if st.Force[0].Z >= 0 {
+		t.Error("gravity must pull down")
+	}
+}
+
+// TestWallGranRepels: a grain overlapping the floor is pushed up; a
+// grain above it is untouched.
+func TestWallGranRepels(t *testing.T) {
+	w := fix.NewWallGranChute()
+	st := atom.New(2)
+	st.Add(atom.Atom{Tag: 1, Type: 1, Pos: vec.New(5, 5, 0.3)}) // overlapping (radius 0.5)
+	st.Add(atom.Atom{Tag: 2, Type: 1, Pos: vec.New(5, 5, 2)})
+	c := ctx(st, 0.0001)
+	w.PostForce(c)
+	if st.Force[0].Z <= 0 {
+		t.Errorf("wall must repel: %v", st.Force[0])
+	}
+	if st.Force[1].Norm() != 0 {
+		t.Errorf("free grain touched by wall: %v", st.Force[1])
+	}
+	if w.Contacts() != 1 {
+		t.Errorf("wall contacts: %d", w.Contacts())
+	}
+	// Friction opposes sliding.
+	st.Vel[0] = vec.New(1, 0, 0)
+	st.ZeroForces()
+	w.PostForce(c)
+	if st.Force[0].X >= 0 {
+		t.Errorf("wall friction must oppose slide: %v", st.Force[0])
+	}
+}
+
+// TestNPTTemperatureControl: the Nose-Hoover thermostat pulls a hot gas
+// toward the target.
+func TestNPTTemperatureControl(t *testing.T) {
+	st := atom.New(300)
+	r := rng.New(12)
+	for i := 0; i < 300; i++ {
+		st.Add(atom.Atom{Tag: int64(i + 1), Type: 1,
+			Pos: vec.New(r.Range(0, 50), r.Range(0, 50), r.Range(0, 50)),
+			Vel: vec.New(r.Gaussian(), r.Gaussian(), r.Gaussian()).Scale(3)}) // hot
+	}
+	c := ctx(st, 0.005)
+	npt := &fix.NPT{TStart: 1.0, TStop: 1.0, TDamp: 0.5, PDamp: 0} // thermostat only
+	t0 := c.Temperature()
+	// Nose-Hoover in a force-free gas oscillates about the target; the
+	// control criterion is the running average, not the endpoint.
+	var tAvg float64
+	var samples int
+	for i := 0; i < 6000; i++ {
+		npt.InitialIntegrate(c)
+		st.ZeroForces()
+		npt.FinalIntegrate(c)
+		if i >= 3000 {
+			tAvg += c.Temperature()
+			samples++
+		}
+	}
+	tAvg /= float64(samples)
+	if tAvg >= t0 {
+		t.Errorf("thermostat failed to cool: %v -> %v", t0, tAvg)
+	}
+	if math.Abs(tAvg-1.0) > 0.5 {
+		t.Errorf("mean temperature %v far from target 1.0 (started %v)", tAvg, t0)
+	}
+}
+
+// TestNPTBarostatScalesBox: positive pressure error must expand... or
+// rather, pressure above target must expand the box to relieve it.
+func TestNPTBarostatScalesBox(t *testing.T) {
+	st := atom.New(10)
+	r := rng.New(1)
+	for i := 0; i < 10; i++ {
+		st.Add(atom.Atom{Tag: int64(i + 1), Type: 1,
+			Pos: vec.New(r.Range(0, 50), r.Range(0, 50), r.Range(0, 50)),
+			Vel: vec.New(1, 0, 0)})
+	}
+	c := ctx(st, 0.005)
+	c.Virial = 1e4 // large positive virial => P above target
+	npt := &fix.NPT{TStart: 0, TStop: 0, TDamp: 0, PTarget: 0, PDamp: 1}
+	v0 := c.Box.Volume()
+	for i := 0; i < 50; i++ {
+		npt.InitialIntegrate(c)
+		npt.FinalIntegrate(c)
+	}
+	if c.Box.Volume() <= v0 {
+		t.Errorf("over-pressurized box must expand: %v -> %v", v0, c.Box.Volume())
+	}
+}
+
+// TestNVTTemperatureControl mirrors the NPT thermostat test for fix nvt.
+func TestNVTTemperatureControl(t *testing.T) {
+	st := atom.New(300)
+	r := rng.New(6)
+	for i := 0; i < 300; i++ {
+		st.Add(atom.Atom{Tag: int64(i + 1), Type: 1,
+			Pos: vec.New(r.Range(0, 50), r.Range(0, 50), r.Range(0, 50)),
+			Vel: vec.New(r.Gaussian(), r.Gaussian(), r.Gaussian()).Scale(2)})
+	}
+	c := ctx(st, 0.005)
+	nvt := &fix.NVT{TStart: 1.0, TStop: 1.0, TDamp: 0.5}
+	var tAvg float64
+	var n int
+	for i := 0; i < 6000; i++ {
+		nvt.InitialIntegrate(c)
+		st.ZeroForces()
+		nvt.FinalIntegrate(c)
+		if i >= 3000 {
+			tAvg += c.Temperature()
+			n++
+		}
+	}
+	tAvg /= float64(n)
+	if math.Abs(tAvg-1.0) > 0.5 {
+		t.Errorf("NVT mean temperature %v", tAvg)
+	}
+	// Box untouched (no barostat).
+	if c.Box.Volume() != 50*50*50 {
+		t.Errorf("NVT scaled the box: %v", c.Box.Volume())
+	}
+}

@@ -1,0 +1,37 @@
+package fix
+
+import (
+	"math"
+
+	"gomd/internal/vec"
+)
+
+// Gravity applies a uniform gravitational acceleration, parameterized
+// like the LAMMPS "gravity ... chute <angle>" command of the Chute
+// benchmark: magnitude Mag tilted Angle degrees from -z toward +x, which
+// drives the granular flow down the incline.
+type Gravity struct {
+	Base
+	Mag   float64
+	Angle float64 // degrees from vertical
+}
+
+// Name implements Fix.
+func (*Gravity) Name() string { return "gravity/chute" }
+
+// Vector returns the acceleration vector.
+func (g *Gravity) Vector() vec.V3 {
+	a := g.Angle * math.Pi / 180
+	return vec.New(math.Sin(a), 0, -math.Cos(a)).Scale(g.Mag)
+}
+
+// PostForce implements Fix.
+func (g *Gravity) PostForce(c *Context) {
+	st := c.Store
+	acc := g.Vector()
+	for i := 0; i < st.N; i++ {
+		m := c.Mass[st.Type[i]-1]
+		st.Force[i] = st.Force[i].Add(acc.Scale(m / c.U.FTM2V))
+		c.Ops++
+	}
+}

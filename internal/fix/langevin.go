@@ -1,0 +1,38 @@
+package fix
+
+import (
+	"math"
+
+	"gomd/internal/vec"
+)
+
+// Langevin applies a Langevin thermostat as a post-force modification
+// (LAMMPS fix langevin, used by the Chain benchmark): a friction drag
+// plus Gaussian random kicks whose variance realizes the
+// fluctuation-dissipation balance at temperature T.
+type Langevin struct {
+	Base
+	T    float64 // target temperature
+	Damp float64 // damping time
+}
+
+// Name implements Fix.
+func (*Langevin) Name() string { return "langevin" }
+
+// PostForce implements Fix.
+func (f *Langevin) PostForce(c *Context) {
+	st := c.Store
+	if f.Damp <= 0 {
+		return
+	}
+	kT := c.U.Boltz * f.T
+	for i := 0; i < st.N; i++ {
+		m := c.Mass[st.Type[i]-1]
+		gamma1 := -c.U.MVV2E * m / f.Damp
+		gamma2 := math.Sqrt(2 * c.U.MVV2E * m * kT / (f.Damp * c.Dt))
+		drag := st.Vel[i].Scale(gamma1)
+		noise := vec.New(c.RNG.Gaussian(), c.RNG.Gaussian(), c.RNG.Gaussian()).Scale(gamma2)
+		st.Force[i] = st.Force[i].Add(drag).Add(noise)
+		c.Ops++
+	}
+}

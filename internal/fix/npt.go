@@ -1,0 +1,89 @@
+package fix
+
+import (
+	"math"
+)
+
+// NPT integrates the equations of motion with a Nose-Hoover thermostat
+// and an isotropic Nose-Hoover barostat, following the structure of the
+// LAMMPS fix npt used by the Rhodopsin benchmark (Nose-Hoover style
+// non-Hamiltonian equations of motion; we implement a single-chain
+// thermostat and MTK-lite barostat, which preserves the benchmark's
+// O(N)-per-step Modify work and its temperature/pressure control).
+type NPT struct {
+	Base
+	TStart, TStop float64 // target temperature (ramped linearly)
+	TDamp         float64 // thermostat damping time
+	PTarget       float64 // target pressure
+	PDamp         float64 // barostat damping time
+	TotalSteps    int64   // for the temperature ramp; 0 means constant
+
+	// thermostat/barostat internal state
+	zeta float64 // thermostat friction
+	eps  float64 // barostat strain rate
+}
+
+// Name implements Fix.
+func (*NPT) Name() string { return "npt" }
+
+func (f *NPT) targetT(c *Context) float64 {
+	if f.TotalSteps <= 0 || f.TStop == f.TStart {
+		return f.TStart
+	}
+	frac := float64(c.Step) / float64(f.TotalSteps)
+	return f.TStart + (f.TStop-f.TStart)*frac
+}
+
+// InitialIntegrate implements Fix: update thermostat/barostat state,
+// scale velocities and the cell, then half-kick and drift.
+func (f *NPT) InitialIntegrate(c *Context) {
+	st := c.Store
+	dt := c.Dt
+	t0 := f.targetT(c)
+
+	// Thermostat friction update from current temperature.
+	tCur := c.Temperature()
+	if t0 > 0 && f.TDamp > 0 {
+		f.zeta += dt * (tCur/t0 - 1) / (f.TDamp * f.TDamp)
+		// Clamp runaway friction under violent starts.
+		f.zeta = math.Max(-10/dt, math.Min(10/dt, f.zeta))
+	}
+	vscale := math.Exp(-f.zeta * dt)
+
+	// Barostat strain-rate update from current pressure.
+	if f.PDamp > 0 {
+		pCur := c.Pressure()
+		f.eps += dt * (pCur - f.PTarget) / (f.PDamp * f.PDamp)
+		f.eps = math.Max(-0.01/dt, math.Min(0.01/dt, f.eps))
+	}
+	bscale := math.Exp(f.eps * dt)
+
+	// Dilate the cell and remap particle positions about the box center.
+	if bscale != 1 {
+		old := *c.Box
+		*c.Box = old.ScaleIsotropic(bscale)
+		ctr := old.Lo.Add(old.Hi).Scale(0.5)
+		for i := 0; i < st.N; i++ {
+			st.Pos[i] = ctr.Add(st.Pos[i].Sub(ctr).Scale(bscale))
+		}
+	}
+
+	for i := 0; i < st.N; i++ {
+		dtfm := dt * 0.5 * c.U.FTM2V / c.Mass[st.Type[i]-1]
+		v := st.Vel[i].Scale(vscale).Add(st.Force[i].Scale(dtfm))
+		st.Vel[i] = v
+		st.Pos[i] = st.Pos[i].Add(v.Scale(dt))
+		c.Ops += 2 // thermostat scale + verlet update
+	}
+}
+
+// FinalIntegrate implements Fix.
+func (f *NPT) FinalIntegrate(c *Context) {
+	st := c.Store
+	dt := c.Dt
+	for i := 0; i < st.N; i++ {
+		dtfm := dt * 0.5 * c.U.FTM2V / c.Mass[st.Type[i]-1]
+		st.Vel[i] = st.Vel[i].Add(st.Force[i].Scale(dtfm))
+		c.Ops++
+	}
+}

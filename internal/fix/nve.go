@@ -1,0 +1,33 @@
+package fix
+
+// NVE performs constant-energy velocity Verlet time integration (the
+// LAMMPS fix nve used by the LJ, Chain, EAM, and Chute benchmarks).
+type NVE struct {
+	Base
+}
+
+// Name implements Fix.
+func (*NVE) Name() string { return "nve" }
+
+// InitialIntegrate implements Fix: the first half-kick and drift.
+func (f *NVE) InitialIntegrate(c *Context) {
+	st := c.Store
+	dt := c.Dt
+	for i := 0; i < st.N; i++ {
+		dtfm := dt * 0.5 * c.U.FTM2V / c.Mass[st.Type[i]-1]
+		st.Vel[i] = st.Vel[i].Add(st.Force[i].Scale(dtfm))
+		st.Pos[i] = st.Pos[i].Add(st.Vel[i].Scale(dt))
+		c.Ops++
+	}
+}
+
+// FinalIntegrate implements Fix: the second half-kick.
+func (f *NVE) FinalIntegrate(c *Context) {
+	st := c.Store
+	dt := c.Dt
+	for i := 0; i < st.N; i++ {
+		dtfm := dt * 0.5 * c.U.FTM2V / c.Mass[st.Type[i]-1]
+		st.Vel[i] = st.Vel[i].Add(st.Force[i].Scale(dtfm))
+		c.Ops++
+	}
+}

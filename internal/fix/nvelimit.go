@@ -1,0 +1,42 @@
+package fix
+
+// NVELimit is NVE integration with a per-step displacement cap (LAMMPS
+// fix nve/limit): positions move at most MaxDisp per step. The cap only
+// engages on violent transients — e.g. melts started from generated
+// (non-equilibrated) configurations, the one place our from-scratch
+// workload builders differ from the LAMMPS bench's pre-equilibrated data
+// files — and is inert for equilibrium dynamics.
+type NVELimit struct {
+	Base
+	MaxDisp float64
+}
+
+// Name implements Fix.
+func (*NVELimit) Name() string { return "nve/limit" }
+
+// InitialIntegrate implements Fix.
+func (f *NVELimit) InitialIntegrate(c *Context) {
+	st := c.Store
+	dt := c.Dt
+	for i := 0; i < st.N; i++ {
+		dtfm := dt * 0.5 * c.U.FTM2V / c.Mass[st.Type[i]-1]
+		st.Vel[i] = st.Vel[i].Add(st.Force[i].Scale(dtfm))
+		step := st.Vel[i].Scale(dt)
+		if n := step.Norm(); n > f.MaxDisp {
+			step = step.Scale(f.MaxDisp / n)
+		}
+		st.Pos[i] = st.Pos[i].Add(step)
+		c.Ops++
+	}
+}
+
+// FinalIntegrate implements Fix.
+func (f *NVELimit) FinalIntegrate(c *Context) {
+	st := c.Store
+	dt := c.Dt
+	for i := 0; i < st.N; i++ {
+		dtfm := dt * 0.5 * c.U.FTM2V / c.Mass[st.Type[i]-1]
+		st.Vel[i] = st.Vel[i].Add(st.Force[i].Scale(dtfm))
+		c.Ops++
+	}
+}

@@ -1,0 +1,56 @@
+package fix
+
+import "math"
+
+// NVT integrates with a single Nose-Hoover thermostat and no barostat
+// (LAMMPS fix nvt): constant number, volume, and temperature.
+type NVT struct {
+	Base
+	TStart, TStop float64
+	TDamp         float64
+	TotalSteps    int64
+
+	zeta float64
+}
+
+// Name implements Fix.
+func (*NVT) Name() string { return "nvt" }
+
+func (f *NVT) target(c *Context) float64 {
+	if f.TotalSteps <= 0 || f.TStop == f.TStart {
+		return f.TStart
+	}
+	frac := float64(c.Step) / float64(f.TotalSteps)
+	return f.TStart + (f.TStop-f.TStart)*frac
+}
+
+// InitialIntegrate implements Fix.
+func (f *NVT) InitialIntegrate(c *Context) {
+	st := c.Store
+	dt := c.Dt
+	t0 := f.target(c)
+	if t0 > 0 && f.TDamp > 0 {
+		tCur := c.Temperature()
+		f.zeta += dt * (tCur/t0 - 1) / (f.TDamp * f.TDamp)
+		f.zeta = math.Max(-10/dt, math.Min(10/dt, f.zeta))
+	}
+	vscale := math.Exp(-f.zeta * dt)
+	for i := 0; i < st.N; i++ {
+		dtfm := dt * 0.5 * c.U.FTM2V / c.Mass[st.Type[i]-1]
+		v := st.Vel[i].Scale(vscale).Add(st.Force[i].Scale(dtfm))
+		st.Vel[i] = v
+		st.Pos[i] = st.Pos[i].Add(v.Scale(dt))
+		c.Ops += 2
+	}
+}
+
+// FinalIntegrate implements Fix.
+func (f *NVT) FinalIntegrate(c *Context) {
+	st := c.Store
+	dt := c.Dt
+	for i := 0; i < st.N; i++ {
+		dtfm := dt * 0.5 * c.U.FTM2V / c.Mass[st.Type[i]-1]
+		st.Vel[i] = st.Vel[i].Add(st.Force[i].Scale(dtfm))
+		c.Ops++
+	}
+}

@@ -1,0 +1,85 @@
+package fix
+
+import (
+	"gomd/internal/vec"
+)
+
+// WallGran is a granular Hookean bottom wall at z = Z0 (LAMMPS fix
+// wall/gran), giving the Chute flow a rough floor: grains overlapping the
+// wall feel a damped normal spring plus history-based tangential friction
+// against the static surface.
+type WallGran struct {
+	Base
+	Kn, Kt         float64
+	GammaN, GammaT float64
+	Xmu            float64
+	D              float64 // grain diameter
+	Z0             float64 // wall plane
+
+	history map[int64]vec.V3 // per-atom tangential displacement
+}
+
+// NewWallGranChute returns a wall matching the chute pair parameters.
+func NewWallGranChute() *WallGran {
+	kn := 2000.0
+	return &WallGran{
+		Kn: kn, Kt: kn * 2 / 7,
+		GammaN: 50, GammaT: 25,
+		Xmu: 0.5, D: 1, Z0: 0,
+	}
+}
+
+// Name implements Fix.
+func (*WallGran) Name() string { return "wall/gran" }
+
+// PostForce implements Fix.
+func (w *WallGran) PostForce(c *Context) {
+	st := c.Store
+	if w.history == nil {
+		w.history = make(map[int64]vec.V3)
+	}
+	radius := w.D / 2
+	up := vec.New(0, 0, 1)
+	for i := 0; i < st.N; i++ {
+		dz := st.Pos[i].Z - w.Z0
+		tag := st.Tag[i]
+		if dz >= radius {
+			delete(w.history, tag)
+			continue
+		}
+		c.Ops++
+		overlap := radius - dz
+		m := c.Mass[st.Type[i]-1]
+		v := st.Vel[i]
+		vn := up.Scale(v.Z)
+		vt := v.Sub(vn)
+
+		fn := up.Scale(w.Kn * overlap).Sub(vn.Scale(w.GammaN * m))
+		shear := w.history[tag].Add(vt.Scale(c.Dt))
+		shear = shear.Sub(up.Scale(shear.Dot(up)))
+		ft := shear.Scale(-w.Kt).Sub(vt.Scale(w.GammaT * m))
+		fcap := w.Xmu * fn.Norm()
+		if fm := ft.Norm(); fm > fcap {
+			if fm > 0 {
+				ft = ft.Scale(fcap / fm)
+				shear = ft.Add(vt.Scale(w.GammaT * m)).Scale(-1 / w.Kt)
+			} else {
+				ft = vec.V3{}
+			}
+		}
+		w.history[tag] = shear
+		st.Force[i] = st.Force[i].Add(fn).Add(ft)
+
+		// Keep grains from tunneling through the floor under extreme
+		// initial overlaps.
+		if dz < -radius {
+			st.Pos[i] = st.Pos[i].WithComponent(2, w.Z0-radius)
+			if st.Vel[i].Z < 0 {
+				st.Vel[i] = st.Vel[i].WithComponent(2, 0)
+			}
+		}
+	}
+}
+
+// Contacts returns the number of live wall contacts (for tests).
+func (w *WallGran) Contacts() int { return len(w.history) }

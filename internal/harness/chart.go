@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Chart renders percentage-breakdown tables as horizontal stacked bars —
+// the Visualizer stage of the paper's Figure 2 framework, in terminal
+// form. It applies to tables whose trailing columns are percentages
+// (headers ending in "%"); other tables render unchanged.
+func Chart(t *Table, w io.Writer, width int) {
+	if width <= 0 {
+		width = 60
+	}
+	first, ok := percentColumns(t)
+	if !ok {
+		t.Render(w)
+		return
+	}
+	fmt.Fprintf(w, "\n== %s ==\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "%s\n", t.Note)
+	}
+	// Legend: one glyph per percentage column.
+	glyphs := []byte("#=+*o.:x%@&")
+	fmt.Fprint(w, "legend:")
+	for i, h := range t.Header[first:] {
+		fmt.Fprintf(w, "  %c %s", glyphs[i%len(glyphs)], strings.TrimSuffix(h, "%"))
+	}
+	fmt.Fprintln(w)
+
+	labelWidth := 0
+	labels := make([]string, len(t.Rows))
+	for r, row := range t.Rows {
+		labels[r] = strings.Join(row[:first], " ")
+		if len(labels[r]) > labelWidth {
+			labelWidth = len(labels[r])
+		}
+	}
+	for r, row := range t.Rows {
+		var bar strings.Builder
+		for c := first; c < len(row); c++ {
+			v, err := strconv.ParseFloat(row[c], 64)
+			if err != nil {
+				continue
+			}
+			n := int(v/100*float64(width) + 0.5)
+			g := glyphs[(c-first)%len(glyphs)]
+			for k := 0; k < n; k++ {
+				bar.WriteByte(g)
+			}
+		}
+		fmt.Fprintf(w, "%-*s |%s\n", labelWidth, labels[r], bar.String())
+	}
+}
+
+// percentColumns finds the first column index from which all headers end
+// in "%"; returns ok=false when fewer than two such columns exist.
+func percentColumns(t *Table) (int, bool) {
+	first := -1
+	for i, h := range t.Header {
+		if strings.HasSuffix(h, "%") {
+			first = i
+			break
+		}
+	}
+	if first < 0 {
+		return 0, false
+	}
+	for _, h := range t.Header[first:] {
+		if !strings.HasSuffix(h, "%") {
+			return 0, false
+		}
+	}
+	if len(t.Header)-first < 2 {
+		return 0, false
+	}
+	return first, true
+}

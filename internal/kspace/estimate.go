@@ -1,0 +1,75 @@
+package kspace
+
+import "math"
+
+// acons are the Deserno-Holm coefficients of the PPPM ik-differentiation
+// RMS force-error estimate, indexed [order][m] (J. Chem. Phys. 109, 7678
+// (1998), as tabulated in LAMMPS pppm.cpp).
+var acons = map[int][]float64{
+	1: {2.0 / 3.0},
+	2: {1.0 / 50.0, 5.0 / 294.0},
+	3: {1.0 / 588.0, 7.0 / 1440.0, 21.0 / 3872.0},
+	4: {1.0 / 4320.0, 3.0 / 1936.0, 7601.0 / 2271360.0, 143.0 / 28800.0},
+	5: {1.0 / 23232.0, 7601.0 / 13628160.0, 143.0 / 69120.0,
+		517231.0 / 106536960.0, 106640677.0 / 11737571328.0},
+	6: {691.0 / 68140800.0, 13.0 / 57600.0, 47021.0 / 35512320.0,
+		9694607.0 / 2095994880.0, 733191589.0 / 59609088000.0,
+		326190917.0 / 11700633600.0},
+	7: {1.0 / 345600.0, 3617.0 / 35512320.0, 745739.0 / 838397952.0,
+		56399353.0 / 12773376000.0, 25091609.0 / 1560084480.0,
+		1755948832039.0 / 36229939200000.0, 4887769399.0 / 37838389248.0},
+}
+
+// EstimateIKError returns the estimated RMS force error of PPPM with
+// ik differentiation for mesh spacing h along a dimension of extent prd,
+// splitting parameter g, assignment order, atom count, and q2 =
+// qqr2e * sum(q_i^2).
+func EstimateIKError(h, prd, g float64, order, natoms int, q2 float64) float64 {
+	if natoms == 0 {
+		return 0
+	}
+	a, ok := acons[order]
+	if !ok {
+		panic("kspace: unsupported PPPM order")
+	}
+	hg := h * g
+	sum := 0.0
+	for m, c := range a {
+		sum += c * math.Pow(hg, float64(2*m))
+	}
+	return q2 * math.Pow(hg, float64(order)) *
+		math.Sqrt(g*prd*math.Sqrt(2*math.Pi)*sum/float64(natoms)) / (prd * prd)
+}
+
+// MeshFor returns the per-dimension power-of-two PPPM mesh sizes that
+// meet the relative accuracy for a box of edge lengths l, without
+// allocating any solver state. It mirrors PPPM.Setup's sizing rule and
+// exists so the performance model can price meshes far larger than the
+// engine would want to allocate.
+func MeshFor(accuracy, rcut, lx, ly, lz float64, natoms int, q2sum, qqr2e float64) (nx, ny, nz int) {
+	g := SplitParameter(accuracy, rcut)
+	target := accuracy * qqr2e // two-unit-charge force reference
+	q2 := qqr2e * q2sum
+	dim := func(prd float64) int {
+		n := 4
+		for n < 1<<14 {
+			h := prd / float64(n)
+			if EstimateIKError(h, prd, g, 5, natoms, q2) <= target {
+				break
+			}
+			n = NiceFFTSize(n + 1)
+		}
+		return n
+	}
+	return dim(lx), dim(ly), dim(lz)
+}
+
+// EstimateRealError returns the estimated RMS force error of the
+// real-space (erfc-truncated) part for cutoff rc in volume vol.
+func EstimateRealError(rc, g, vol float64, natoms int, q2 float64) float64 {
+	if natoms == 0 || vol == 0 {
+		return 0
+	}
+	return 2 * q2 * math.Exp(-g*g*rc*rc) /
+		math.Sqrt(float64(natoms)*rc*vol)
+}

@@ -1,0 +1,233 @@
+// Package kspace implements the long-range electrostatics of the
+// Rhodopsin benchmark: an Ewald summation reference solver and the
+// Particle-Particle Particle-Mesh (PPPM) method with B-spline charge
+// assignment, ik-differentiation, and a Deserno-Holm-style error
+// estimator that derives the mesh size from the requested relative force
+// accuracy — the knob the paper sweeps in §7.
+//
+// The 3D FFT underneath is a pure-Go mixed-radix (2/3/5) Cooley-Tukey
+// transform, so PPPM meshes can use the same 2^a·3^b·5^c sizes LAMMPS
+// favors instead of rounding up to powers of two.
+package kspace
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// FFT is a reusable complex FFT plan of length N, where N factors into
+// 2s, 3s, and 5s.
+type FFT struct {
+	N       int
+	factors []int
+	// twiddle[k] = e^{-2πi k/N} for k < N.
+	twiddle []complex128
+	scratch []complex128
+	// ops counts complex butterfly-equivalent operations per transform.
+	ops int64
+}
+
+// FactorableFFT reports whether n is a valid FFT length (2^a 3^b 5^c,
+// n >= 1).
+func FactorableFFT(n int) bool {
+	if n < 1 {
+		return false
+	}
+	for _, p := range []int{2, 3, 5} {
+		for n%p == 0 {
+			n /= p
+		}
+	}
+	return n == 1
+}
+
+// NiceFFTSize returns the smallest valid FFT length >= n.
+func NiceFFTSize(n int) int {
+	for !FactorableFFT(n) {
+		n++
+	}
+	return n
+}
+
+// NewFFT builds a plan for length n (must satisfy FactorableFFT).
+func NewFFT(n int) *FFT {
+	if !FactorableFFT(n) {
+		panic("kspace: FFT length must factor into 2, 3, 5")
+	}
+	f := &FFT{N: n}
+	m := n
+	for _, p := range []int{5, 3, 2} {
+		for m%p == 0 {
+			f.factors = append(f.factors, p)
+			m /= p
+		}
+	}
+	f.twiddle = make([]complex128, n)
+	for k := range f.twiddle {
+		ang := -2 * math.Pi * float64(k) / float64(n)
+		f.twiddle[k] = cmplx.Exp(complex(0, ang))
+	}
+	f.scratch = make([]complex128, n)
+	return f
+}
+
+// Forward transforms a in place (DFT with e^{-2πi} kernel).
+func (f *FFT) Forward(a []complex128) { f.run(a, false) }
+
+// Inverse transforms a in place, including the 1/N normalization.
+func (f *FFT) Inverse(a []complex128) {
+	f.run(a, true)
+	inv := complex(1/float64(f.N), 0)
+	for i := range a {
+		a[i] *= inv
+	}
+}
+
+func (f *FFT) run(a []complex128, inverse bool) {
+	if len(a) != f.N {
+		panic("kspace: FFT length mismatch")
+	}
+	if f.N == 1 {
+		return
+	}
+	f.rec(a, f.scratch, f.N, 1, 0, inverse)
+}
+
+// tw returns e^{∓2πi k/N} for index k mod N.
+func (f *FFT) tw(k int, inverse bool) complex128 {
+	k %= f.N
+	w := f.twiddle[k]
+	if inverse {
+		return cmplx.Conj(w)
+	}
+	return w
+}
+
+// rec performs a decimation-in-time transform of the n elements
+// a[0], a[stride], ..., writing the result contiguously back into
+// a[0..n) positions (strided). tmp provides n elements of scratch.
+// fi indexes the factor list for this recursion level.
+func (f *FFT) rec(a, tmp []complex128, n, stride, fi int, inverse bool) {
+	if n == 1 {
+		return
+	}
+	p := f.factors[fi]
+	m := n / p
+
+	// Transform the p interleaved subsequences in place (each has
+	// stride*p spacing).
+	for q := 0; q < p; q++ {
+		f.rec(a[q*stride:], tmp, m, stride*p, fi+1, inverse)
+	}
+
+	// Combine: for output index k + r*m (k < m, r < p):
+	//   X[k + r m] = sum_q w^{q(k + r m)} Y_q[k]
+	// where Y_q is the q-th sub-DFT and w = e^{-2πi/n}.
+	// Sub-DFT Y_q[k] now lives at a[(q + k*p)*stride].
+	step := f.N / n // global twiddle scaling
+	for k := 0; k < m; k++ {
+		var y [5]complex128
+		for q := 0; q < p; q++ {
+			y[q] = a[(q+k*p)*stride] * f.tw(step*q*k, inverse)
+		}
+		for r := 0; r < p; r++ {
+			var sum complex128
+			for q := 0; q < p; q++ {
+				// e^{-2πi q r / p} = twiddle at (N/p)*q*r.
+				sum += y[q] * f.tw((f.N/p)*q*r, inverse)
+			}
+			tmp[k+r*m] = sum
+			f.ops++
+		}
+	}
+	for i := 0; i < n; i++ {
+		a[i*stride] = tmp[i]
+	}
+}
+
+// FFT3D applies 1D transforms along each axis of an nx × ny × nz grid
+// stored x-fastest (idx = x + nx*(y + ny*z)).
+type FFT3D struct {
+	Nx, Ny, Nz int
+	fx, fy, fz *FFT
+	scratch    []complex128
+	// Butterflies counts complex butterfly operations performed, the FFT
+	// work measure of the performance model.
+	Butterflies int64
+}
+
+// NewFFT3D builds a 3D plan; all dimensions must satisfy FactorableFFT.
+func NewFFT3D(nx, ny, nz int) *FFT3D {
+	maxN := nx
+	if ny > maxN {
+		maxN = ny
+	}
+	if nz > maxN {
+		maxN = nz
+	}
+	return &FFT3D{
+		Nx: nx, Ny: ny, Nz: nz,
+		fx: NewFFT(nx), fy: NewFFT(ny), fz: NewFFT(nz),
+		scratch: make([]complex128, maxN),
+	}
+}
+
+// Len returns the total grid point count.
+func (f *FFT3D) Len() int { return f.Nx * f.Ny * f.Nz }
+
+// Forward transforms grid in place.
+func (f *FFT3D) Forward(grid []complex128) { f.apply(grid, false) }
+
+// Inverse transforms grid in place with normalization.
+func (f *FFT3D) Inverse(grid []complex128) { f.apply(grid, true) }
+
+func (f *FFT3D) apply(grid []complex128, inverse bool) {
+	if len(grid) != f.Len() {
+		panic("kspace: FFT3D grid size mismatch")
+	}
+	nx, ny, nz := f.Nx, f.Ny, f.Nz
+	run := func(p *FFT, a []complex128) {
+		p.ops = 0
+		if inverse {
+			p.Inverse(a)
+		} else {
+			p.Forward(a)
+		}
+		f.Butterflies += p.ops
+	}
+	// X lines are contiguous.
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			off := nx * (y + ny*z)
+			run(f.fx, grid[off:off+nx])
+		}
+	}
+	// Y lines, stride nx.
+	for z := 0; z < nz; z++ {
+		for x := 0; x < nx; x++ {
+			s := f.scratch[:ny]
+			base := x + nx*ny*z
+			for y := 0; y < ny; y++ {
+				s[y] = grid[base+nx*y]
+			}
+			run(f.fy, s)
+			for y := 0; y < ny; y++ {
+				grid[base+nx*y] = s[y]
+			}
+		}
+	}
+	// Z lines, stride nx*ny.
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			s := f.scratch[:nz]
+			base := x + nx*y
+			for z := 0; z < nz; z++ {
+				s[z] = grid[base+nx*ny*z]
+			}
+			run(f.fz, s)
+			for z := 0; z < nz; z++ {
+				grid[base+nx*ny*z] = s[z]
+			}
+		}
+	}
+}

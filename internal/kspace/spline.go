@@ -1,0 +1,44 @@
+package kspace
+
+import "math"
+
+// bspline evaluates the cardinal B-spline M_n at x (support (0, n)) via
+// the Cox-de Boor recurrence. Orders used by PPPM are small (<= 7), so
+// the recursion is shallow.
+func bspline(n int, x float64) float64 {
+	if x <= 0 || x >= float64(n) {
+		return 0
+	}
+	if n == 1 {
+		return 1
+	}
+	fn := float64(n)
+	return x/(fn-1)*bspline(n-1, x) + (fn-x)/(fn-1)*bspline(n-1, x-1)
+}
+
+// splineWeights computes the order-point charge-assignment stencil for a
+// particle at fractional mesh coordinate u on an n-point periodic mesh.
+// It fills w with M_order weights and idx with the wrapped mesh indices,
+// returning the stencil size (== order except at exact grid coincidences,
+// where an endpoint weight is zero).
+func splineWeights(u float64, n, order int, w *[8]float64, idx *[8]int) int {
+	half := float64(order) / 2
+	p0 := int(math.Ceil(u - half))
+	count := 0
+	for t := 0; t < order; t++ {
+		p := p0 + t
+		x := u - float64(p) + half
+		wt := bspline(order, x)
+		if wt == 0 {
+			continue
+		}
+		m := p % n
+		if m < 0 {
+			m += n
+		}
+		w[count] = wt
+		idx[count] = m
+		count++
+	}
+	return count
+}

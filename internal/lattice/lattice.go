@@ -1,0 +1,240 @@
+// Package lattice provides the initial-condition builders used by the
+// benchmark workloads: crystal lattices (fcc/bcc/sc), bead-spring polymer
+// chains, small molecules, granular packings, and Maxwell-Boltzmann
+// velocity initialization.
+package lattice
+
+import (
+	"math"
+
+	"gomd/internal/box"
+	"gomd/internal/rng"
+	"gomd/internal/vec"
+)
+
+// Style selects a crystal lattice type.
+type Style int
+
+const (
+	// SC is simple cubic: 1 basis atom per cell.
+	SC Style = iota
+	// BCC is body-centered cubic: 2 basis atoms per cell.
+	BCC
+	// FCC is face-centered cubic: 4 basis atoms per cell.
+	FCC
+)
+
+// BasisCount returns the number of atoms per unit cell.
+func (s Style) BasisCount() int {
+	switch s {
+	case SC:
+		return 1
+	case BCC:
+		return 2
+	default:
+		return 4
+	}
+}
+
+func (s Style) basis() []vec.V3 {
+	switch s {
+	case SC:
+		return []vec.V3{{}}
+	case BCC:
+		return []vec.V3{{}, {X: 0.5, Y: 0.5, Z: 0.5}}
+	default:
+		return []vec.V3{
+			{},
+			{X: 0.5, Y: 0.5, Z: 0},
+			{X: 0.5, Y: 0, Z: 0.5},
+			{X: 0, Y: 0.5, Z: 0.5},
+		}
+	}
+}
+
+// CubeCells returns the smallest (nx=ny=nz) cell count whose lattice holds
+// at least n atoms, matching how the LAMMPS bench inputs scale problem
+// size by replicating a cubic cell.
+func CubeCells(style Style, n int) int {
+	per := style.BasisCount()
+	c := int(math.Ceil(math.Cbrt(float64(n) / float64(per))))
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// Generate places nx × ny × nz unit cells of the lattice with constant a,
+// starting at origin, and returns the positions. The resulting periodic
+// box spans origin .. origin + a*(nx,ny,nz).
+func Generate(style Style, a float64, nx, ny, nz int, origin vec.V3) []vec.V3 {
+	basis := style.basis()
+	pos := make([]vec.V3, 0, nx*ny*nz*len(basis))
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				cell := vec.New(float64(i), float64(j), float64(k))
+				for _, b := range basis {
+					pos = append(pos, origin.Add(cell.Add(b).Scale(a)))
+				}
+			}
+		}
+	}
+	return pos
+}
+
+// CubicForDensity returns the lattice constant that realizes reduced
+// number density rho for the given style (atoms per a^3 = basis count).
+func CubicForDensity(style Style, rho float64) float64 {
+	return math.Cbrt(float64(style.BasisCount()) / rho)
+}
+
+// MaxwellVelocities draws velocities for n atoms of the given masses
+// (indexed by atom) at temperature T (with Boltzmann constant kB and
+// mass-velocity-to-energy factor mvv2e), removes net momentum, and
+// rescales to hit T exactly, like the LAMMPS velocity-create command.
+func MaxwellVelocities(r *rng.Source, masses []float64, T, kB, mvv2e float64) []vec.V3 {
+	n := len(masses)
+	vel := make([]vec.V3, n)
+	if n == 0 || T <= 0 {
+		return vel
+	}
+	for i := range vel {
+		s := math.Sqrt(kB * T / (mvv2e * masses[i]))
+		vel[i] = vec.New(s*r.Gaussian(), s*r.Gaussian(), s*r.Gaussian())
+	}
+	// Zero total momentum.
+	var p vec.V3
+	var mTot float64
+	for i, v := range vel {
+		p = p.Add(v.Scale(masses[i]))
+		mTot += masses[i]
+	}
+	drift := p.Scale(1 / mTot)
+	for i := range vel {
+		vel[i] = vel[i].Sub(drift)
+	}
+	// Rescale to the exact target temperature.
+	var ke float64
+	for i, v := range vel {
+		ke += 0.5 * mvv2e * masses[i] * v.Norm2()
+	}
+	dof := float64(3*n - 3)
+	if dof <= 0 {
+		return vel
+	}
+	cur := 2 * ke / (dof * kB)
+	if cur > 0 {
+		f := math.Sqrt(T / cur)
+		for i := range vel {
+			vel[i] = vel[i].Scale(f)
+		}
+	}
+	return vel
+}
+
+// ChainSpec describes a bead-spring polymer melt in the style of the
+// LAMMPS "chain" benchmark input generator.
+type ChainSpec struct {
+	Chains   int     // number of chains
+	Monomers int     // beads per chain (the paper uses 100-mers)
+	Density  float64 // reduced number density of the melt
+	Seed     uint64
+}
+
+// BuildChains places Chains chains of Monomers beads into a cubic
+// periodic box sized for Density, returning positions, the owning-chain
+// (molecule) id per bead, and the box.
+//
+// Beads are laid along a serpentine traversal of a simple-cubic lattice:
+// consecutive beads are always lattice neighbors, so the start has no
+// hard-core overlaps (unlike a naive random walk) and every bond begins
+// at the lattice spacing, well inside the FENE extensibility limit. A
+// small random jitter seeds the disorder the thermostat then develops
+// into a proper melt.
+func BuildChains(spec ChainSpec) (pos []vec.V3, mol []int32, bx box.Box) {
+	n := spec.Chains * spec.Monomers
+	// Lattice sized to hold all beads at the target density.
+	side := int(math.Ceil(math.Cbrt(float64(n))))
+	a := math.Cbrt(1 / spec.Density)
+	l := a * float64(side)
+	bx = box.NewPeriodic(vec.V3{}, vec.Splat(l))
+	r := rng.New(spec.Seed)
+	jitter := 0.05 * a
+
+	pos = make([]vec.V3, 0, n)
+	mol = make([]int32, 0, n)
+	emit := func(i, j, k int) {
+		b := len(pos)
+		if b >= n {
+			return
+		}
+		p := vec.New(
+			(float64(i)+0.5)*a+r.Range(-jitter, jitter),
+			(float64(j)+0.5)*a+r.Range(-jitter, jitter),
+			(float64(k)+0.5)*a+r.Range(-jitter, jitter),
+		)
+		p, _ = bx.Wrap(p)
+		pos = append(pos, p)
+		mol = append(mol, int32(b/spec.Monomers+1))
+	}
+	// Serpentine: x sweeps alternate direction with the *global* row
+	// parity (so the last site of one row abuts the first of the next,
+	// including across layer boundaries), and y sweeps alternate with z.
+	for k := 0; k < side; k++ {
+		for jj := 0; jj < side; jj++ {
+			j := jj
+			if k%2 == 1 {
+				j = side - 1 - jj
+			}
+			for ii := 0; ii < side; ii++ {
+				i := ii
+				if (k*side+jj)%2 == 1 {
+					i = side - 1 - ii
+				}
+				emit(i, j, k)
+			}
+		}
+	}
+	return pos, mol, bx
+}
+
+// GranularPack builds a slightly-perturbed cubic packing of grains of
+// diameter d filling the lower part of a slab box of base lx × ly, used
+// by the Chute workload. It returns positions and the box; the box height
+// leaves headroom so flowing grains stay inside.
+func GranularPack(n int, d float64, seed uint64) ([]vec.V3, box.Box) {
+	// Base chosen so the pack is ~12 grain diameters deep, mirroring the
+	// chute bench geometry (a wide shallow flow).
+	depth := 12.0
+	base := math.Sqrt(float64(n) / depth)
+	nx := int(math.Ceil(base))
+	ny := int(math.Ceil(base))
+	nz := int(math.Ceil(float64(n) / float64(nx*ny)))
+	spacing := d * 0.99 // dense pack: grains in light contact, like the bench flow
+	lx := float64(nx) * spacing
+	ly := float64(ny) * spacing
+	lz := (float64(nz) + 20) * spacing // headroom above the pack
+	bx := box.NewSlab(vec.V3{}, vec.New(lx, ly, lz))
+	r := rng.New(seed)
+	pos := make([]vec.V3, 0, n)
+	jitter := 0.05 * d
+loop:
+	for k := 0; k < nz+1; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				if len(pos) == n {
+					break loop
+				}
+				p := vec.New(
+					(float64(i)+0.5)*spacing+r.Range(-jitter, jitter),
+					(float64(j)+0.5)*spacing+r.Range(-jitter, jitter),
+					(float64(k)+0.6)*spacing+r.Range(-jitter, jitter),
+				)
+				p, _ = bx.Wrap(p)
+				pos = append(pos, p)
+			}
+		}
+	}
+	return pos, bx
+}

@@ -1,0 +1,155 @@
+package lattice_test
+
+import (
+	"math"
+	"testing"
+
+	"gomd/internal/lattice"
+	"gomd/internal/rng"
+	"gomd/internal/units"
+	"gomd/internal/vec"
+)
+
+func TestBasisCounts(t *testing.T) {
+	if lattice.SC.BasisCount() != 1 || lattice.BCC.BasisCount() != 2 || lattice.FCC.BasisCount() != 4 {
+		t.Error("basis counts wrong")
+	}
+}
+
+func TestCubeCells(t *testing.T) {
+	// 32000 atoms of fcc = 20^3 cells exactly.
+	if c := lattice.CubeCells(lattice.FCC, 32000); c != 20 {
+		t.Errorf("fcc cells for 32k: %d", c)
+	}
+	if c := lattice.CubeCells(lattice.FCC, 32001); c != 21 {
+		t.Errorf("fcc cells for 32k+1: %d", c)
+	}
+	if c := lattice.CubeCells(lattice.SC, 1); c != 1 {
+		t.Errorf("sc cells for 1: %d", c)
+	}
+}
+
+func TestGenerateDensity(t *testing.T) {
+	a := lattice.CubicForDensity(lattice.FCC, 0.8442)
+	pos := lattice.Generate(lattice.FCC, a, 5, 5, 5, vec.V3{})
+	if len(pos) != 500 {
+		t.Fatalf("atom count %d", len(pos))
+	}
+	vol := math.Pow(a*5, 3)
+	if rho := float64(len(pos)) / vol; math.Abs(rho-0.8442) > 1e-9 {
+		t.Errorf("density %v", rho)
+	}
+	// Minimum image nearest-neighbor distance of fcc is a/sqrt(2).
+	l := a * 5
+	min := math.Inf(1)
+	for i := 1; i < 60; i++ {
+		d := pos[0].Sub(pos[i])
+		d.X -= l * math.Round(d.X/l)
+		d.Y -= l * math.Round(d.Y/l)
+		d.Z -= l * math.Round(d.Z/l)
+		if n := d.Norm(); n < min {
+			min = n
+		}
+	}
+	if math.Abs(min-a/math.Sqrt2) > 1e-9 {
+		t.Errorf("fcc nearest neighbor %v want %v", min, a/math.Sqrt2)
+	}
+}
+
+func TestMaxwellVelocities(t *testing.T) {
+	u := units.ForStyle(units.LJ)
+	n := 5000
+	masses := make([]float64, n)
+	for i := range masses {
+		masses[i] = 1 + float64(i%3) // mixed masses
+	}
+	vel := lattice.MaxwellVelocities(rng.New(5), masses, 1.44, u.Boltz, u.MVV2E)
+
+	// Zero net momentum.
+	var p vec.V3
+	for i, v := range vel {
+		p = p.Add(v.Scale(masses[i]))
+	}
+	if p.Norm() > 1e-9 {
+		t.Errorf("net momentum %v", p)
+	}
+
+	// Exact temperature after rescale (3N-3 dof).
+	var ke float64
+	for i, v := range vel {
+		ke += 0.5 * u.MVV2E * masses[i] * v.Norm2()
+	}
+	T := 2 * ke / (float64(3*n-3) * u.Boltz)
+	if math.Abs(T-1.44) > 1e-9 {
+		t.Errorf("temperature %v want 1.44", T)
+	}
+}
+
+// TestChainAdjacency: consecutive beads must be within FENE range under
+// the minimum image convention.
+func TestChainAdjacency(t *testing.T) {
+	pos, mol, bx := lattice.BuildChains(lattice.ChainSpec{
+		Chains: 30, Monomers: 100, Density: 0.8442, Seed: 3,
+	})
+	if len(pos) != 3000 || len(mol) != 3000 {
+		t.Fatalf("counts: %d %d", len(pos), len(mol))
+	}
+	for i := 0; i+1 < len(pos); i++ {
+		if mol[i] != mol[i+1] {
+			continue // chain boundary
+		}
+		d := bx.MinImage(pos[i].Sub(pos[i+1])).Norm()
+		if d > 1.45 {
+			t.Fatalf("bond %d-%d length %v exceeds FENE limit", i, i+1, d)
+		}
+		if d < 0.5 {
+			t.Fatalf("bond %d-%d length %v overlapping", i, i+1, d)
+		}
+	}
+	// Molecule ids are 100-bead blocks.
+	if mol[0] != 1 || mol[99] != 1 || mol[100] != 2 {
+		t.Errorf("molecule ids: %d %d %d", mol[0], mol[99], mol[100])
+	}
+}
+
+// TestChainNoOverlaps: no two beads start inside the WCA core.
+func TestChainNoOverlaps(t *testing.T) {
+	pos, _, bx := lattice.BuildChains(lattice.ChainSpec{
+		Chains: 10, Monomers: 100, Density: 0.8442, Seed: 4,
+	})
+	for i := 0; i < len(pos); i++ {
+		for j := i + 1; j < len(pos); j++ {
+			if d := bx.MinImage(pos[i].Sub(pos[j])).Norm(); d < 0.8 {
+				t.Fatalf("beads %d,%d overlap at %v", i, j, d)
+			}
+		}
+	}
+}
+
+func TestGranularPack(t *testing.T) {
+	pos, bx := lattice.GranularPack(2000, 1.0, 7)
+	if len(pos) != 2000 {
+		t.Fatalf("grain count %d", len(pos))
+	}
+	if bx.Periodic[2] {
+		t.Error("chute box must be non-periodic in z")
+	}
+	for i, p := range pos {
+		if p.Z < 0 || p.Z > bx.Hi.Z {
+			t.Fatalf("grain %d outside slab: %v", i, p)
+		}
+		if p.X < 0 || p.X >= bx.Hi.X || p.Y < 0 || p.Y >= bx.Hi.Y {
+			t.Fatalf("grain %d outside base: %v", i, p)
+		}
+	}
+	// Pack occupies the lower part with headroom above.
+	maxZ := 0.0
+	for _, p := range pos {
+		if p.Z > maxZ {
+			maxZ = p.Z
+		}
+	}
+	if maxZ > bx.Hi.Z*0.8 {
+		t.Errorf("no headroom above pack: maxZ %v of %v", maxZ, bx.Hi.Z)
+	}
+}

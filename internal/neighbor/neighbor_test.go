@@ -1,0 +1,232 @@
+package neighbor_test
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"gomd/internal/atom"
+	"gomd/internal/neighbor"
+	"gomd/internal/rng"
+	"gomd/internal/vec"
+)
+
+// randomStore fills a store with n atoms in an l-cube (no ghosts; the
+// list is built over open boundaries here).
+func randomStore(n int, l float64, seed uint64) *atom.Store {
+	st := atom.New(n)
+	r := rng.New(seed)
+	for i := 0; i < n; i++ {
+		st.Add(atom.Atom{
+			Tag:  int64(i + 1),
+			Type: 1,
+			Pos:  vec.New(r.Range(0, l), r.Range(0, l), r.Range(0, l)),
+		})
+	}
+	return st
+}
+
+// brutePairs returns the set of in-range unordered pairs.
+func brutePairs(st *atom.Store, cut float64) map[[2]int]bool {
+	out := map[[2]int]bool{}
+	c2 := cut * cut
+	for i := 0; i < st.N; i++ {
+		for j := i + 1; j < st.N; j++ {
+			if st.Pos[i].Sub(st.Pos[j]).Norm2() <= c2 {
+				out[[2]int{i, j}] = true
+			}
+		}
+	}
+	return out
+}
+
+func listPairsHalf(l *neighbor.List) map[[2]int]bool {
+	out := map[[2]int]bool{}
+	for i := range l.Neigh {
+		for _, e := range l.Neigh[i] {
+			j, _ := neighbor.Decode(e)
+			a, b := i, j
+			if a > b {
+				a, b = b, a
+			}
+			out[[2]int{a, b}] = true
+		}
+	}
+	return out
+}
+
+// TestHalfListCompleteness: the half list must contain exactly the
+// brute-force in-range pairs (within cutoff+skin).
+func TestHalfListCompleteness(t *testing.T) {
+	f := func(seed uint64) bool {
+		st := randomStore(150, 6, seed)
+		nl := neighbor.NewList(neighbor.Half, 1.5, 0.3)
+		nl.Build(st)
+		want := brutePairs(st, 1.8)
+		got := listPairsHalf(nl)
+		if len(want) != len(got) {
+			return false
+		}
+		for p := range want {
+			if !got[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFullListSymmetry: the full list stores each pair from both sides.
+func TestFullListSymmetry(t *testing.T) {
+	st := randomStore(200, 7, 3)
+	nl := neighbor.NewList(neighbor.Full, 1.2, 0.2)
+	nl.Build(st)
+	for i := range nl.Neigh {
+		for _, e := range nl.Neigh[i] {
+			j, _ := neighbor.Decode(e)
+			found := false
+			for _, e2 := range nl.Neigh[j] {
+				if k, _ := neighbor.Decode(e2); k == i {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("pair %d-%d not symmetric", i, j)
+			}
+		}
+	}
+	// Full list pair count = 2x brute pairs.
+	if int(nl.Stats.LastPairs) != 2*len(brutePairs(st, 1.4)) {
+		t.Errorf("full list pair count %d vs brute %d", nl.Stats.LastPairs, len(brutePairs(st, 1.4)))
+	}
+}
+
+func TestRebuildTrigger(t *testing.T) {
+	st := randomStore(50, 10, 1)
+	nl := neighbor.NewList(neighbor.Half, 2, 0.5)
+	if !nl.NeedsRebuild(st) {
+		t.Fatal("fresh list must need building")
+	}
+	nl.Build(st)
+	if nl.NeedsRebuild(st) {
+		t.Fatal("just-built list must not need rebuild")
+	}
+	// Move an atom by less than skin/2: no rebuild.
+	st.Pos[0] = st.Pos[0].Add(vec.New(0.2, 0, 0))
+	if nl.NeedsRebuild(st) {
+		t.Error("sub-half-skin displacement must not trigger")
+	}
+	// Beyond skin/2: rebuild.
+	st.Pos[0] = st.Pos[0].Add(vec.New(0.2, 0, 0))
+	if !nl.NeedsRebuild(st) {
+		t.Error("past-half-skin displacement must trigger")
+	}
+	// Atom count change: rebuild.
+	nl.Build(st)
+	st.Add(atom.Atom{Tag: 51, Type: 1, Pos: vec.New(5, 5, 5)})
+	if !nl.NeedsRebuild(st) {
+		t.Error("atom count change must trigger")
+	}
+}
+
+func TestSpecialExclusion(t *testing.T) {
+	st := atom.New(3)
+	st.Add(atom.Atom{Tag: 1, Type: 1, Pos: vec.New(0, 0, 0),
+		Special: []atom.SpecialRef{{Tag: 2, Kind: atom.Special12}}})
+	st.Add(atom.Atom{Tag: 2, Type: 1, Pos: vec.New(0.5, 0, 0),
+		Special: []atom.SpecialRef{{Tag: 1, Kind: atom.Special12}}})
+	st.Add(atom.Atom{Tag: 3, Type: 1, Pos: vec.New(0, 0.5, 0)})
+
+	// Exclusion mode: special pair absent.
+	nl := neighbor.NewList(neighbor.Half, 1, 0.1)
+	nl.Build(st)
+	for i := range nl.Neigh {
+		for _, e := range nl.Neigh[i] {
+			j, _ := neighbor.Decode(e)
+			if (i == 0 && j == 1) || (i == 1 && j == 0) {
+				t.Error("excluded special pair present in list")
+			}
+		}
+	}
+
+	// Keep mode: pair present with kind bits.
+	nl2 := neighbor.NewList(neighbor.Half, 1, 0.1)
+	nl2.SpecialWeight = func(atom.SpecialKind) (float64, bool) { return 0, true }
+	nl2.Build(st)
+	found := false
+	for i := range nl2.Neigh {
+		for _, e := range nl2.Neigh[i] {
+			j, kind := neighbor.Decode(e)
+			if (i == 0 && j == 1) || (i == 1 && j == 0) {
+				found = true
+				if kind != atom.Special12 {
+					t.Errorf("special kind not encoded: %v", kind)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("kept special pair missing from list")
+	}
+}
+
+func TestNeighborsPerAtomNormalization(t *testing.T) {
+	st := randomStore(400, 8, 5)
+	half := neighbor.NewList(neighbor.Half, 1.5, 0.2)
+	half.Build(st)
+	full := neighbor.NewList(neighbor.Full, 1.5, 0.2)
+	full.Build(st)
+	h := half.NeighborsPerAtom(st.N)
+	f := full.NeighborsPerAtom(st.N)
+	if diff := h - f; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("half/full normalized density mismatch: %v vs %v", h, f)
+	}
+}
+
+func TestDecodeRoundTrip(t *testing.T) {
+	for _, kind := range []atom.SpecialKind{0, atom.Special12, atom.Special13, atom.Special14} {
+		for _, idx := range []int{0, 1, 12345, neighbor.IdxMask} {
+			e := int32(idx) | int32(kind)<<neighbor.KindShift
+			gi, gk := neighbor.Decode(e)
+			if gi != idx || gk != kind {
+				t.Fatalf("decode(%d<<|%d) = (%d,%d)", kind, idx, gi, gk)
+			}
+		}
+	}
+}
+
+func ExampleList_Build() {
+	st := atom.New(2)
+	st.Add(atom.Atom{Tag: 1, Type: 1, Pos: vec.New(0, 0, 0)})
+	st.Add(atom.Atom{Tag: 2, Type: 1, Pos: vec.New(1, 0, 0)})
+	nl := neighbor.NewList(neighbor.Half, 1.5, 0.3)
+	nl.Build(st)
+	fmt.Println(len(nl.Neigh[0]), nl.Stats.Builds)
+	// Output: 1 1
+}
+
+func BenchmarkBuildLJDensity(b *testing.B) {
+	st := randomStore(4000, 16.8, 7) // LJ-melt density
+	nl := neighbor.NewList(neighbor.Half, 2.5, 0.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nl.Build(st)
+	}
+	b.ReportMetric(float64(nl.Stats.DistanceChecks)/float64(b.Elapsed().Nanoseconds()+1), "checks/ns")
+}
+
+func BenchmarkRebuildCheck(b *testing.B) {
+	st := randomStore(4000, 16.8, 7)
+	nl := neighbor.NewList(neighbor.Half, 2.5, 0.3)
+	nl.Build(st)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if nl.NeedsRebuild(st) {
+			b.Fatal("static store must not trigger")
+		}
+	}
+}

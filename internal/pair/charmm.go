@@ -1,0 +1,177 @@
+package pair
+
+import (
+	"math"
+
+	"gomd/internal/neighbor"
+	"gomd/internal/vec"
+)
+
+// CharmmCoulLong is the CHARMM pairwise field of the Rhodopsin benchmark:
+// 12-6 Lennard-Jones with arithmetic mixing and a CHARMM switching
+// function between an inner and outer cutoff, plus the real-space part of
+// the Ewald/PPPM-split Coulomb interaction (erfc-damped), matching
+// LAMMPS pair_style lj/charmm/coul/long.
+type CharmmCoulLong struct {
+	Eps, Sigma [][]float64 // mixed per-type-pair tables
+	RInner     float64     // LJ switching inner cutoff (8 A in the paper)
+	ROuter     float64     // LJ outer cutoff (10 A)
+	RCoul      float64     // Coulomb real-space cutoff (= ROuter)
+	GEwald     float64     // Ewald splitting parameter, set by the kspace solver
+	Prec       Precision
+}
+
+// NewCharmm builds the style with arithmetic mixing over per-type eps and
+// sigma, like pair_modify mix arithmetic in the benchmark input.
+func NewCharmm(eps, sigma []float64, rInner, rOuter float64, prec Precision) *CharmmCoulLong {
+	n := len(eps)
+	e := make([][]float64, n)
+	s := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		e[i] = make([]float64, n)
+		s[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			e[i][j] = math.Sqrt(eps[i] * eps[j])
+			s[i][j] = 0.5 * (sigma[i] + sigma[j])
+		}
+	}
+	return &CharmmCoulLong{
+		Eps: e, Sigma: s,
+		RInner: rInner, ROuter: rOuter, RCoul: rOuter,
+		GEwald: 0.3, // placeholder until the kspace solver initializes it
+		Prec:   prec,
+	}
+}
+
+// Name implements Style.
+func (p *CharmmCoulLong) Name() string { return "lj/charmm/coul/long" }
+
+// Cutoff implements Style.
+func (p *CharmmCoulLong) Cutoff() float64 { return math.Max(p.ROuter, p.RCoul) }
+
+// ListMode implements Style.
+func (p *CharmmCoulLong) ListMode() neighbor.Mode { return neighbor.Half }
+
+// Compute implements Style.
+func (p *CharmmCoulLong) Compute(ctx *Context) Result {
+	switch p.Prec {
+	case Double:
+		return charmmCompute[float64](p, ctx)
+	default:
+		return charmmCompute[float32](p, ctx)
+	}
+}
+
+func charmmCompute[T Real](p *CharmmCoulLong, ctx *Context) Result {
+	st := ctx.Store
+	nl := ctx.List
+	var res Result
+
+	nt := len(p.Eps)
+	lj1 := make([]T, nt*nt)
+	lj2 := make([]T, nt*nt)
+	lj3 := make([]T, nt*nt)
+	lj4 := make([]T, nt*nt)
+	for i := 0; i < nt; i++ {
+		for j := 0; j < nt; j++ {
+			e, s := p.Eps[i][j], p.Sigma[i][j]
+			s6 := math.Pow(s, 6)
+			s12 := s6 * s6
+			lj1[i*nt+j] = T(48 * e * s12)
+			lj2[i*nt+j] = T(24 * e * s6)
+			lj3[i*nt+j] = T(4 * e * s12)
+			lj4[i*nt+j] = T(4 * e * s6)
+		}
+	}
+
+	in2 := p.RInner * p.RInner
+	out2 := p.ROuter * p.ROuter
+	// CHARMM switching function denominator.
+	denom := math.Pow(out2-in2, 3)
+	cutLJ2 := T(out2)
+	cutCoul2 := T(p.RCoul * p.RCoul)
+	maxCut2 := cutLJ2
+	if cutCoul2 > maxCut2 {
+		maxCut2 = cutCoul2
+	}
+	g := p.GEwald
+	qqr2e := ctx.QQr2E
+	twoSqrtPi := 2.0 / math.Sqrt(math.Pi)
+
+	owned := st.N
+	for i := 0; i < owned; i++ {
+		pi := st.Pos[i]
+		ti := int(st.Type[i]) - 1
+		qi := st.Charge[i]
+		xi, yi, zi := T(pi.X), T(pi.Y), T(pi.Z)
+		var fx, fy, fz float64
+		for _, entry := range nl.Neigh[i] {
+			j, kind := neighbor.Decode(entry)
+			pj := st.Pos[j]
+			dx := xi - T(pj.X)
+			dy := yi - T(pj.Y)
+			dz := zi - T(pj.Z)
+			r2 := dx*dx + dy*dy + dz*dz
+			if r2 > maxCut2 {
+				continue
+			}
+			r2f := float64(r2)
+			inv2 := 1 / r2f
+			var fpair, epair float64
+
+			// Special (bonded-topology) pairs carry CHARMM weights:
+			// LJ excluded, Coulomb handled below as a k-space
+			// compensation (factor_coul = 0).
+			if kind == 0 && r2 <= cutLJ2 {
+				tj := int(st.Type[j]) - 1
+				k := ti*nt + tj
+				inv6 := inv2 * inv2 * inv2
+				flj := inv6 * (float64(lj1[k])*inv6 - float64(lj2[k])) * inv2
+				elj := inv6 * (float64(lj3[k])*inv6 - float64(lj4[k]))
+				if r2f > in2 {
+					// CHARMM switching: S(r) smoothly takes the LJ term
+					// from full at RInner to zero at ROuter.
+					t1 := out2 - r2f
+					t2 := t1 * t1
+					sw := t2 * (out2 + 2*r2f - 3*in2) / denom
+					dsw := 12 * t1 * (in2 - r2f) / denom // dS/d(r2)
+					flj = flj*sw - elj*dsw
+					elj *= sw
+				}
+				fpair += flj
+				epair += elj
+			}
+
+			if r2 <= cutCoul2 && (qi != 0 || st.Charge[j] != 0) {
+				r := math.Sqrt(r2f)
+				qq := qqr2e * qi * st.Charge[j]
+				erfcGr := math.Erfc(g * r)
+				pre := qq / r
+				ecoul := pre * erfcGr
+				fcoul := (ecoul + qq*twoSqrtPi*g*math.Exp(-g*g*r2f)) * inv2
+				if kind != 0 {
+					// Excluded pair: subtract the full 1/r term, leaving
+					// -erf(g r)/r, which exactly cancels the k-space
+					// solver's contribution for this pair.
+					fcoul -= pre * inv2
+					ecoul -= pre
+				}
+				fpair += fcoul
+				epair += ecoul
+			}
+
+			fx += fpair * float64(dx)
+			fy += fpair * float64(dy)
+			fz += fpair * float64(dz)
+			if j < owned {
+				st.Force[j] = st.Force[j].Sub(vec.New(fpair*float64(dx), fpair*float64(dy), fpair*float64(dz)))
+			}
+			w := scaleHalf(j, owned)
+			res.Energy += w * epair
+			res.Virial += w * fpair * r2f
+			res.Pairs++
+		}
+		st.Force[i] = st.Force[i].Add(vec.New(fx, fy, fz))
+	}
+	return res
+}

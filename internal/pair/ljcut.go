@@ -1,0 +1,136 @@
+package pair
+
+import (
+	"math"
+
+	"gomd/internal/neighbor"
+	"gomd/internal/vec"
+)
+
+// LJCut is the truncated 12-6 Lennard-Jones potential with per-type-pair
+// coefficients and arithmetic (Lorentz-Berthelot) mixing, as used by the
+// LJ melt and Chain benchmarks.
+type LJCut struct {
+	// Eps and Sigma are indexed [type][type], 1-based types mapped to
+	// 0-based indices.
+	Eps   [][]float64
+	Sigma [][]float64
+	RCut  float64
+	Shift bool // energy-shift the potential to zero at the cutoff
+	Prec  Precision
+}
+
+// NewLJCut builds a single-type LJ potential.
+func NewLJCut(eps, sigma, rcut float64, prec Precision) *LJCut {
+	return &LJCut{
+		Eps:   [][]float64{{eps}},
+		Sigma: [][]float64{{sigma}},
+		RCut:  rcut,
+		Prec:  prec,
+	}
+}
+
+// NewLJCutMixed builds an ntypes potential with arithmetic mixing from
+// per-type eps/sigma.
+func NewLJCutMixed(eps, sigma []float64, rcut float64, prec Precision) *LJCut {
+	n := len(eps)
+	e := make([][]float64, n)
+	s := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		e[i] = make([]float64, n)
+		s[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			e[i][j] = math.Sqrt(eps[i] * eps[j])
+			s[i][j] = 0.5 * (sigma[i] + sigma[j])
+		}
+	}
+	return &LJCut{Eps: e, Sigma: s, RCut: rcut, Prec: prec}
+}
+
+// Name implements Style.
+func (p *LJCut) Name() string { return "lj/cut" }
+
+// Cutoff implements Style.
+func (p *LJCut) Cutoff() float64 { return p.RCut }
+
+// ListMode implements Style.
+func (p *LJCut) ListMode() neighbor.Mode { return neighbor.Half }
+
+// Compute implements Style.
+func (p *LJCut) Compute(ctx *Context) Result {
+	switch p.Prec {
+	case Double:
+		return ljCompute[float64](p, ctx)
+	default:
+		// Single and Mixed share the float32 arithmetic path; they differ
+		// only in accumulation width, which the float64 force array makes
+		// moot at engine level (the platform model distinguishes their
+		// cost; see perfmodel).
+		return ljCompute[float32](p, ctx)
+	}
+}
+
+func ljCompute[T Real](p *LJCut, ctx *Context) Result {
+	st := ctx.Store
+	nl := ctx.List
+	cut2 := T(p.RCut * p.RCut)
+	var res Result
+	// Precompute coefficient tables in T.
+	nt := len(p.Eps)
+	lj1 := make([]T, nt*nt) // 48*eps*sigma^12
+	lj2 := make([]T, nt*nt) // 24*eps*sigma^6
+	lj3 := make([]T, nt*nt) // 4*eps*sigma^12
+	lj4 := make([]T, nt*nt) // 4*eps*sigma^6
+	shift := make([]T, nt*nt)
+	for i := 0; i < nt; i++ {
+		for j := 0; j < nt; j++ {
+			e, s := p.Eps[i][j], p.Sigma[i][j]
+			s6 := math.Pow(s, 6)
+			s12 := s6 * s6
+			lj1[i*nt+j] = T(48 * e * s12)
+			lj2[i*nt+j] = T(24 * e * s6)
+			lj3[i*nt+j] = T(4 * e * s12)
+			lj4[i*nt+j] = T(4 * e * s6)
+			if p.Shift {
+				rc6 := math.Pow(p.RCut, -6)
+				shift[i*nt+j] = T(4 * e * (s12*rc6*rc6 - s6*rc6))
+			}
+		}
+	}
+	owned := st.N
+	for i := 0; i < owned; i++ {
+		pi := st.Pos[i]
+		ti := int(st.Type[i]) - 1
+		xi, yi, zi := T(pi.X), T(pi.Y), T(pi.Z)
+		var fx, fy, fz float64
+		for _, j32 := range nl.Neigh[i] {
+			j := int(j32)
+			pj := st.Pos[j]
+			dx := xi - T(pj.X)
+			dy := yi - T(pj.Y)
+			dz := zi - T(pj.Z)
+			r2 := dx*dx + dy*dy + dz*dz
+			if r2 > cut2 {
+				continue
+			}
+			tj := int(st.Type[j]) - 1
+			k := ti*nt + tj
+			inv2 := 1 / r2
+			inv6 := inv2 * inv2 * inv2
+			fpair := inv6 * (lj1[k]*inv6 - lj2[k]) * inv2
+			fx += float64(fpair * dx)
+			fy += float64(fpair * dy)
+			fz += float64(fpair * dz)
+			w := scaleHalf(j, owned)
+			if j < owned {
+				st.Force[j] = st.Force[j].Sub(vec.New(float64(fpair*dx), float64(fpair*dy), float64(fpair*dz)))
+			}
+			e := float64(inv6*(lj3[k]*inv6-lj4[k]) - shift[k])
+			res.Energy += w * e
+			res.Virial += w * float64(fpair*r2)
+			res.Pairs++
+		}
+		st.Force[i] = st.Force[i].Add(vec.New(fx, fy, fz))
+	}
+	return res
+}

@@ -1,0 +1,106 @@
+// Package pair implements the non-bonded pairwise force fields of the
+// benchmark suite (Table 2 of the paper): Lennard-Jones with cutoff (LJ
+// and Chain), CHARMM-style LJ + long-range-compatible Coulomb (Rhodopsin),
+// the EAM many-body metallic potential (EAM), and Hookean granular contact
+// with tangential history (Chute).
+//
+// All analytic kernels are generic over the arithmetic precision
+// (float32/float64) to support the paper's §8 sensitivity study; forces
+// are always accumulated in float64 ("mixed" is float32 arithmetic with
+// float64 accumulation, the LAMMPS INTEL package default).
+package pair
+
+import (
+	"gomd/internal/atom"
+	"gomd/internal/neighbor"
+)
+
+// Real is the precision type parameter of the arithmetic kernels.
+type Real interface {
+	~float32 | ~float64
+}
+
+// Precision selects the arithmetic width of the pairwise computation.
+type Precision int
+
+const (
+	// Mixed computes in float32 and accumulates in float64 — the zero
+	// value, matching the LAMMPS INTEL package default the paper
+	// benchmarks against.
+	Mixed Precision = iota
+	// Double computes and accumulates in float64.
+	Double
+	// Single computes and accumulates in float32.
+	Single
+)
+
+// String implements fmt.Stringer.
+func (p Precision) String() string {
+	switch p {
+	case Double:
+		return "double"
+	case Mixed:
+		return "mixed"
+	case Single:
+		return "single"
+	default:
+		return "precision(?)"
+	}
+}
+
+// GhostSync propagates per-atom values from owners to ghost copies; the
+// EAM style needs it between its density and force passes. The serial
+// engine satisfies it by tag lookup; the decomposed engine by halo
+// messages.
+type GhostSync interface {
+	// ForwardScalar overwrites buf[g] for every ghost g with the owner's
+	// value. len(buf) equals the store's Total().
+	ForwardScalar(buf []float64)
+}
+
+// Result carries the per-invocation accounting of a pair compute.
+type Result struct {
+	// Energy is the potential energy contribution (owned-ghost pairs are
+	// counted at half weight so that summing over ranks is exact).
+	Energy float64
+	// Virial is the scalar virial sum r·f with the same weighting; used
+	// by the pressure compute and the NPT barostat.
+	Virial float64
+	// Pairs is the number of in-cutoff pair evaluations performed; the
+	// performance model uses it as the Pair-task work measure.
+	Pairs int64
+}
+
+// Context is the state handed to a pair style on every compute call.
+type Context struct {
+	Store *atom.Store
+	List  *neighbor.List
+	Sync  GhostSync
+	// QQr2E is the Coulomb energy prefactor of the active unit system.
+	QQr2E float64
+	// Dt is the timestep, needed by history-dependent (granular) styles.
+	Dt float64
+}
+
+// Style is a pairwise force field.
+type Style interface {
+	// Name returns the LAMMPS-style identifier, e.g. "lj/cut".
+	Name() string
+	// Cutoff returns the interaction cutoff used for neighbor lists.
+	Cutoff() float64
+	// ListMode returns the neighbor discipline the style requires.
+	ListMode() neighbor.Mode
+	// Compute accumulates forces into ctx.Store.Force and returns the
+	// energy/virial/ops accounting.
+	Compute(ctx *Context) Result
+}
+
+// scaleHalf returns the energy/virial weight of a pair: 1 for owned-owned
+// (stored once in half lists), 0.5 for owned-ghost (computed by both
+// owning ranks).
+func scaleHalf(j, owned int) float64 {
+	if j < owned {
+		return 1
+	}
+	return 0.5
+}

@@ -1,0 +1,343 @@
+package pair_test
+
+import (
+	"math"
+	"testing"
+
+	"gomd/internal/atom"
+	"gomd/internal/neighbor"
+	"gomd/internal/pair"
+	"gomd/internal/rng"
+	"gomd/internal/vec"
+)
+
+// noSync satisfies pair.GhostSync for ghost-free stores.
+type noSync struct{}
+
+func (noSync) ForwardScalar([]float64) {}
+
+// dimer builds two atoms separated by r along x.
+func dimer(r float64, q1, q2 float64) *atom.Store {
+	st := atom.New(2)
+	st.Add(atom.Atom{Tag: 1, Type: 1, Pos: vec.New(0, 0, 0), Charge: q1})
+	st.Add(atom.Atom{Tag: 2, Type: 1, Pos: vec.New(r, 0, 0), Charge: q2})
+	return st
+}
+
+// evalPair runs one compute over a freshly built list.
+func evalPair(st *atom.Store, style pair.Style, qqr2e float64) pair.Result {
+	nl := neighbor.NewList(style.ListMode(), style.Cutoff(), 0.5)
+	nl.Build(st)
+	st.ZeroForces()
+	return style.Compute(&pair.Context{
+		Store: st, List: nl, Sync: noSync{}, QQr2E: qqr2e, Dt: 0.005,
+	})
+}
+
+func TestLJDimerAnalytic(t *testing.T) {
+	p := pair.NewLJCut(1, 1, 2.5, pair.Double)
+	for _, r := range []float64{0.95, 1.0, 1.122462, 1.5, 2.0} {
+		st := dimer(r, 0, 0)
+		res := evalPair(st, p, 1)
+		s6 := math.Pow(1/r, 6)
+		wantE := 4 * (s6*s6 - s6)
+		wantF := 24 * (2*s6*s6 - s6) / r // magnitude along x on atom 1 (negative toward 2 when attractive)
+		if math.Abs(res.Energy-wantE) > 1e-12*(1+math.Abs(wantE)) {
+			t.Errorf("r=%v: energy %v want %v", r, res.Energy, wantE)
+		}
+		if got := st.Force[0].X; math.Abs(got-(-wantF)) > 1e-9*(1+math.Abs(wantF)) {
+			t.Errorf("r=%v: force %v want %v", r, got, -wantF)
+		}
+		if st.Force[0].Add(st.Force[1]).Norm() > 1e-12 {
+			t.Errorf("r=%v: momentum not conserved", r)
+		}
+	}
+	// At the LJ minimum 2^(1/6), force vanishes.
+	st := dimer(math.Pow(2, 1.0/6), 0, 0)
+	evalPair(st, p, 1)
+	if st.Force[0].Norm() > 1e-9 {
+		t.Errorf("force at minimum: %v", st.Force[0])
+	}
+}
+
+// numericForce checks style forces against -dE/dx by central difference.
+func numericForce(t *testing.T, style pair.Style, st *atom.Store, qqr2e, tol float64) {
+	t.Helper()
+	res := evalPair(st, style, qqr2e)
+	_ = res
+	forces := make([]vec.V3, st.N)
+	copy(forces, st.Force[:st.N])
+	h := 1e-6
+	for i := 0; i < st.N; i++ {
+		for d := 0; d < 3; d++ {
+			orig := st.Pos[i]
+			st.Pos[i] = orig.WithComponent(d, orig.Component(d)+h)
+			ep := evalPair(st, style, qqr2e).Energy
+			st.Pos[i] = orig.WithComponent(d, orig.Component(d)-h)
+			em := evalPair(st, style, qqr2e).Energy
+			st.Pos[i] = orig
+			want := -(ep - em) / (2 * h)
+			got := forces[i].Component(d)
+			if math.Abs(got-want) > tol*(1+math.Abs(want)) {
+				t.Errorf("atom %d dim %d: force %v vs -dE/dx %v", i, d, got, want)
+			}
+		}
+	}
+}
+
+func TestLJForceIsEnergyGradient(t *testing.T) {
+	st := atom.New(5)
+	r := rng.New(4)
+	for i := 0; i < 5; i++ {
+		st.Add(atom.Atom{Tag: int64(i + 1), Type: 1,
+			Pos: vec.New(r.Range(0, 3), r.Range(0, 3), r.Range(0, 3))})
+	}
+	numericForce(t, pair.NewLJCut(1, 1, 2.5, pair.Double), st, 1, 1e-5)
+}
+
+func TestEAMForceIsEnergyGradient(t *testing.T) {
+	st := atom.New(6)
+	r := rng.New(9)
+	for i := 0; i < 6; i++ {
+		st.Add(atom.Atom{Tag: int64(i + 1), Type: 1,
+			Pos: vec.New(r.Range(0, 5), r.Range(0, 5), r.Range(0, 5)).Add(vec.Splat(1))})
+	}
+	numericForce(t, pair.NewEAMCopper(pair.Double), st, 1, 1e-4)
+}
+
+func TestCharmmForceIsEnergyGradient(t *testing.T) {
+	st := atom.New(4)
+	r := rng.New(14)
+	for i := 0; i < 4; i++ {
+		q := 0.4
+		if i%2 == 1 {
+			q = -0.4
+		}
+		st.Add(atom.Atom{Tag: int64(i + 1), Type: 1,
+			Pos:    vec.New(r.Range(0, 8), r.Range(0, 8), r.Range(0, 8)),
+			Charge: q})
+	}
+	ch := pair.NewCharmm([]float64{0.15}, []float64{3.2}, 6, 8, pair.Double)
+	ch.GEwald = 0.3
+	numericForce(t, ch, st, 332.06371, 1e-4)
+}
+
+// TestCharmmSwitchingContinuous: the switched LJ energy must be
+// continuous at the inner cutoff and vanish at the outer one.
+func TestCharmmSwitchingContinuous(t *testing.T) {
+	ch := pair.NewCharmm([]float64{0.2}, []float64{3.0}, 6, 8, pair.Double)
+	ch.GEwald = 0.3
+	eAt := func(r float64) float64 {
+		return evalPair(dimer(r, 0, 0), ch, 332.06371).Energy
+	}
+	below := eAt(6 - 1e-9)
+	above := eAt(6 + 1e-9)
+	if math.Abs(below-above) > 1e-6*(1+math.Abs(below)) {
+		t.Errorf("switch discontinuity at inner cutoff: %v vs %v", below, above)
+	}
+	if e := eAt(7.9999); math.Abs(e) > 1e-6 {
+		t.Errorf("LJ energy not switched to zero at outer cutoff: %v", e)
+	}
+}
+
+// TestCharmmSpecialExcluded: a 1-2 pair keeps only the k-space
+// compensation (negative erf term), with the LJ part removed.
+func TestCharmmSpecialExcluded(t *testing.T) {
+	ch := pair.NewCharmm([]float64{0.2}, []float64{3.0}, 6, 8, pair.Double)
+	ch.GEwald = 0.3
+	st := dimer(1.0, 0.4, -0.4)
+	st.Special[0] = []atom.SpecialRef{{Tag: 2, Kind: atom.Special12}}
+	st.Special[1] = []atom.SpecialRef{{Tag: 1, Kind: atom.Special12}}
+
+	nl := neighbor.NewList(neighbor.Half, ch.Cutoff(), 0.5)
+	nl.SpecialWeight = func(atom.SpecialKind) (float64, bool) { return 0, true }
+	nl.Build(st)
+	st.ZeroForces()
+	res := ch.Compute(&pair.Context{Store: st, List: nl, Sync: noSync{}, QQr2E: 332.06371})
+
+	qq := 332.06371 * 0.4 * -0.4
+	want := -qq * math.Erf(0.3*1.0) / 1.0
+	if math.Abs(res.Energy-want) > 1e-9*(1+math.Abs(want)) {
+		t.Errorf("special pair energy %v want %v (pure -erf compensation)", res.Energy, want)
+	}
+}
+
+// TestGranularContact: overlapping grains repel along the contact
+// normal; separated grains do not interact; history appears and clears.
+func TestGranularContact(t *testing.T) {
+	g := pair.NewGranChute()
+	st := dimer(0.9, 0, 0) // overlap 0.1
+	evalPair(st, g, 1)
+	if st.Force[0].X >= 0 || st.Force[1].X <= 0 {
+		t.Errorf("overlapping grains must repel: %v %v", st.Force[0], st.Force[1])
+	}
+	if g.Contacts() != 2 { // full list: both perspectives
+		t.Errorf("contact history entries: %d", g.Contacts())
+	}
+
+	// Tangential history: give atom 2 a transverse velocity, step twice;
+	// the friction force on atom 1 must oppose the relative slip (+y of
+	// atom 2 means atom 1 sees slip -y, so f_t on 1 is +y... from 1's
+	// frame the relative velocity v1-v2 = -y, friction opposes it: +y).
+	st.Vel[1] = vec.New(0, 1, 0)
+	evalPair(st, g, 1)
+	evalPair(st, g, 1)
+	if st.Force[0].Y <= 0 {
+		t.Errorf("tangential friction direction: %v", st.Force[0])
+	}
+
+	// Separate: contact history must clear.
+	st.Pos[1] = vec.New(1.5, 0, 0)
+	nl := neighbor.NewList(neighbor.Full, g.Cutoff(), 0.6)
+	nl.Build(st)
+	st.ZeroForces()
+	g.Compute(&pair.Context{Store: st, List: nl, Sync: noSync{}, Dt: 0.005})
+	if g.Contacts() != 0 {
+		t.Errorf("history not cleared after separation: %d", g.Contacts())
+	}
+}
+
+// TestGranularHistoryMigration: extract/inject round-trips contact state.
+func TestGranularHistoryMigration(t *testing.T) {
+	g := pair.NewGranChute()
+	st := dimer(0.9, 0, 0)
+	st.Vel[1] = vec.New(0, 1, 0)
+	evalPair(st, g, 1)
+	h := g.ExtractHistory(1)
+	if len(h) != 1 {
+		t.Fatalf("extracted %d entries", len(h))
+	}
+	if g.Contacts() != 1 {
+		t.Fatalf("extract did not remove entries: %d", g.Contacts())
+	}
+	g.InjectHistory(1, h)
+	if g.Contacts() != 2 {
+		t.Fatalf("inject did not restore entries: %d", g.Contacts())
+	}
+}
+
+// TestPrecisionPathsAgree: float32 and float64 kernels agree to single
+// precision.
+func TestPrecisionPathsAgree(t *testing.T) {
+	r := rng.New(77)
+	st64 := atom.New(40)
+	st32 := atom.New(40)
+	for i := 0; i < 40; i++ {
+		a := atom.Atom{Tag: int64(i + 1), Type: 1,
+			Pos: vec.New(r.Range(0, 6), r.Range(0, 6), r.Range(0, 6))}
+		st64.Add(a)
+		st32.Add(a)
+	}
+	eD := evalPair(st64, pair.NewLJCut(1, 1, 2.5, pair.Double), 1).Energy
+	eS := evalPair(st32, pair.NewLJCut(1, 1, 2.5, pair.Single), 1).Energy
+	if rel := math.Abs(eD-eS) / (1 + math.Abs(eD)); rel > 1e-4 {
+		t.Errorf("precision paths diverge: %v vs %v (rel %v)", eD, eS, rel)
+	}
+	var worst float64
+	for i := 0; i < 40; i++ {
+		d := st64.Force[i].Sub(st32.Force[i]).Norm() / (1 + st64.Force[i].Norm())
+		if d > worst {
+			worst = d
+		}
+	}
+	if worst > 1e-3 {
+		t.Errorf("force precision divergence: %v", worst)
+	}
+}
+
+func TestMixingArithmetic(t *testing.T) {
+	p := pair.NewLJCutMixed([]float64{1, 4}, []float64{1, 2}, 5, pair.Double)
+	if got := p.Eps[0][1]; math.Abs(got-2) > 1e-12 {
+		t.Errorf("eps mixing: %v", got)
+	}
+	if got := p.Sigma[0][1]; math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("sigma mixing: %v", got)
+	}
+	if p.Eps[0][1] != p.Eps[1][0] || p.Sigma[0][1] != p.Sigma[1][0] {
+		t.Error("mixing not symmetric")
+	}
+}
+
+// --- micro-benchmarks -----------------------------------------------------
+
+func benchStore(n int, l float64) *atom.Store {
+	st := atom.New(n)
+	r := rng.New(1)
+	for i := 0; i < n; i++ {
+		st.Add(atom.Atom{Tag: int64(i + 1), Type: 1,
+			Pos:    vec.New(r.Range(0, l), r.Range(0, l), r.Range(0, l)),
+			Charge: 0.2})
+	}
+	return st
+}
+
+func benchPair(b *testing.B, style pair.Style) {
+	st := benchStore(4000, 16.8) // LJ-melt density
+	nl := neighbor.NewList(style.ListMode(), style.Cutoff(), 0.3)
+	nl.Build(st)
+	ctx := &pair.Context{Store: st, List: nl, Sync: noSync{}, QQr2E: 1, Dt: 0.005}
+	b.ResetTimer()
+	var pairs int64
+	for i := 0; i < b.N; i++ {
+		st.ZeroForces()
+		pairs += style.Compute(ctx).Pairs
+	}
+	b.ReportMetric(float64(pairs)/float64(b.Elapsed().Nanoseconds()), "pairs/ns")
+}
+
+func BenchmarkPairLJDouble(b *testing.B) { benchPair(b, pair.NewLJCut(1, 1, 2.5, pair.Double)) }
+func BenchmarkPairLJSingle(b *testing.B) { benchPair(b, pair.NewLJCut(1, 1, 2.5, pair.Single)) }
+func BenchmarkPairEAM(b *testing.B)      { benchPair(b, pair.NewEAMCopper(pair.Double)) }
+func BenchmarkPairCharmm(b *testing.B) {
+	ch := pair.NewCharmm([]float64{0.15}, []float64{1.0}, 2.0, 2.5, pair.Double)
+	ch.GEwald = 0.3
+	benchPair(b, ch)
+}
+func BenchmarkPairGranular(b *testing.B) { benchPair(b, pair.NewGranChute()) }
+
+func TestMorseDimer(t *testing.T) {
+	m := &pair.Morse{D0: 1.5, Alpha: 2.0, R0: 1.1, RCut: 4, Prec: pair.Double}
+	// At r0: E = -D0, F = 0.
+	st := dimer(1.1, 0, 0)
+	res := evalPair(st, m, 1)
+	if math.Abs(res.Energy+1.5) > 1e-12 {
+		t.Errorf("well depth %v want -1.5", res.Energy)
+	}
+	if st.Force[0].Norm() > 1e-9 {
+		t.Errorf("force at minimum %v", st.Force[0])
+	}
+	// Gradient check off-minimum.
+	stG := atom.New(4)
+	r := rng.New(3)
+	for i := 0; i < 4; i++ {
+		stG.Add(atom.Atom{Tag: int64(i + 1), Type: 1,
+			Pos: vec.New(r.Range(0, 4), r.Range(0, 4), r.Range(0, 4))})
+	}
+	numericForce(t, m, stG, 1, 1e-5)
+}
+
+// TestLJShiftFlag: energy-shifted LJ vanishes at the cutoff; unshifted
+// retains the cutoff discontinuity.
+func TestLJShiftFlag(t *testing.T) {
+	shifted := pair.NewLJCut(1, 1, 2.5, pair.Double)
+	shifted.Shift = true
+	eAtCut := evalPair(dimer(2.4999, 0, 0), shifted, 1).Energy
+	if math.Abs(eAtCut) > 1e-3 {
+		t.Errorf("shifted energy near cutoff %v", eAtCut)
+	}
+	plain := pair.NewLJCut(1, 1, 2.5, pair.Double)
+	r := 2.4999
+	ePlain := evalPair(dimer(r, 0, 0), plain, 1).Energy
+	s6 := math.Pow(1/r, 6)
+	want := 4 * (s6*s6 - s6)
+	if math.Abs(ePlain-want) > 1e-9 {
+		t.Errorf("unshifted energy %v want %v", ePlain, want)
+	}
+}
+
+// TestPrecisionStrings covers the Stringer.
+func TestPrecisionStrings(t *testing.T) {
+	if pair.Mixed.String() != "mixed" || pair.Double.String() != "double" || pair.Single.String() != "single" {
+		t.Error("precision names")
+	}
+}

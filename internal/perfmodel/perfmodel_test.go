@@ -1,0 +1,269 @@
+package perfmodel_test
+
+import (
+	"math"
+	"testing"
+
+	"gomd/internal/core"
+	"gomd/internal/mpi"
+	"gomd/internal/pair"
+	"gomd/internal/perfmodel"
+)
+
+// syntheticInput builds a balanced per-rank counter set resembling an LJ
+// run: n atoms, ~27 half-pairs per atom per step, halo traffic on the
+// surface.
+func syntheticInput(ranks, atoms, steps int) perfmodel.Input {
+	per := make([]core.Counters, ranks)
+	ms := make([]mpi.Stats, ranks)
+	nLocal := atoms / ranks
+	for r := range per {
+		per[r] = core.Counters{
+			Steps:       int64(steps),
+			PairOps:     int64(27 * nLocal * steps),
+			NeighChecks: int64(40 * nLocal * steps / 10),
+			NeighPairs:  int64(27 * nLocal * steps / 10),
+			NeighBuilds: int64(steps / 10),
+			ModifyOps:   int64(2 * nLocal * steps),
+			CommMsgs:    int64(12 * steps),
+			CommBytes:   int64(30 * 100 * steps), // ~100 ghosts
+		}
+		ms[r].Funcs[mpi.FuncAllreduce].Calls = int64(steps)
+	}
+	return perfmodel.Input{
+		Instance:  perfmodel.CPUInstance(),
+		Costs:     perfmodel.CPUCosts(),
+		Ranks:     ranks,
+		Steps:     steps,
+		PairStyle: "lj/cut",
+		Precision: pair.Mixed,
+		NGlobal:   atoms,
+		PerRank:   per,
+		MPI:       ms,
+	}
+}
+
+// TestCPUStrongScalingMonotonic: with per-rank work divided, more ranks
+// must give more TS/s, with sub-linear efficiency.
+func TestCPUStrongScalingMonotonic(t *testing.T) {
+	prev := 0.0
+	base := 0.0
+	for _, ranks := range []int{1, 2, 4, 8, 16, 32, 64} {
+		out := perfmodel.EvaluateCPU(syntheticInput(ranks, 256000, 10))
+		if out.TSps <= prev {
+			t.Errorf("%d ranks: TS/s %v not above %v", ranks, out.TSps, prev)
+		}
+		if ranks == 1 {
+			base = out.TSps
+		} else if out.TSps > base*float64(ranks)*1.001 {
+			t.Errorf("%d ranks: superlinear speedup %v vs base %v", ranks, out.TSps, base)
+		}
+		prev = out.TSps
+	}
+}
+
+// TestImbalanceFromSkew: giving one rank extra work must surface as wait
+// time on the others.
+func TestImbalanceFromSkew(t *testing.T) {
+	in := syntheticInput(8, 256000, 10)
+	in.PerRank[0].PairOps *= 3
+	out := perfmodel.EvaluateCPU(in)
+	if out.ImbalancePct[0] >= out.ImbalancePct[1] {
+		t.Errorf("loaded rank imbalance %v >= idle rank %v",
+			out.ImbalancePct[0], out.ImbalancePct[1])
+	}
+	if out.ImbalancePct[1] < 1 {
+		t.Errorf("skew produced no wait: %v", out.ImbalancePct[1])
+	}
+	balanced := perfmodel.EvaluateCPU(syntheticInput(8, 256000, 10))
+	if out.TSps >= balanced.TSps {
+		t.Error("skewed run cannot be faster than balanced")
+	}
+}
+
+// TestPrecisionOrdering: double < mixed < single pair cost ordering must
+// surface in TS/s.
+func TestPrecisionOrdering(t *testing.T) {
+	mk := func(p pair.Precision) float64 {
+		in := syntheticInput(8, 256000, 10)
+		in.Precision = p
+		return perfmodel.EvaluateCPU(in).TSps
+	}
+	s, m, d := mk(pair.Single), mk(pair.Mixed), mk(pair.Double)
+	if !(s > m && m > d) {
+		t.Errorf("precision ordering broken: single %v mixed %v double %v", s, m, d)
+	}
+}
+
+// TestScaleCountersLaws: volume terms scale with f, surface terms with
+// f^(2/3).
+func TestScaleCountersLaws(t *testing.T) {
+	c := core.Counters{
+		Steps: 10, PairOps: 1000, BondTerms: 500, ModifyOps: 300,
+		CommBytes: 900, GhostAtoms: 90, CommMsgs: 12,
+		KspaceGridPts: 10 * 1000, KspaceFFTOps: 5000, KspaceGridOps: 700,
+		KspaceCommBytes: 8000,
+	}
+	s := perfmodel.ScaleSpec{Factor: 8, TargetGridPts: 8000, TargetGridDims: [3]int{20, 20, 20}}
+	out := perfmodel.ScaleCounters(c, s)
+	if out.PairOps != 8000 || out.BondTerms != 4000 || out.ModifyOps != 2400 {
+		t.Errorf("volume scaling: %+v", out)
+	}
+	if out.CommBytes != 3600 || out.GhostAtoms != 360 { // 8^(2/3) = 4
+		t.Errorf("surface scaling: %d %d", out.CommBytes, out.GhostAtoms)
+	}
+	if out.CommMsgs != 12 {
+		t.Errorf("message count must not scale: %d", out.CommMsgs)
+	}
+	if out.KspaceGridPts != 8000*10 {
+		t.Errorf("grid points: %d", out.KspaceGridPts)
+	}
+	if out.KspaceGridOps != 700*8 { // 8000/1000
+		t.Errorf("grid ops: %d", out.KspaceGridOps)
+	}
+	// 20 = 2^2*5: 3 stages; butterflies = 3 * (20*3*400) = 72000; x4
+	// transforms x10 steps.
+	if out.KspaceFFTOps != 4*3*(20*3*400)*10 {
+		t.Errorf("fft ops: %d", out.KspaceFFTOps)
+	}
+	// Identity passes through.
+	id := perfmodel.ScaleCounters(c, perfmodel.ScaleSpec{Factor: 1})
+	if id != c {
+		t.Error("identity scaling changed counters")
+	}
+}
+
+// TestGPURejectsChute: the GPU package has no granular kernel.
+func TestGPURejectsChute(t *testing.T) {
+	in := perfmodel.GPUInput{
+		Input:          syntheticInput(6, 32000, 10),
+		Devices:        1,
+		RanksPerDevice: 6,
+		GPUCosts:       perfmodel.GPUCostsV100(),
+	}
+	in.PairStyle = "gran/hooke/history"
+	if _, err := perfmodel.EvaluateGPU(in); err == nil {
+		t.Fatal("chute must be rejected by the GPU model")
+	}
+}
+
+// TestGPUEfficiencyDropsWithDevices: fixed per-rank overheads must erode
+// multi-device efficiency, especially for small systems (the paper's
+// Figure 9 bottom).
+func TestGPUEfficiencyDropsWithDevices(t *testing.T) {
+	tsps := func(devices, atoms int) float64 {
+		in := perfmodel.GPUInput{
+			Input:          syntheticInput(devices*6, atoms, 10),
+			Devices:        devices,
+			RanksPerDevice: 6,
+			GPUCosts:       perfmodel.GPUCostsV100(),
+		}
+		in.Instance = perfmodel.GPUInstance()
+		out, err := perfmodel.EvaluateGPU(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.TSps
+	}
+	for _, atoms := range []int{32000, 2048000} {
+		e8 := 100 * tsps(8, atoms) / (8 * tsps(1, atoms))
+		if e8 >= 100 {
+			t.Errorf("atoms=%d: 8-device efficiency %v >= 100", atoms, e8)
+		}
+		t.Logf("atoms=%dk: 8-device parallel efficiency %.1f%%", atoms/1000, e8)
+	}
+	small := 100 * tsps(8, 32000) / (8 * tsps(1, 32000))
+	large := 100 * tsps(8, 2048000) / (8 * tsps(1, 2048000))
+	if small >= large {
+		t.Errorf("small systems must scale worse: 32k %v vs 2048k %v", small, large)
+	}
+}
+
+// TestPowerModelBounds: node power must sit between idle and the TDP
+// envelope and grow with utilization.
+func TestPowerModelBounds(t *testing.T) {
+	inst := perfmodel.CPUInstance()
+	idleUtil := make([]float64, 64)
+	full := make([]float64, 64)
+	for i := range full {
+		full[i] = 1
+	}
+	pIdle := inst.NodePower(idleUtil, nil)
+	pFull := inst.NodePower(full, nil)
+	if pIdle < 50 || pIdle > 200 {
+		t.Errorf("idle power %v implausible", pIdle)
+	}
+	if pFull <= pIdle {
+		t.Error("full load must draw more than idle")
+	}
+	if pFull > 2*inst.CPU.TDPWatts*1.2 {
+		t.Errorf("full power %v exceeds TDP envelope", pFull)
+	}
+	gpuInst := perfmodel.GPUInstance()
+	gIdle := gpuInst.NodePower(make([]float64, 48), make([]float64, 8))
+	gFull := gpuInst.NodePower(full[:48], []float64{1, 1, 1, 1, 1, 1, 1, 1})
+	if gFull-gIdle < 8*100 {
+		t.Errorf("8 active V100s add only %v W", gFull-gIdle)
+	}
+}
+
+// TestKspaceAccuracySlowdown: pricing the same measurement with a larger
+// target mesh must reduce TS/s (the §7 mechanism).
+func TestKspaceAccuracySlowdown(t *testing.T) {
+	base := syntheticInput(8, 256000, 10)
+	for r := range base.PerRank {
+		base.PerRank[r].KspaceGridPts = 10 * 48 * 48 * 48
+		base.PerRank[r].KspaceFFTOps = 10 * 4 * 3 * 48 * 48 * 48 * 7
+		base.PerRank[r].KspaceSpreadOps = int64(125 * 32000 * 10)
+		base.PerRank[r].KspaceInterpOps = int64(125 * 32000 * 10)
+	}
+	base.PairStyle = "lj/charmm/coul/long"
+	coarse := perfmodel.EvaluateCPU(base)
+
+	fine := base
+	fine.PerRank = append([]core.Counters(nil), base.PerRank...)
+	for r := range fine.PerRank {
+		fine.PerRank[r] = perfmodel.ScaleCounters(base.PerRank[r], perfmodel.ScaleSpec{
+			Factor: 1, TargetGridPts: 192 * 192 * 192, TargetGridDims: [3]int{192, 192, 192},
+		})
+	}
+	fineOut := perfmodel.EvaluateCPU(fine)
+	if fineOut.TSps >= coarse.TSps {
+		t.Errorf("larger mesh must be slower: %v vs %v", fineOut.TSps, coarse.TSps)
+	}
+	if math.IsNaN(fineOut.TSps) {
+		t.Error("NaN TS/s")
+	}
+}
+
+// TestRoofline: intensity math and boundedness classification.
+func TestRoofline(t *testing.T) {
+	r := perfmodel.CPURoofline()
+	if r.Ridge() < 5 || r.Ridge() > 40 {
+		t.Errorf("ridge %v flops/byte implausible for a modern server", r.Ridge())
+	}
+	c := core.Counters{Steps: 10, PairOps: 1000 * 10, NeighChecks: 2000 * 10, ModifyOps: 100 * 10}
+	tasks := r.Analyze("lj/cut", c)
+	if len(tasks) != 3 {
+		t.Fatalf("tasks %d", len(tasks))
+	}
+	for _, ti := range tasks {
+		if ti.Intensity <= 0 || ti.AttainableGflops <= 0 {
+			t.Errorf("%v: bad placement %+v", ti.Task, ti)
+		}
+		if ti.AttainableGflops > r.PeakGflops+1e-9 {
+			t.Errorf("%v exceeds peak", ti.Task)
+		}
+		// All MD tasks here are memory-bound on this machine (intensity
+		// well below the ~20 F/B ridge).
+		if !ti.MemoryBound {
+			t.Errorf("%v should be memory-bound at intensity %v", ti.Task, ti.Intensity)
+		}
+	}
+	// The charmm kernel is more arithmetic-dense than lj.
+	lj := r.Analyze("lj/cut", c)[0].Intensity
+	ch := r.Analyze("lj/charmm/coul/long", c)[0].Intensity
+	if ch <= lj {
+		t.Errorf("charmm intensity %v should exceed lj %v", ch, lj)
+	}
+}

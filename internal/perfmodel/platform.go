@@ -1,0 +1,134 @@
+// Package perfmodel converts the engine's measured operation counters
+// into platform time, power, and efficiency for the two instances of the
+// paper's Table 3 — the dual-socket Xeon 8358 CPU instance and the
+// 8×V100 GPU instance.
+//
+// The division of labor (DESIGN.md): the real engine, decomposed over the
+// simulated MPI runtime, *measures* what happens per rank (pair
+// evaluations, neighbor work, mesh sizes, halo bytes, migration); this
+// package *prices* those counters with per-operation cost constants
+// calibrated against the paper's reported anchor numbers, and
+// reconstructs the bulk-synchronous parallel timeline (compute + data
+// exchange + wait). Shapes come from measurement; absolute scale comes
+// from calibration. EXPERIMENTS.md tabulates paper-vs-model anchors.
+package perfmodel
+
+import "fmt"
+
+// CPUSpec describes a CPU of Table 3.
+type CPUSpec struct {
+	Name        string
+	Sockets     int
+	CoresPer    int
+	BaseGHz     float64
+	TurboGHz    float64
+	L2PerCoreMB float64
+	L3MB        float64
+	TDPWatts    float64 // per socket
+}
+
+// Cores returns the total physical cores.
+func (c CPUSpec) Cores() int { return c.Sockets * c.CoresPer }
+
+// GPUSpec describes the accelerator of Table 3.
+type GPUSpec struct {
+	Name     string
+	SMs      int
+	MemGB    int
+	L2MB     float64
+	GHz      float64
+	TDPWatts float64
+	// PCIeGBs is the effective host-device bandwidth per direction.
+	PCIeGBs float64
+}
+
+// Instance is one benchmarked machine.
+type Instance struct {
+	Name  string
+	CPU   CPUSpec
+	GPUs  int
+	GPU   GPUSpec
+	MemGB int
+	// IdleWatts is the baseline node draw.
+	IdleWatts float64
+	// HostSpeed scales host-side per-op costs relative to the CPU
+	// instance's cores (the GPU instance's 8167M is an older, slower part).
+	HostSpeed float64
+}
+
+// CPUInstance is the paper's CPU machine: 2 × Xeon Platinum 8358.
+func CPUInstance() Instance {
+	return Instance{
+		Name: "CPU instance (2x Xeon Platinum 8358)",
+		CPU: CPUSpec{
+			Name: "Intel Xeon Platinum 8358", Sockets: 2, CoresPer: 32,
+			BaseGHz: 2.6, TurboGHz: 3.4, L2PerCoreMB: 1, L3MB: 48,
+			TDPWatts: 250,
+		},
+		MemGB:     1024,
+		IdleWatts: 110,
+		HostSpeed: 1.0,
+	}
+}
+
+// GPUInstance is the paper's GPU machine: 2 × Xeon 8167M + 8 × V100.
+func GPUInstance() Instance {
+	return Instance{
+		Name: "GPU instance (2x Xeon Platinum 8167M + 8x V100)",
+		CPU: CPUSpec{
+			Name: "Intel Xeon Platinum 8167M", Sockets: 2, CoresPer: 26,
+			BaseGHz: 2.0, TurboGHz: 2.4, L2PerCoreMB: 1, L3MB: 35.75,
+			TDPWatts: 165,
+		},
+		GPUs: 8,
+		GPU: GPUSpec{
+			Name: "NVIDIA V100", SMs: 84, MemGB: 16, L2MB: 6, GHz: 1.35,
+			TDPWatts: 300, PCIeGBs: 12,
+		},
+		MemGB:     768,
+		IdleWatts: 320,  // idle CPUs + 8 idle V100s
+		HostSpeed: 1.45, // per-op host cost multiplier vs the 8358
+	}
+}
+
+// NodePower models node draw from per-resource utilizations.
+//
+// CPU: idle + (TDP-linked) per-core active power scaled by utilization.
+// GPU: idle (contained in Instance.IdleWatts) + active swing per device.
+func (inst Instance) NodePower(coreUtil []float64, gpuUtil []float64) float64 {
+	p := inst.IdleWatts
+	activePerCore := (float64(inst.CPU.Sockets)*inst.CPU.TDPWatts - 60) / float64(inst.CPU.Cores())
+	for _, u := range coreUtil {
+		if u < 0 {
+			u = 0
+		}
+		if u > 1 {
+			u = 1
+		}
+		p += u * activePerCore
+	}
+	gpuSwing := inst.GPU.TDPWatts * 0.75 // idle draw already in IdleWatts
+	for _, u := range gpuUtil {
+		if u < 0 {
+			u = 0
+		}
+		if u > 1 {
+			u = 1
+		}
+		p += u * gpuSwing
+	}
+	return p
+}
+
+// String renders the instance like Table 3 (used by `mdbench -exp table3`).
+func (inst Instance) String() string {
+	s := fmt.Sprintf("%s\n  CPU: %s, %d sockets x %d cores, %.1f GHz (turbo %.1f), L3 %.2f MB, TDP %gW/socket\n  Memory: %d GB",
+		inst.Name, inst.CPU.Name, inst.CPU.Sockets, inst.CPU.CoresPer,
+		inst.CPU.BaseGHz, inst.CPU.TurboGHz, inst.CPU.L3MB, inst.CPU.TDPWatts, inst.MemGB)
+	if inst.GPUs > 0 {
+		s += fmt.Sprintf("\n  GPU: %d x %s (%d SMs, %d GB HBM, %.2f GHz, TDP %gW, PCIe %g GB/s)",
+			inst.GPUs, inst.GPU.Name, inst.GPU.SMs, inst.GPU.MemGB, inst.GPU.GHz,
+			inst.GPU.TDPWatts, inst.GPU.PCIeGBs)
+	}
+	return s
+}

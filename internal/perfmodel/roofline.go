@@ -1,0 +1,119 @@
+package perfmodel
+
+import "gomd/internal/core"
+
+// Roofline places a workload on the classic roofline of an instance:
+// arithmetic intensity (flops per byte of main-memory traffic) against
+// the machine's peak compute and bandwidth. The paper's characterization
+// stops at task breakdowns; this extension asks the follow-up question
+// the breakdowns raise — which tasks are compute- versus memory-bound on
+// the CPU instance.
+type Roofline struct {
+	// PeakGflops is the instance's aggregate FP peak (GFLOP/s).
+	PeakGflops float64
+	// PeakGBs is the aggregate DRAM bandwidth (GB/s).
+	PeakGBs float64
+}
+
+// CPURoofline returns the dual-socket Xeon 8358 envelope: 64 cores x 2.6
+// GHz x 32 FLOP/cycle (AVX-512 FMA) and 16 DDR4-3200 channels.
+func CPURoofline() Roofline {
+	return Roofline{
+		PeakGflops: 64 * 2.6 * 32,
+		PeakGBs:    16 * 25.6,
+	}
+}
+
+// TaskIntensity is one task's placement on the roofline.
+type TaskIntensity struct {
+	Task core.Task
+	// Flops and Bytes are per-step estimates.
+	Flops float64
+	Bytes float64
+	// Intensity = Flops/Bytes; AttainableGflops is min(peak, I*BW).
+	Intensity        float64
+	AttainableGflops float64
+	// MemoryBound reports whether the task sits left of the ridge.
+	MemoryBound bool
+}
+
+// flopWeights estimates floating-point operations per counted engine
+// operation, per task (kernel arithmetic inventories of the style
+// implementations).
+type flopWeights struct {
+	pairFlops, pairBytes     float64
+	neighFlops, neighBytes   float64
+	kspaceFlops, kspaceBytes float64
+	modifyFlops, modifyBytes float64
+}
+
+// weightsFor returns per-op flop/byte estimates for a pair style.
+func weightsFor(style string) flopWeights {
+	w := flopWeights{
+		// A pair evaluation: distance (8 flops), kernel polynomial
+		// (~15-40), force accumulation (6); touches two atoms' positions
+		// and one force (pos reused from cache within a bin: charge ~half
+		// a cache line effective).
+		pairFlops: 30, pairBytes: 40,
+		// A neighbor candidate check: distance + compare; streams the
+		// bin's positions.
+		neighFlops: 10, neighBytes: 28,
+		// A k-space butterfly: complex mul+add (10 flops, 32 bytes).
+		kspaceFlops: 10, kspaceBytes: 32,
+		// A fix op: a handful of FMAs over one atom's state.
+		modifyFlops: 12, modifyBytes: 96,
+	}
+	switch style {
+	case "lj/charmm/coul/long":
+		w.pairFlops = 55 // erfc + switching on top of LJ
+	case "eam":
+		w.pairFlops = 24 // per pass
+	case "gran/hooke/history":
+		w.pairFlops = 45
+		w.pairBytes = 90 // history map traffic
+	}
+	return w
+}
+
+// Analyze converts per-step counters (summed over ranks) into roofline
+// placements for the compute-heavy tasks.
+func (r Roofline) Analyze(style string, c core.Counters) []TaskIntensity {
+	steps := float64(c.Steps)
+	if steps == 0 {
+		steps = 1
+	}
+	w := weightsFor(style)
+	mk := func(task core.Task, ops, flopsPer, bytesPer float64) TaskIntensity {
+		t := TaskIntensity{Task: task}
+		t.Flops = ops / steps * flopsPer
+		t.Bytes = ops / steps * bytesPer
+		if t.Bytes > 0 {
+			t.Intensity = t.Flops / t.Bytes
+		}
+		t.AttainableGflops = r.PeakGflops
+		if bw := t.Intensity * r.PeakGBs; bw < t.AttainableGflops {
+			t.AttainableGflops = bw
+			t.MemoryBound = true
+		}
+		return t
+	}
+	out := []TaskIntensity{
+		mk(core.TaskPair, float64(c.PairOps), w.pairFlops, w.pairBytes),
+		mk(core.TaskNeigh, float64(c.NeighChecks), w.neighFlops, w.neighBytes),
+	}
+	if c.KspaceFFTOps > 0 {
+		out = append(out, mk(core.TaskKspace, float64(c.KspaceFFTOps), w.kspaceFlops, w.kspaceBytes))
+	}
+	if c.ModifyOps > 0 {
+		out = append(out, mk(core.TaskModify, float64(c.ModifyOps), w.modifyFlops, w.modifyBytes))
+	}
+	return out
+}
+
+// Ridge returns the arithmetic intensity of the machine's ridge point.
+func (r Roofline) Ridge() float64 {
+	if r.PeakGBs == 0 {
+		return 0
+	}
+	return r.PeakGflops / r.PeakGBs
+}

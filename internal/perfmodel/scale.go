@@ -1,0 +1,93 @@
+package perfmodel
+
+import (
+	"math"
+
+	"gomd/internal/core"
+)
+
+// ScaleSpec describes how to extrapolate counters measured at a reduced
+// system size to the paper's target size (the harness measures at a
+// tractable size and scales by the O(·) laws of §2.1 of the paper, which
+// the engine's own counters obey by construction).
+type ScaleSpec struct {
+	// Factor is Ntarget / Nmeasured.
+	Factor float64
+	// TargetGridPts, when positive, replaces the measured PPPM mesh with
+	// the mesh the target system requires (computed via kspace.MeshFor).
+	TargetGridPts int64
+	// TargetGridDims are the per-dimension target mesh sizes (for the
+	// FFT butterfly count).
+	TargetGridDims [3]int
+}
+
+// Identity reports whether scaling is a no-op.
+func (s ScaleSpec) Identity() bool {
+	return s.Factor == 1 && s.TargetGridPts == 0
+}
+
+// ScaleCounters extrapolates one rank's counters.
+//
+// Volume terms (pair, bonded, per-atom fix and mesh-spread work) scale
+// with Factor; halo terms scale with surface, Factor^(2/3); mesh terms
+// are replaced by the target mesh; message counts are topology-bound and
+// stay fixed.
+func ScaleCounters(c core.Counters, s ScaleSpec) core.Counters {
+	if s.Identity() {
+		return c
+	}
+	f := s.Factor
+	surf := math.Pow(f, 2.0/3.0)
+	out := c
+	out.PairOps = scaleI(c.PairOps, f)
+	out.BondTerms = scaleI(c.BondTerms, f)
+	out.NeighChecks = scaleI(c.NeighChecks, f)
+	out.NeighPairs = scaleI(c.NeighPairs, f)
+	out.ModifyOps = scaleI(c.ModifyOps, f)
+	out.KspaceSpreadOps = scaleI(c.KspaceSpreadOps, f)
+	out.KspaceInterpOps = scaleI(c.KspaceInterpOps, f)
+	out.KspaceMapOps = scaleI(c.KspaceMapOps, f)
+	out.CommBytes = scaleI(c.CommBytes, surf)
+	out.GhostAtoms = scaleI(c.GhostAtoms, surf)
+	out.MigratedAtoms = scaleI(c.MigratedAtoms, surf)
+
+	if s.TargetGridPts > 0 && c.KspaceGridPts > 0 {
+		steps := c.Steps
+		if steps == 0 {
+			steps = 1
+		}
+		measuredPts := c.KspaceGridPts / steps
+		ratio := float64(s.TargetGridPts) / float64(measuredPts)
+		out.KspaceGridPts = s.TargetGridPts * steps
+		out.KspaceGridOps = scaleI(c.KspaceGridOps, ratio)
+		out.KspaceCommBytes = scaleI(c.KspaceCommBytes, ratio)
+		// Butterfly count recomputed exactly for the target mesh:
+		// 4 transforms per step (1 forward + 3 inverse), each doing
+		// n*log2(n) butterflies per line along each axis.
+		out.KspaceFFTOps = 4 * butterflies3D(s.TargetGridDims) * steps
+	}
+	return out
+}
+
+// butterflies3D counts complex butterflies of one 3D transform: each 1D
+// length-n mixed-radix transform does ~n ops per factor stage.
+func butterflies3D(d [3]int) int64 {
+	nx, ny, nz := int64(d[0]), int64(d[1]), int64(d[2])
+	return nx*stages(nx)*ny*nz + ny*stages(ny)*nx*nz + nz*stages(nz)*nx*ny
+}
+
+// stages counts the 2/3/5 factor multiplicity of n.
+func stages(n int64) int64 {
+	var c int64
+	for _, p := range []int64{2, 3, 5} {
+		for n%p == 0 {
+			n /= p
+			c++
+		}
+	}
+	return c
+}
+
+func scaleI(v int64, f float64) int64 {
+	return int64(float64(v)*f + 0.5)
+}

@@ -1,0 +1,105 @@
+// Package rng implements the deterministic pseudo-random number generation
+// used by gomd. All stochastic pieces of the engine (velocity
+// initialization, Langevin thermostats, workload builders) draw from this
+// package so that runs are exactly reproducible from a seed, including
+// across domain decompositions (each rank derives an independent stream).
+package rng
+
+import "math"
+
+// Source is a xoshiro256** generator seeded through splitmix64, following
+// Blackman & Vigna. It is small, fast, and has no stdlib dependencies
+// beyond math, which keeps the hot thermostat paths allocation-free.
+type Source struct {
+	s [4]uint64
+	// cached second gaussian from the Box-Muller pair
+	gauss    float64
+	hasGauss bool
+}
+
+// splitmix64 advances x and returns a well-mixed 64-bit value. It is used
+// only for seeding.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a Source seeded from seed. Distinct seeds yield independent
+// streams for all practical purposes.
+func New(seed uint64) *Source {
+	var s Source
+	s.Reseed(seed)
+	return &s
+}
+
+// Reseed reinitializes the generator state from seed.
+func (s *Source) Reseed(seed uint64) {
+	x := seed
+	for i := range s.s {
+		s.s[i] = splitmix64(&x)
+	}
+	// xoshiro must not start from the all-zero state.
+	if s.s[0]|s.s[1]|s.s[2]|s.s[3] == 0 {
+		s.s[0] = 0x9e3779b97f4a7c15
+	}
+	s.hasGauss = false
+}
+
+// Stream returns a new Source with a stream id mixed into the seed; ranks
+// use this to obtain decorrelated generators from a common run seed.
+func (s *Source) Stream(id uint64) *Source {
+	return New(s.Uint64() ^ (id+1)*0xd1342543de82ef95)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (s *Source) Uint64() uint64 {
+	r := rotl(s.s[1]*5, 7) * 9
+	t := s.s[1] << 17
+	s.s[2] ^= s.s[0]
+	s.s[3] ^= s.s[1]
+	s.s[1] ^= s.s[2]
+	s.s[0] ^= s.s[3]
+	s.s[2] ^= t
+	s.s[3] = rotl(s.s[3], 45)
+	return r
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Range returns a uniform float64 in [lo, hi).
+func (s *Source) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.Float64()
+}
+
+// Intn returns a uniform int in [0, n). n must be positive.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Gaussian returns a standard normal variate via the Box-Muller transform.
+func (s *Source) Gaussian() float64 {
+	if s.hasGauss {
+		s.hasGauss = false
+		return s.gauss
+	}
+	var u float64
+	for u == 0 {
+		u = s.Float64()
+	}
+	v := s.Float64()
+	r := math.Sqrt(-2 * math.Log(u))
+	s.gauss = r * math.Sin(2*math.Pi*v)
+	s.hasGauss = true
+	return r * math.Cos(2*math.Pi*v)
+}

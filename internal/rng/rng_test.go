@@ -1,0 +1,138 @@
+package rng_test
+
+import (
+	"math"
+	"testing"
+
+	"gomd/internal/rng"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := rng.New(12345)
+	b := rng.New(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	c := rng.New(12346)
+	same := 0
+	a.Reseed(12345)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d matching draws", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := rng.New(7)
+	for i := 0; i < 100000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestUniformMoments(t *testing.T) {
+	r := rng.New(99)
+	n := 200000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / float64(n)
+	variance := sum2/float64(n) - mean*mean
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("uniform mean %v", mean)
+	}
+	if math.Abs(variance-1.0/12) > 0.005 {
+		t.Errorf("uniform variance %v", variance)
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	r := rng.New(4242)
+	n := 200000
+	var sum, sum2, sum3, sum4 float64
+	for i := 0; i < n; i++ {
+		v := r.Gaussian()
+		sum += v
+		sum2 += v * v
+		sum3 += v * v * v
+		sum4 += v * v * v * v
+	}
+	mean := sum / float64(n)
+	variance := sum2/float64(n) - mean*mean
+	skew := sum3 / float64(n)
+	kurt := sum4 / float64(n)
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("gaussian mean %v", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("gaussian variance %v", variance)
+	}
+	if math.Abs(skew) > 0.05 {
+		t.Errorf("gaussian skewness %v", skew)
+	}
+	if math.Abs(kurt-3) > 0.1 {
+		t.Errorf("gaussian kurtosis %v", kurt)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := rng.New(3)
+	seen := map[int]int{}
+	for i := 0; i < 60000; i++ {
+		v := r.Intn(6)
+		if v < 0 || v >= 6 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v]++
+	}
+	for face, count := range seen {
+		if count < 9000 || count > 11000 {
+			t.Errorf("face %d count %d far from uniform", face, count)
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	r := rng.New(8)
+	for i := 0; i < 10000; i++ {
+		v := r.Range(-3, 5)
+		if v < -3 || v >= 5 {
+			t.Fatalf("Range out of bounds: %v", v)
+		}
+	}
+}
+
+func TestStreamsDecorrelated(t *testing.T) {
+	base := rng.New(1)
+	s1 := base.Stream(1)
+	s2 := base.Stream(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if s1.Uint64() == s2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("streams correlated: %d matches", same)
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) must panic")
+		}
+	}()
+	rng.New(1).Intn(0)
+}

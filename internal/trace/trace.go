@@ -1,0 +1,85 @@
+// Package trace is the data log of the characterization framework (the
+// "Data Log" stage of the paper's Figure 2): structured JSONL records of
+// measurements and model evaluations, so experiment campaigns leave an
+// auditable, machine-readable trail alongside the rendered tables.
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Record is one logged event. Kind identifies the schema of Payload
+// ("measurement", "cpu-outcome", "gpu-outcome", "note").
+type Record struct {
+	Seq     int64          `json:"seq"`
+	Kind    string         `json:"kind"`
+	Payload map[string]any `json:"payload"`
+}
+
+// Logger appends JSONL records to a writer; safe for concurrent use.
+type Logger struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	seq int64
+}
+
+// New returns a Logger writing to w, or nil if w is nil (callers may
+// invoke methods on a nil Logger; they become no-ops).
+func New(w io.Writer) *Logger {
+	if w == nil {
+		return nil
+	}
+	return &Logger{enc: json.NewEncoder(w)}
+}
+
+// Log appends one record.
+func (l *Logger) Log(kind string, payload map[string]any) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	// Encoding errors are deliberately swallowed: the data log is an
+	// auxiliary artifact and must never fail an experiment.
+	_ = l.enc.Encode(Record{Seq: l.seq, Kind: kind, Payload: payload})
+}
+
+// Measurement logs the engine-side facts of one measurement.
+func (l *Logger) Measurement(workload string, ranks, nMeasured, nTarget, steps int) {
+	l.Log("measurement", map[string]any{
+		"workload":  workload,
+		"ranks":     ranks,
+		"nMeasured": nMeasured,
+		"nTarget":   nTarget,
+		"steps":     steps,
+	})
+}
+
+// Outcome logs a model evaluation.
+func (l *Logger) Outcome(instance, workload string, ranks int, tsps, powerW float64) {
+	l.Log("outcome", map[string]any{
+		"instance": instance,
+		"workload": workload,
+		"ranks":    ranks,
+		"tsps":     tsps,
+		"powerW":   powerW,
+	})
+}
+
+// Read parses a JSONL stream back into records (analysis/tests).
+func Read(r io.Reader) ([]Record, error) {
+	dec := json.NewDecoder(r)
+	var out []Record
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}

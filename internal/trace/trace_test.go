@@ -1,0 +1,79 @@
+package trace_test
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"gomd/internal/trace"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	l := trace.New(&buf)
+	l.Measurement("lj", 8, 4000, 32000, 15)
+	l.Outcome("cpu", "lj", 8, 123.4, 250)
+	l.Log("note", map[string]any{"msg": "hello"})
+
+	recs, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("records %d", len(recs))
+	}
+	if recs[0].Kind != "measurement" || recs[0].Seq != 1 {
+		t.Errorf("rec0 %+v", recs[0])
+	}
+	if recs[1].Payload["tsps"].(float64) != 123.4 {
+		t.Errorf("outcome payload %+v", recs[1].Payload)
+	}
+	if recs[2].Payload["msg"] != "hello" {
+		t.Errorf("note payload %+v", recs[2].Payload)
+	}
+}
+
+func TestNilLoggerIsNoop(t *testing.T) {
+	var l *trace.Logger
+	l.Log("x", nil) // must not panic
+	l.Measurement("lj", 1, 1, 1, 1)
+	l.Outcome("cpu", "lj", 1, 1, 1)
+}
+
+func TestConcurrentLogging(t *testing.T) {
+	var buf bytes.Buffer
+	l := trace.New(&buf)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				l.Log("note", map[string]any{"j": j})
+			}
+		}()
+	}
+	wg.Wait()
+	recs, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatalf("interleaved writes corrupted the stream: %v", err)
+	}
+	if len(recs) != 800 {
+		t.Errorf("records %d", len(recs))
+	}
+	// Sequence numbers unique.
+	seen := map[int64]bool{}
+	for _, r := range recs {
+		if seen[r.Seq] {
+			t.Fatalf("duplicate seq %d", r.Seq)
+		}
+		seen[r.Seq] = true
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := trace.Read(strings.NewReader("{bad json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}

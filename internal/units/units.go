@@ -1,0 +1,85 @@
+// Package units defines the unit systems used by gomd workloads, mirroring
+// the LAMMPS "units" command styles that the paper's benchmark suite uses:
+// "lj" (reduced units: LJ, Chain, Chute), "metal" (Angstrom/eV/ps: EAM),
+// and "real" (Angstrom/kcal-mol/fs: Rhodopsin).
+//
+// Only the constants the engine needs are carried: the Boltzmann constant,
+// the MV²-to-energy conversion for kinetic energy, Coulomb's constant for
+// electrostatics, and the default timestep for each style.
+package units
+
+import "fmt"
+
+// Style identifies a unit system.
+type Style int
+
+const (
+	// LJ is the reduced Lennard-Jones unit system: all quantities are
+	// dimensionless; sigma, epsilon, and mass are 1 by convention.
+	LJ Style = iota
+	// Metal uses Angstroms, picoseconds, eV, and atomic mass units.
+	Metal
+	// Real uses Angstroms, femtoseconds, kcal/mol, and atomic mass units.
+	Real
+)
+
+// String implements fmt.Stringer.
+func (s Style) String() string {
+	switch s {
+	case LJ:
+		return "lj"
+	case Metal:
+		return "metal"
+	case Real:
+		return "real"
+	default:
+		return fmt.Sprintf("units.Style(%d)", int(s))
+	}
+}
+
+// System carries the physical constants of one unit style.
+type System struct {
+	Style Style
+	// Boltz is the Boltzmann constant in this system's energy/temperature
+	// units.
+	Boltz float64
+	// MVV2E converts mass*velocity^2 to energy units.
+	MVV2E float64
+	// QQr2E converts charge*charge/distance to energy units (Coulomb
+	// prefactor).
+	QQr2E float64
+	// FTM2V converts force/mass*time to velocity units.
+	FTM2V float64
+	// NVE timestep conventionally used with this style by the paper's
+	// benchmarks (LAMMPS bench defaults).
+	DefaultDt float64
+}
+
+// ForStyle returns the constant set of the given style. Constants follow
+// the LAMMPS update.cpp definitions.
+func ForStyle(s Style) System {
+	switch s {
+	case LJ:
+		return System{Style: LJ, Boltz: 1, MVV2E: 1, QQr2E: 1, FTM2V: 1, DefaultDt: 0.005}
+	case Metal:
+		return System{
+			Style:     Metal,
+			Boltz:     8.617343e-5,  // eV/K
+			MVV2E:     1.0364269e-4, // amu*(A/ps)^2 -> eV
+			QQr2E:     14.399645,    // e^2/A -> eV
+			FTM2V:     1 / 1.0364269e-4,
+			DefaultDt: 0.001, // ps
+		}
+	case Real:
+		return System{
+			Style:     Real,
+			Boltz:     0.0019872067,              // kcal/mol/K
+			MVV2E:     48.88821291 * 48.88821291, // amu*(A/fs)^2 -> kcal/mol
+			QQr2E:     332.06371,                 // e^2/A -> kcal/mol
+			FTM2V:     1 / (48.88821291 * 48.88821291),
+			DefaultDt: 2.0, // fs (rhodopsin bench uses 2 fs with SHAKE)
+		}
+	default:
+		panic("units: unknown style")
+	}
+}

@@ -1,0 +1,68 @@
+package units_test
+
+import (
+	"math"
+	"testing"
+
+	"gomd/internal/units"
+)
+
+func TestStyleStrings(t *testing.T) {
+	if units.LJ.String() != "lj" || units.Metal.String() != "metal" || units.Real.String() != "real" {
+		t.Error("style names")
+	}
+}
+
+func TestLJIsReduced(t *testing.T) {
+	u := units.ForStyle(units.LJ)
+	if u.Boltz != 1 || u.MVV2E != 1 || u.QQr2E != 1 || u.FTM2V != 1 {
+		t.Errorf("lj units not reduced: %+v", u)
+	}
+}
+
+// TestMetalConsistency: kinetic energy of one Cu atom at its thermal
+// velocity should match (3/2) kB T.
+func TestMetalConsistency(t *testing.T) {
+	u := units.ForStyle(units.Metal)
+	T := 300.0
+	m := 63.55
+	v2 := 3 * u.Boltz * T / (u.MVV2E * m) // (A/ps)^2
+	ke := 0.5 * u.MVV2E * m * v2
+	want := 1.5 * u.Boltz * T
+	if math.Abs(ke-want) > 1e-15 {
+		t.Errorf("metal KE %v want %v", ke, want)
+	}
+	// Thermal speed of Cu at 300 K is ~3.3 A/ps.
+	if v := math.Sqrt(v2); v < 2 || v > 5 {
+		t.Errorf("Cu thermal speed %v A/ps implausible", v)
+	}
+}
+
+// TestRealConsistency: thermal speed of O at 300 K ~ 0.0068 A/fs, and
+// FTM2V inverts MVV2E.
+func TestRealConsistency(t *testing.T) {
+	u := units.ForStyle(units.Real)
+	if math.Abs(u.MVV2E*u.FTM2V-1) > 1e-12 {
+		t.Errorf("MVV2E * FTM2V = %v", u.MVV2E*u.FTM2V)
+	}
+	v := math.Sqrt(3 * u.Boltz * 300 / (u.MVV2E * 15.9994))
+	if v < 0.004 || v > 0.01 {
+		t.Errorf("O thermal speed %v A/fs implausible", v)
+	}
+	// Coulomb energy of two unit charges 1 A apart ~ 332 kcal/mol.
+	if math.Abs(u.QQr2E-332.06371) > 1e-6 {
+		t.Errorf("QQr2E %v", u.QQr2E)
+	}
+}
+
+func TestDefaultTimesteps(t *testing.T) {
+	if units.ForStyle(units.LJ).DefaultDt != 0.005 {
+		t.Error("lj dt")
+	}
+	if units.ForStyle(units.Real).DefaultDt != 2.0 {
+		t.Error("real dt")
+	}
+	if units.ForStyle(units.Metal).DefaultDt != 0.001 {
+		t.Error("metal dt")
+	}
+}

@@ -1,0 +1,107 @@
+// Package vec provides the 3-component vector arithmetic used throughout
+// the gomd engine. Vectors are small value types; all operations return new
+// values so they can be freely composed inside force kernels.
+package vec
+
+import "math"
+
+// V3 is a 3-component double-precision vector.
+type V3 struct {
+	X, Y, Z float64
+}
+
+// New returns the vector (x, y, z).
+func New(x, y, z float64) V3 { return V3{x, y, z} }
+
+// Splat returns the vector (s, s, s).
+func Splat(s float64) V3 { return V3{s, s, s} }
+
+// Add returns v + w.
+func (v V3) Add(w V3) V3 { return V3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v V3) Sub(w V3) V3 { return V3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns s * v.
+func (v V3) Scale(s float64) V3 { return V3{s * v.X, s * v.Y, s * v.Z} }
+
+// Mul returns the component-wise product of v and w.
+func (v V3) Mul(w V3) V3 { return V3{v.X * w.X, v.Y * w.Y, v.Z * w.Z} }
+
+// Div returns the component-wise quotient v / w.
+func (v V3) Div(w V3) V3 { return V3{v.X / w.X, v.Y / w.Y, v.Z / w.Z} }
+
+// Dot returns the inner product of v and w.
+func (v V3) Dot(w V3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v × w.
+func (v V3) Cross(w V3) V3 {
+	return V3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm2 returns the squared Euclidean norm of v.
+func (v V3) Norm2() float64 { return v.Dot(v) }
+
+// Norm returns the Euclidean norm of v.
+func (v V3) Norm() float64 { return math.Sqrt(v.Norm2()) }
+
+// Normalized returns v scaled to unit length. The zero vector is returned
+// unchanged.
+func (v V3) Normalized() V3 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Neg returns -v.
+func (v V3) Neg() V3 { return V3{-v.X, -v.Y, -v.Z} }
+
+// MaxComponent returns the largest component of v.
+func (v V3) MaxComponent() float64 {
+	return math.Max(v.X, math.Max(v.Y, v.Z))
+}
+
+// MinComponent returns the smallest component of v.
+func (v V3) MinComponent() float64 {
+	return math.Min(v.X, math.Min(v.Y, v.Z))
+}
+
+// Abs returns the component-wise absolute value of v.
+func (v V3) Abs() V3 {
+	return V3{math.Abs(v.X), math.Abs(v.Y), math.Abs(v.Z)}
+}
+
+// Volume returns the product of the components, i.e. the volume of the
+// axis-aligned block with diagonal v.
+func (v V3) Volume() float64 { return v.X * v.Y * v.Z }
+
+// Component returns the i-th component (0=X, 1=Y, 2=Z).
+func (v V3) Component(i int) float64 {
+	switch i {
+	case 0:
+		return v.X
+	case 1:
+		return v.Y
+	default:
+		return v.Z
+	}
+}
+
+// WithComponent returns a copy of v with the i-th component set to s.
+func (v V3) WithComponent(i int, s float64) V3 {
+	switch i {
+	case 0:
+		v.X = s
+	case 1:
+		v.Y = s
+	default:
+		v.Z = s
+	}
+	return v
+}

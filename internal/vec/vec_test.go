@@ -1,0 +1,135 @@
+package vec_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gomd/internal/vec"
+)
+
+func almost(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-12*(1+math.Abs(a)+math.Abs(b))
+}
+
+func finite(vs ...vec.V3) bool {
+	for _, v := range vs {
+		for _, c := range []float64{v.X, v.Y, v.Z} {
+			if math.IsNaN(c) || math.IsInf(c, 0) || math.Abs(c) > 1e100 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestBasicOps(t *testing.T) {
+	a := vec.New(1, 2, 3)
+	b := vec.New(-4, 5, 0.5)
+	if got := a.Add(b); got != vec.New(-3, 7, 3.5) {
+		t.Errorf("Add: %v", got)
+	}
+	if got := a.Sub(b); got != vec.New(5, -3, 2.5) {
+		t.Errorf("Sub: %v", got)
+	}
+	if got := a.Scale(2); got != vec.New(2, 4, 6) {
+		t.Errorf("Scale: %v", got)
+	}
+	if got := a.Dot(b); got != -4+10+1.5 {
+		t.Errorf("Dot: %v", got)
+	}
+	if got := a.Neg(); got != vec.New(-1, -2, -3) {
+		t.Errorf("Neg: %v", got)
+	}
+}
+
+func TestCrossProperties(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a := vec.New(ax, ay, az)
+		b := vec.New(bx, by, bz)
+		if !finite(a, b) {
+			return true
+		}
+		c := a.Cross(b)
+		// Orthogonality (up to FP noise scaled by magnitudes).
+		scale := (1 + a.Norm()) * (1 + b.Norm()) * (1 + c.Norm())
+		return math.Abs(c.Dot(a)) <= 1e-9*scale && math.Abs(c.Dot(b)) <= 1e-9*scale
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCrossAnticommutes(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a := vec.New(ax, ay, az)
+		b := vec.New(bx, by, bz)
+		if !finite(a, b) {
+			return true
+		}
+		return a.Cross(b) == b.Cross(a).Neg()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	v := vec.New(3, 4, 0).Normalized()
+	if !almost(v.Norm(), 1) {
+		t.Errorf("unit norm: %v", v.Norm())
+	}
+	zero := vec.V3{}.Normalized()
+	if zero != (vec.V3{}) {
+		t.Errorf("zero vector must stay zero: %v", zero)
+	}
+}
+
+func TestNormAgainstDot(t *testing.T) {
+	f := func(x, y, z float64) bool {
+		v := vec.New(x, y, z)
+		if !finite(v) {
+			return true
+		}
+		return almost(v.Norm2(), v.Dot(v))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComponentRoundTrip(t *testing.T) {
+	v := vec.New(7, 8, 9)
+	for d := 0; d < 3; d++ {
+		if got := v.WithComponent(d, -1).Component(d); got != -1 {
+			t.Errorf("dim %d: %v", d, got)
+		}
+	}
+	if v.Component(0) != 7 || v.Component(1) != 8 || v.Component(2) != 9 {
+		t.Errorf("component read: %v", v)
+	}
+}
+
+func TestMinMaxAbsVolume(t *testing.T) {
+	v := vec.New(-2, 5, 1)
+	if v.MaxComponent() != 5 || v.MinComponent() != -2 {
+		t.Errorf("min/max: %v %v", v.MaxComponent(), v.MinComponent())
+	}
+	if v.Abs() != vec.New(2, 5, 1) {
+		t.Errorf("abs: %v", v.Abs())
+	}
+	if v.Volume() != -10 {
+		t.Errorf("volume: %v", v.Volume())
+	}
+}
+
+func TestMulDiv(t *testing.T) {
+	a := vec.New(2, 6, -4)
+	b := vec.New(2, 3, 4)
+	if a.Mul(b) != vec.New(4, 18, -16) {
+		t.Errorf("mul: %v", a.Mul(b))
+	}
+	if a.Div(b) != vec.New(1, 2, -1) {
+		t.Errorf("div: %v", a.Div(b))
+	}
+}

@@ -1,0 +1,28 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"gomd/internal/core"
+	"gomd/internal/workload"
+)
+
+// Example shows the minimal path from a benchmark name to a running
+// simulation.
+func Example() {
+	cfg, atoms, err := workload.Build(workload.LJ, workload.Options{Atoms: 500, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	sim := core.New(cfg, atoms)
+	sim.Run(10)
+	fmt.Println(atoms.N, "atoms advanced to step", sim.Step)
+	// Output: 500 atoms advanced to step 10
+}
+
+// ExampleDescribe prints a Table 2 row.
+func ExampleDescribe() {
+	d := workload.Describe(workload.Chute)
+	fmt.Println(d.ForceField, d.Integration, d.GPUSupported)
+	// Output: gran/hooke/history NVE false
+}

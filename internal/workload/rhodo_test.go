@@ -1,0 +1,55 @@
+package workload_test
+
+import (
+	"math"
+	"testing"
+
+	"gomd/internal/core"
+	"gomd/internal/workload"
+)
+
+// TestRhodoSerialStability runs the rhodopsin surrogate long enough to
+// cross several neighbor rebuilds and checks that SHAKE keeps the rigid
+// geometry, the thermostat keeps the temperature bounded, and no
+// numerical explosion occurs.
+func TestRhodoSerialStability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rhodo stability run is slow")
+	}
+	cfg, st := workload.MustBuild(workload.Rhodo, workload.Options{Atoms: 1500})
+	s := core.New(cfg, st)
+	s.Run(50)
+	th := s.ComputeThermo()
+	t.Logf("rhodo after 50 steps: T=%.1f K P=%.4g PE/atom=%.3f", th.Temperature, th.Pressure, th.PotEnergy/float64(st.N))
+	if math.IsNaN(th.TotalEnergy) || math.IsInf(th.TotalEnergy, 0) {
+		t.Fatal("rhodo surrogate exploded (NaN energy)")
+	}
+	if th.Temperature <= 0 || th.Temperature > 3000 {
+		t.Errorf("temperature out of control: %g K", th.Temperature)
+	}
+
+	// SHAKE constraint satisfaction: every O-H distance at 1.0 A, every
+	// H-H at 1.633 A, within tolerance.
+	var worstOH, worstHH float64
+	for i := 0; i < st.N; i++ {
+		for _, b := range st.Bonds[i] {
+			j := st.MustLookup(b.Partner)
+			d := cfg.Box.MinImage(st.Pos[i].Sub(st.Pos[j])).Norm()
+			if e := math.Abs(d - 1.0); e > worstOH {
+				worstOH = e
+			}
+		}
+		for _, a := range st.Angles[i] {
+			ja := st.MustLookup(a.A)
+			jc := st.MustLookup(a.C)
+			d := cfg.Box.MinImage(st.Pos[ja].Sub(st.Pos[jc])).Norm()
+			if e := math.Abs(d - 2*math.Sin(109.47*math.Pi/360)); e > worstHH {
+				worstHH = e
+			}
+		}
+	}
+	t.Logf("constraint residuals: OH %g, HH %g", worstOH, worstHH)
+	if worstOH > 1e-3 || worstHH > 1e-3 {
+		t.Errorf("SHAKE constraints violated: OH=%g HH=%g", worstOH, worstHH)
+	}
+}

@@ -1,0 +1,190 @@
+package workload
+
+import (
+	"math"
+
+	"gomd/internal/atom"
+	"gomd/internal/bond"
+	"gomd/internal/box"
+	"gomd/internal/core"
+	"gomd/internal/fix"
+	"gomd/internal/lattice"
+	"gomd/internal/pair"
+	"gomd/internal/rng"
+	"gomd/internal/units"
+	"gomd/internal/vec"
+)
+
+// buildLJ realizes the LJ melt benchmark: fcc lattice at reduced density
+// 0.8442, T* = 1.44, lj/cut at 2.5 sigma, NVE.
+func buildLJ(o Options) (core.Config, *atom.Store, error) {
+	u := units.ForStyle(units.LJ)
+	cells := lattice.CubeCells(lattice.FCC, o.Atoms)
+	a := lattice.CubicForDensity(lattice.FCC, 0.8442)
+	pos := lattice.Generate(lattice.FCC, a, cells, cells, cells, vec.V3{})
+	l := a * float64(cells)
+	bx := box.NewPeriodic(vec.V3{}, vec.Splat(l))
+
+	st := atom.New(len(pos))
+	masses := make([]float64, len(pos))
+	for i := range masses {
+		masses[i] = 1
+	}
+	vel := lattice.MaxwellVelocities(rng.New(o.Seed), masses, 1.44, u.Boltz, u.MVV2E)
+	for i, p := range pos {
+		st.Add(atom.Atom{Tag: int64(i + 1), Type: 1, Pos: p, Vel: vel[i]})
+	}
+
+	cfg := core.Config{
+		Name:  string(LJ),
+		Units: u,
+		Box:   bx,
+		Mass:  []float64{1},
+		Pair:  pair.NewLJCut(1, 1, 2.5, o.Precision),
+		Fixes: []fix.Fix{&fix.NVE{}},
+		Dt:    0.005,
+		Skin:  0.3,
+		// The LAMMPS lj bench uses neigh_modify "every 20 check no".
+		NeighEvery:   20,
+		NeighNoCheck: true,
+		Seed:         o.Seed,
+		ThermoEvery:  o.ThermoEvery,
+	}
+	return cfg, st, nil
+}
+
+// buildChain realizes the Chain benchmark: a bead-spring polymer melt of
+// 100-mer FENE chains at density 0.8442 with a Langevin thermostat, as in
+// the LAMMPS chain bench (special_bonds fene: 1-2 pairs excluded from the
+// pair potential).
+func buildChain(o Options) (core.Config, *atom.Store, error) {
+	u := units.ForStyle(units.LJ)
+	monomers := 100
+	chains := (o.Atoms + monomers - 1) / monomers
+	pos, mol, bx := lattice.BuildChains(lattice.ChainSpec{
+		Chains:   chains,
+		Monomers: monomers,
+		Density:  0.8442,
+		Seed:     o.Seed,
+	})
+
+	n := len(pos)
+	st := atom.New(n)
+	masses := make([]float64, n)
+	for i := range masses {
+		masses[i] = 1
+	}
+	vel := lattice.MaxwellVelocities(rng.New(o.Seed+1), masses, 1.0, u.Boltz, u.MVV2E)
+	for i, p := range pos {
+		a := atom.Atom{Tag: int64(i + 1), Type: 1, Mol: mol[i], Pos: p, Vel: vel[i]}
+		// Consecutive beads of a chain are FENE-bonded; the bond is owned
+		// by the lower tag, and both ends record the 1-2 exclusion.
+		inChain := (i % monomers)
+		if inChain < monomers-1 {
+			a.Bonds = []atom.BondRef{{Type: 1, Partner: int64(i + 2)}}
+			a.Special = append(a.Special, atom.SpecialRef{Tag: int64(i + 2), Kind: atom.Special12})
+		}
+		if inChain > 0 {
+			a.Special = append(a.Special, atom.SpecialRef{Tag: int64(i), Kind: atom.Special12})
+		}
+		st.Add(a)
+	}
+
+	// WCA pair interaction: LJ cut at 2^(1/6) sigma.
+	wca := pair.NewLJCut(1, 1, math.Pow(2, 1.0/6), o.Precision)
+	wca.Shift = true
+	cfg := core.Config{
+		Name:  string(Chain),
+		Units: u,
+		Box:   bx,
+		Mass:  []float64{1},
+		Pair:  wca,
+		Bonds: []bond.Style{bond.NewFENEChain()},
+		Fixes: []fix.Fix{
+			// The LAMMPS chain bench integrates a pre-equilibrated melt
+			// with plain NVE; our from-scratch random-walk start needs
+			// the displacement cap until overlaps relax (inert after).
+			&fix.NVELimit{MaxDisp: 0.1},
+			&fix.Langevin{T: 1.0, Damp: 10.0},
+		},
+		Dt:   0.005,
+		Skin: 0.4,
+		// FENE bonds stretch toward R0 = 1.5 sigma, beyond the WCA pair
+		// range; halos must cover bond partners.
+		GhostCutoff: 1.9,
+		Seed:        o.Seed,
+		ThermoEvery: o.ThermoEvery,
+	}
+	return cfg, st, nil
+}
+
+// buildEAM realizes the EAM benchmark: fcc copper (a = 3.615 A) with the
+// Sutton-Chen analytic EAM at the 4.95 A cutoff, initialized at 1600 K
+// like the LAMMPS eam bench, NVE in metal units.
+func buildEAM(o Options) (core.Config, *atom.Store, error) {
+	u := units.ForStyle(units.Metal)
+	cells := lattice.CubeCells(lattice.FCC, o.Atoms)
+	a := 3.615
+	pos := lattice.Generate(lattice.FCC, a, cells, cells, cells, vec.V3{})
+	l := a * float64(cells)
+	bx := box.NewPeriodic(vec.V3{}, vec.Splat(l))
+
+	massCu := 63.55
+	st := atom.New(len(pos))
+	masses := make([]float64, len(pos))
+	for i := range masses {
+		masses[i] = massCu
+	}
+	vel := lattice.MaxwellVelocities(rng.New(o.Seed+2), masses, 1600, u.Boltz, u.MVV2E)
+	for i, p := range pos {
+		st.Add(atom.Atom{Tag: int64(i + 1), Type: 1, Pos: p, Vel: vel[i]})
+	}
+
+	cfg := core.Config{
+		Name:  string(EAM),
+		Units: u,
+		Box:   bx,
+		Mass:  []float64{massCu},
+		Pair:  pair.NewEAMCopper(o.Precision),
+		Fixes: []fix.Fix{&fix.NVE{}},
+		Dt:    0.005, // ps; eam bench uses 5 fs
+		Skin:  1.0,
+		// The LAMMPS eam bench uses neigh_modify "delay 5 every 1".
+		NeighDelay:  5,
+		Seed:        o.Seed,
+		ThermoEvery: o.ThermoEvery,
+	}
+	return cfg, st, nil
+}
+
+// buildChute realizes the Chute granular benchmark: a packed bed of unit
+// grains on a frictional floor, tilted gravity (26 degrees), Hookean
+// contact with tangential history, NVE. The pair style uses full neighbor
+// lists (no Newton's third law), as the paper emphasizes.
+func buildChute(o Options) (core.Config, *atom.Store, error) {
+	u := units.ForStyle(units.LJ)
+	pos, bx := lattice.GranularPack(o.Atoms, 1.0, o.Seed)
+
+	st := atom.New(len(pos))
+	for i, p := range pos {
+		st.Add(atom.Atom{Tag: int64(i + 1), Type: 1, Pos: p})
+	}
+
+	cfg := core.Config{
+		Name:  string(Chute),
+		Units: u,
+		Box:   bx,
+		Mass:  []float64{1},
+		Pair:  pair.NewGranChute(),
+		Fixes: []fix.Fix{
+			&fix.NVE{},
+			&fix.Gravity{Mag: 1, Angle: 26},
+			fix.NewWallGranChute(),
+		},
+		Dt:          0.0001,
+		Skin:        0.1,
+		Seed:        o.Seed,
+		ThermoEvery: o.ThermoEvery,
+	}
+	return cfg, st, nil
+}
