@@ -1,0 +1,23 @@
+# Tier-1 verification: build + vet + tests, then the same tests under
+# the race detector (the observability layer's multi-rank tests record
+# spans from every rank goroutine, so the race run is part of the bar).
+.PHONY: all build vet test race bench check
+
+all: check
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem -run=^$$ ./...
+
+check: build vet test race

@@ -13,10 +13,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"gomd/internal/harness"
+	"gomd/internal/obs"
 	"gomd/internal/trace"
 )
 
@@ -49,6 +52,12 @@ func main() {
 		csvPath = flag.String("csv", "", "also write results as CSV to this file")
 		logPath = flag.String("log", "", "write a JSONL data log of engine measurements")
 		chart   = flag.Bool("chart", false, "render percentage breakdowns as stacked bars")
+
+		traceOut   = flag.String("trace", "", "write a per-rank Chrome trace-event timeline (Perfetto) to this file")
+		metrOut    = flag.String("metrics", "", "write an engine metrics JSON dump to this file")
+		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. :6060)")
+		cpuprofile = flag.String("cpuprofile", "", "write a Go CPU profile of the campaign to this file")
+		memprofile = flag.String("memprofile", "", "write a Go heap profile at campaign end to this file")
 	)
 	flag.Parse()
 
@@ -71,7 +80,49 @@ func main() {
 			opts.Steps = 6
 		}
 	}
+	if *pprofAddr != "" {
+		addr, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdbench: pprof: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "# pprof listening on http://%s/debug/pprof/\n", addr)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "mdbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mdbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // material allocations only
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "mdbench: memprofile: %v\n", err)
+			}
+		}()
+	}
+
 	runner := harness.NewRunner(opts)
+	if *traceOut != "" {
+		runner.SpanTrace = obs.NewTracer(0) // rank handles grow on demand
+	}
+	if *metrOut != "" {
+		runner.Metrics = obs.NewRegistry()
+	}
 	if *logPath != "" {
 		lf, err := os.Create(*logPath)
 		if err != nil {
@@ -129,5 +180,16 @@ func main() {
 				tables[i].WriteCSV(csv)
 			}
 		}
+	}
+
+	// Campaign end: flush observability outputs and surface a data-log
+	// write failure (the log is auxiliary, so it must not abort runs, but
+	// silent loss would poison later analysis).
+	if err := obs.WriteFiles(runner.SpanTrace, runner.Metrics, *traceOut, *metrOut); err != nil {
+		fmt.Fprintf(os.Stderr, "mdbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := runner.Trace.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "mdbench: warning: data log incomplete: %v\n", err)
 	}
 }

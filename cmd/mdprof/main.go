@@ -17,6 +17,7 @@ import (
 
 	"gomd/internal/core"
 	"gomd/internal/harness"
+	"gomd/internal/obs"
 	"gomd/internal/workload"
 )
 
@@ -26,11 +27,23 @@ func main() {
 		size  = flag.Int("size", 32, "system size in thousands of atoms")
 		ranks = flag.Int("ranks", 8, "CPU MPI ranks")
 		gpus  = flag.Int("gpus", 0, "GPU devices (0 = CPU instance)")
-		kacc  = flag.Float64("kspace-acc", 0, "rhodo PPPM error threshold")
-		capN  = flag.Int("measure-cap", 0, "max atoms actually simulated")
-		steps = flag.Int("steps", 0, "measured steps")
+		kacc      = flag.Float64("kspace-acc", 0, "rhodo PPPM error threshold")
+		capN      = flag.Int("measure-cap", 0, "max atoms actually simulated")
+		steps     = flag.Int("steps", 0, "measured steps")
+		traceOut  = flag.String("trace", "", "write a per-rank Chrome trace-event timeline (Perfetto) to this file")
+		metrOut   = flag.String("metrics", "", "write an engine metrics JSON dump to this file")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		addr, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdprof: pprof: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "# pprof listening on http://%s/debug/pprof/\n", addr)
+	}
 
 	runner := harness.NewRunner(harness.Options{MeasureCap: *capN, Steps: *steps})
 	name := workload.Name(*bench)
@@ -40,10 +53,20 @@ func main() {
 	if *gpus > 0 {
 		ranksEff = *gpus * perGPU
 	}
+	if *traceOut != "" {
+		runner.SpanTrace = obs.NewTracer(ranksEff)
+	}
+	if *metrOut != "" {
+		runner.Metrics = obs.NewRegistry()
+	}
 	m, err := runner.Measure(harness.Spec{
 		Workload: name, AtomsK: *size, Ranks: ranksEff, KspaceAcc: *kacc,
 	})
 	if err != nil {
+		fmt.Fprintf(os.Stderr, "mdprof: %v\n", err)
+		os.Exit(1)
+	}
+	if err := obs.WriteFiles(runner.SpanTrace, runner.Metrics, *traceOut, *metrOut); err != nil {
 		fmt.Fprintf(os.Stderr, "mdprof: %v\n", err)
 		os.Exit(1)
 	}

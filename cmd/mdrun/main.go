@@ -18,6 +18,7 @@ import (
 	"gomd/internal/atom"
 	"gomd/internal/core"
 	"gomd/internal/domain"
+	"gomd/internal/obs"
 	"gomd/internal/pair"
 	"gomd/internal/script"
 	"gomd/internal/workload"
@@ -32,10 +33,36 @@ func main() {
 		ranks  = flag.Int("ranks", 1, "MPI ranks (1 = serial engine)")
 		thermo = flag.Int("thermo", 10, "thermo output interval")
 		seed   = flag.Uint64("seed", 42, "RNG seed")
-		prec   = flag.String("precision", "double", "pair arithmetic: single, mixed, double")
-		kacc   = flag.Float64("kspace-acc", 0, "rhodo PPPM relative error threshold (default 1e-4)")
+		prec      = flag.String("precision", "double", "pair arithmetic: single, mixed, double")
+		kacc      = flag.Float64("kspace-acc", 0, "rhodo PPPM relative error threshold (default 1e-4)")
+		traceOut  = flag.String("trace", "", "write a per-rank Chrome trace-event timeline (Perfetto) to this file")
+		metrOut   = flag.String("metrics", "", "write an engine metrics JSON dump to this file")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		addr, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdrun: pprof: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "# pprof listening on http://%s/debug/pprof/\n", addr)
+	}
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer(*ranks)
+	}
+	var metrics *obs.Registry
+	if *metrOut != "" {
+		metrics = obs.NewRegistry()
+	}
+	writeObs := func() {
+		if err := obs.WriteFiles(tracer, metrics, *traceOut, *metrOut); err != nil {
+			fmt.Fprintf(os.Stderr, "mdrun: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	if *inFile != "" {
 		f, err := os.Open(*inFile)
@@ -86,10 +113,14 @@ func main() {
 			os.Exit(1)
 		}
 		cfg.ThermoTo = os.Stdout
+		cfg.Trace = tracer
+		cfg.Metrics = metrics
 		sim := core.New(cfg, st)
 		fmt.Printf("# %s: %d atoms, serial, dt=%g (%s units)\n",
 			name, st.N, cfg.Dt, cfg.Units.Style)
 		sim.Run(*steps)
+		sim.PublishObs(metrics)
+		writeObs()
 		report(sim, time.Since(start), *steps)
 		return
 	}
@@ -97,6 +128,8 @@ func main() {
 	eng, err := domain.New(func() (core.Config, *atom.Store, error) {
 		cfg, st, err := workload.Build(name, opts)
 		cfg.ThermoTo = nil // rank-local thermo would interleave
+		cfg.Trace = tracer
+		cfg.Metrics = metrics
 		return cfg, st, err
 	}, *ranks)
 	if err != nil {
@@ -117,6 +150,8 @@ func main() {
 			th.Step, th.Temperature, th.Pressure, th.PotEnergy, th.KinEnergy, th.TotalEnergy)
 	}
 	wall := time.Since(start)
+	eng.PublishObs(metrics)
+	writeObs()
 	fmt.Printf("# wall %.3fs  %.2f TS/s (host-machine rate, not the modeled platform)\n",
 		wall.Seconds(), float64(*steps)/wall.Seconds())
 }

@@ -127,3 +127,6 @@ func (b *SerialBackend) NGlobal(s *Simulation) int { return s.Store.N }
 
 // Size implements Backend.
 func (b *SerialBackend) Size() int { return 1 }
+
+// Rank implements Backend.
+func (b *SerialBackend) Rank() int { return 0 }

@@ -16,6 +16,7 @@ import (
 	"gomd/internal/fix"
 	"gomd/internal/kspace"
 	"gomd/internal/neighbor"
+	"gomd/internal/obs"
 	"gomd/internal/pair"
 	"gomd/internal/rng"
 	"gomd/internal/units"
@@ -59,6 +60,13 @@ type Config struct {
 	ThermoEvery int
 	// ThermoTo receives thermo lines (nil discards them).
 	ThermoTo io.Writer
+	// Trace, when non-nil, records per-rank timeline spans (one per
+	// timestep, task phase, and MPI call) for Perfetto export. Decomposed
+	// runs share one Tracer across all per-rank configs.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, receives live engine metrics (step-duration
+	// and halo-message histograms, neighbor rebuild counts).
+	Metrics *obs.Registry
 }
 
 // Backend abstracts the communication substrate: the serial engine uses
@@ -90,6 +98,9 @@ type Backend interface {
 	NGlobal(s *Simulation) int
 	// Size returns the number of ranks sharing the run.
 	Size() int
+	// Rank returns this backend's rank index (0 in serial runs); it keys
+	// the observability layer's per-rank timelines and metrics.
+	Rank() int
 }
 
 // Thermo is one thermodynamic output sample.
@@ -123,6 +134,12 @@ type Simulation struct {
 
 	backend Backend
 	fixCtx  fix.Context
+
+	// Observability handles (all nil when disabled; recording through
+	// them costs one nil check).
+	span     *obs.Rank
+	stepHist *obs.Histogram
+	commHist *obs.Histogram
 }
 
 // ghostSync adapts the backend to pair.GhostSync.
@@ -155,6 +172,19 @@ func NewWithBackend(cfg Config, st *atom.Store, be Backend) *Simulation {
 		backend: be,
 	}
 	s.NL = neighbor.NewList(cfg.Pair.ListMode(), cfg.Pair.Cutoff(), cfg.Skin)
+	// Wire the observability layer before Setup so construction-time halo
+	// traffic and neighbor builds are already visible.
+	rank := be.Rank()
+	s.span = cfg.Trace.Rank(rank)
+	s.NL.Span = s.span
+	if sc, ok := cfg.Kspace.(obs.SpanCarrier); ok {
+		sc.SetSpan(s.span)
+	}
+	if cfg.Metrics != nil {
+		s.stepHist = cfg.Metrics.Histogram(obs.RankMetric("step.seconds", rank), obs.StepSecondsBounds)
+		s.commHist = cfg.Metrics.Histogram(obs.RankMetric("comm.msg_bytes", rank), obs.MsgBytesBounds)
+		s.NL.Rebuilds = cfg.Metrics.Counter(obs.RankMetric("neigh.rebuilds", rank))
+	}
 	if _, isCharmm := cfg.Pair.(*pair.CharmmCoulLong); isCharmm {
 		// coul/long keeps special pairs in the list (LJ weight 0, k-space
 		// correction in the kernel).
@@ -191,6 +221,7 @@ func (s *Simulation) Run(n int) {
 func (s *Simulation) step() {
 	st := s.Store
 	cfg := &s.Cfg
+	s.span.SetStep(s.Step)
 
 	// --- Modify: initial integration (step I/II of Figure 1).
 	t0 := time.Now()
@@ -198,7 +229,9 @@ func (s *Simulation) step() {
 	for _, f := range cfg.Fixes {
 		f.InitialIntegrate(ctx)
 	}
-	s.Times[TaskModify] += time.Since(t0)
+	d := time.Since(t0)
+	s.Times[TaskModify] += d
+	s.span.Span(obs.CatTask, TaskModify.String(), t0, d)
 
 	// --- Comm/Neigh: boundary conditions, exchange, list rebuild
 	// (steps III/IV).
@@ -211,7 +244,9 @@ func (s *Simulation) step() {
 		} else {
 			rebuild = s.backend.ReduceBool(s.NL.NeedsRebuild(st))
 		}
-		s.Times[TaskNeigh] += time.Since(tN)
+		d = time.Since(tN)
+		s.Times[TaskNeigh] += d
+		s.span.Span(obs.CatTask, TaskNeigh.String(), tN, d)
 	}
 	tC := time.Now()
 	if rebuild {
@@ -219,12 +254,16 @@ func (s *Simulation) step() {
 	} else {
 		s.backend.ForwardPositions(s)
 	}
-	s.Times[TaskComm] += time.Since(tC)
+	d = time.Since(tC)
+	s.Times[TaskComm] += d
+	s.span.Span(obs.CatTask, TaskComm.String(), tC, d)
 	if rebuild {
 		s.lastRebuild = s.Step
 		tN := time.Now()
 		s.NL.Build(st)
-		s.Times[TaskNeigh] += time.Since(tN)
+		d = time.Since(tN)
+		s.Times[TaskNeigh] += d
+		s.span.Span(obs.CatTask, TaskNeigh.String(), tN, d)
 		s.Counters.NeighBuilds = int64(s.NL.Stats.Builds)
 		s.Counters.NeighPairs = s.NL.Stats.TotalPairs
 		s.Counters.NeighChecks = s.NL.Stats.DistanceChecks
@@ -246,7 +285,9 @@ func (s *Simulation) step() {
 		f.EndOfStep(ctx)
 	}
 	s.Counters.ModifyOps = ctx.Ops
-	s.Times[TaskModify] += time.Since(tM)
+	d = time.Since(tM)
+	s.Times[TaskModify] += d
+	s.span.Span(obs.CatTask, TaskModify.String(), tM, d)
 
 	s.Step++
 	s.Counters.Steps++
@@ -262,7 +303,15 @@ func (s *Simulation) step() {
 				"step %8d  T %10.4f  P %12.5g  PE %14.6g  KE %14.6g  E %14.6g\n",
 				th.Step, th.Temperature, th.Pressure, th.PotEnergy, th.KinEnergy, th.TotalEnergy)
 		}
-		s.Times[TaskOutput] += time.Since(tO)
+		d = time.Since(tO)
+		s.Times[TaskOutput] += d
+		s.span.Span(obs.CatTask, TaskOutput.String(), tO, d)
+	}
+
+	if s.span != nil || s.stepHist != nil {
+		stepD := time.Since(t0)
+		s.span.Span(obs.CatStep, "step", t0, stepD)
+		s.stepHist.Observe(stepD.Seconds())
 	}
 }
 
@@ -275,7 +324,9 @@ func (s *Simulation) evaluateForces() {
 
 	tF := time.Now()
 	st.ZeroForces()
-	s.Times[TaskOther] += time.Since(tF)
+	d := time.Since(tF)
+	s.Times[TaskOther] += d
+	s.span.Span(obs.CatTask, TaskOther.String(), tF, d)
 
 	pe := 0.0
 	vir := 0.0
@@ -288,7 +339,9 @@ func (s *Simulation) evaluateForces() {
 		QQr2E: cfg.Units.QQr2E,
 		Dt:    cfg.Dt,
 	})
-	s.Times[TaskPair] += time.Since(tP)
+	d = time.Since(tP)
+	s.Times[TaskPair] += d
+	s.span.Span(obs.CatTask, TaskPair.String(), tP, d)
 	s.Counters.PairOps += pres.Pairs
 	pe += pres.Energy
 	vir += pres.Virial
@@ -301,13 +354,17 @@ func (s *Simulation) evaluateForces() {
 			pe += bres.Energy
 			vir += bres.Virial
 		}
-		s.Times[TaskBond] += time.Since(tB)
+		d = time.Since(tB)
+		s.Times[TaskBond] += d
+		s.span.Span(obs.CatTask, TaskBond.String(), tB, d)
 	}
 
 	if cfg.Kspace != nil {
 		tK := time.Now()
 		kres := cfg.Kspace.Compute(st, s.Box, s.backend.GridReducer(s))
-		s.Times[TaskKspace] += time.Since(tK)
+		d = time.Since(tK)
+		s.Times[TaskKspace] += d
+		s.span.Span(obs.CatTask, TaskKspace.String(), tK, d)
 		s.Counters.KspaceSpreadOps += kres.SpreadOps
 		s.Counters.KspaceInterpOps += kres.InterpOps
 		s.Counters.KspaceMapOps += kres.MapOps
@@ -321,7 +378,9 @@ func (s *Simulation) evaluateForces() {
 	if len(cfg.Bonds) > 0 || cfg.ClusterMigrate {
 		tC2 := time.Now()
 		s.backend.ReverseForces(s)
-		s.Times[TaskComm] += time.Since(tC2)
+		d = time.Since(tC2)
+		s.Times[TaskComm] += d
+		s.span.Span(obs.CatTask, TaskComm.String(), tC2, d)
 	}
 
 	s.LastPE = pe
@@ -359,6 +418,34 @@ func (s *Simulation) fixContext() *fix.Context {
 		Ops:          ops,
 	}
 	return &s.fixCtx
+}
+
+// ObserveCommBytes feeds one communication payload size into the
+// per-rank message-size histogram (no-op when metrics are disabled);
+// communication backends call it alongside the CommBytes counter.
+func (s *Simulation) ObserveCommBytes(n int) {
+	s.commHist.Observe(float64(n))
+}
+
+// PublishObs exports this rank's accumulated engine counters into the
+// metrics registry under rank-labeled names: ghost-atom counts, halo
+// message traffic, migration volume, and FFT mesh-communication volume
+// (the counters behind the paper's Figures 4/5). Live metrics (step
+// histograms, neighbor rebuild counts) are already in the registry.
+func (s *Simulation) PublishObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	r := s.backend.Rank()
+	c := s.Counters
+	reg.Counter(obs.RankMetric("comm.ghost_atoms", r)).Add(c.GhostAtoms)
+	reg.Counter(obs.RankMetric("comm.halo_bytes", r)).Add(c.CommBytes)
+	reg.Counter(obs.RankMetric("comm.halo_msgs", r)).Add(c.CommMsgs)
+	reg.Counter(obs.RankMetric("comm.migrated_atoms", r)).Add(c.MigratedAtoms)
+	reg.Counter(obs.RankMetric("kspace.fft_comm_bytes", r)).Add(c.KspaceCommBytes)
+	reg.Counter(obs.RankMetric("kspace.fft_ops", r)).Add(c.KspaceFFTOps)
+	reg.Counter(obs.RankMetric("pair.ops", r)).Add(c.PairOps)
+	reg.Counter(obs.RankMetric("neigh.pairs", r)).Add(c.NeighPairs)
 }
 
 // WrapOwned folds owned positions into the primary cell. With cluster

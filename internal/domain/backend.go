@@ -168,6 +168,7 @@ func (b *Backend) migrate(s *core.Simulation) {
 			in := b.exchange(nb, out[dir], bytes, from, stageTag(tagMigrate, d, dir))
 			s.Counters.CommMsgs++
 			s.Counters.CommBytes += int64(bytes)
+			s.ObserveCommBytes(bytes)
 			if in == nil {
 				continue
 			}
@@ -264,6 +265,7 @@ func (b *Backend) buildGhosts(s *core.Simulation) {
 			in := b.exchange(nb, ghosts, bytes, from, stageTag(tagGhost, d, dir))
 			s.Counters.CommMsgs++
 			s.Counters.CommBytes += int64(bytes)
+			s.ObserveCommBytes(bytes)
 			b.recvStart[d][dir] = st.Total()
 			if in != nil {
 				inGhosts := in.([]atom.Ghost)
@@ -300,6 +302,7 @@ func (b *Backend) ForwardPositions(s *core.Simulation) {
 			got := b.exchange(nb, buf, -1, from, stageTag(tagFwd, d, dir))
 			s.Counters.CommMsgs++
 			s.Counters.CommBytes += int64(8 * len(buf))
+			s.ObserveCommBytes(8 * len(buf))
 			if got == nil {
 				continue
 			}
@@ -344,6 +347,7 @@ func (b *Backend) ReverseForces(s *core.Simulation) {
 			got := b.exchange(from, buf, -1, nb, stageTag(tagRev, d, dir))
 			s.Counters.CommMsgs++
 			s.Counters.CommBytes += int64(8 * len(buf))
+			s.ObserveCommBytes(8 * len(buf))
 			if got == nil {
 				continue
 			}
@@ -376,6 +380,7 @@ func (b *Backend) ForwardScalar(s *core.Simulation, bufAll []float64) {
 			got := b.exchange(nb, buf, -1, from, stageTag(tagScalar, d, dir))
 			s.Counters.CommMsgs++
 			s.Counters.CommBytes += int64(8 * len(buf))
+			s.ObserveCommBytes(8 * len(buf))
 			if got == nil {
 				continue
 			}
@@ -413,3 +418,6 @@ func (b *Backend) NGlobal(*core.Simulation) int { return b.nglobal }
 
 // Size implements core.Backend.
 func (b *Backend) Size() int { return b.comm.Size() }
+
+// Rank implements core.Backend.
+func (b *Backend) Rank() int { return b.comm.Rank() }

@@ -1,0 +1,172 @@
+package domain_test
+
+import (
+	"bytes"
+	"testing"
+
+	"gomd/internal/atom"
+	"gomd/internal/core"
+	"gomd/internal/domain"
+	"gomd/internal/mpi"
+	"gomd/internal/obs"
+	"gomd/internal/workload"
+)
+
+// runObserved runs the rhodo workload decomposed onto nranks ranks with
+// the span tracer and metrics registry enabled (rhodo exercises every
+// task of the Table 1 taxonomy: CHARMM pair + bonds, PPPM k-space,
+// neighbor rebuilds, halo exchange, SHAKE/NPT fixes, and — with
+// ThermoEvery 1 — thermo output).
+func runObserved(t *testing.T, nranks, steps int) (*domain.Engine, *obs.Tracer, *obs.Registry) {
+	t.Helper()
+	o := workload.Options{Atoms: 1550, Seed: 5, ThermoEvery: 1}
+	tr := obs.NewTracer(nranks)
+	reg := obs.NewRegistry()
+	eng, err := domain.New(func() (core.Config, *atom.Store, error) {
+		cfg, st, err := workload.Build(workload.Rhodo, o)
+		cfg.Trace = tr
+		cfg.Metrics = reg
+		return cfg, st, err
+	}, nranks)
+	if err != nil {
+		t.Fatalf("domain.New: %v", err)
+	}
+	eng.Run(steps)
+	eng.PublishObs(reg)
+	return eng, tr, reg
+}
+
+// TestTraceExportFourRanks runs 4 ranks with tracing enabled, exports
+// the Chrome trace-event JSON, parses it back, and checks it is
+// structurally valid: every rank present with metadata, all 8 task
+// names recorded, complete ("X") events only, per-rank step spans
+// sequential and non-overlapping, and MPI spans annotated with byte
+// counts and peer ranks.
+func TestTraceExportFourRanks(t *testing.T) {
+	const nranks, steps = 4, 10
+	_, tr, _ := runObserved(t, nranks, steps)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	tf, err := obs.ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+
+	// Metadata: one process_name plus thread_name/thread_sort_index per rank.
+	threadNames := map[int]bool{}
+	for _, ev := range tf.TraceEvents {
+		switch {
+		case ev.Ph == "M" && ev.Name == "thread_name":
+			threadNames[ev.Tid] = true
+		case ev.Ph != "M" && ev.Ph != "X":
+			t.Fatalf("unexpected event phase %q (name %s); want only M and complete X events", ev.Ph, ev.Name)
+		}
+	}
+	for r := 0; r < nranks; r++ {
+		if !threadNames[r] {
+			t.Errorf("no thread_name metadata for rank %d", r)
+		}
+	}
+
+	byRank := obs.ByRank(tf)
+	if len(byRank) != nranks {
+		t.Fatalf("events span %d tids, want %d", len(byRank), nranks)
+	}
+
+	wantTasks := map[string]bool{}
+	for _, task := range core.Tasks() {
+		wantTasks[task.String()] = false
+	}
+	for r := 0; r < nranks; r++ {
+		evs := byRank[r]
+		if len(evs) == 0 {
+			t.Fatalf("rank %d recorded no events", r)
+		}
+		var steps []obs.TraceEvent
+		mpiSpans := 0
+		for _, ev := range evs {
+			if ev.Dur < 0 {
+				t.Fatalf("rank %d event %s has negative duration %g", r, ev.Name, ev.Dur)
+			}
+			if ev.TS < 0 {
+				t.Fatalf("rank %d event %s has negative timestamp %g", r, ev.Name, ev.TS)
+			}
+			switch ev.Cat {
+			case obs.CatTask:
+				if _, ok := wantTasks[ev.Name]; !ok {
+					t.Fatalf("rank %d task span %q is not in the Table 1 taxonomy", r, ev.Name)
+				}
+				wantTasks[ev.Name] = true
+			case obs.CatStep:
+				steps = append(steps, ev)
+			case obs.CatMPI:
+				mpiSpans++
+				if _, ok := ev.Args["bytes"]; !ok {
+					t.Errorf("rank %d MPI span %q lacks a bytes annotation", r, ev.Name)
+				}
+				if ev.Name == "MPI_Send" || ev.Name == "MPI_Sendrecv" || ev.Name == "MPI_Wait" {
+					if _, ok := ev.Args["peer"]; !ok {
+						t.Errorf("rank %d %s span lacks a peer annotation", r, ev.Name)
+					}
+				}
+			}
+		}
+		if len(steps) != 10 {
+			t.Errorf("rank %d recorded %d step spans, want 10", r, len(steps))
+		}
+		if mpiSpans == 0 {
+			t.Errorf("rank %d recorded no MPI spans", r)
+		}
+		// Step spans tile the rank's timeline: monotonically increasing
+		// and non-overlapping (ByRank sorts by start timestamp).
+		for i := 1; i < len(steps); i++ {
+			if steps[i].TS < steps[i-1].TS+steps[i-1].Dur {
+				t.Errorf("rank %d step spans overlap: [%g +%g] then [%g]",
+					r, steps[i-1].TS, steps[i-1].Dur, steps[i].TS)
+			}
+		}
+	}
+	for name, seen := range wantTasks {
+		if !seen {
+			t.Errorf("task %q never appears in the trace", name)
+		}
+	}
+}
+
+// TestMetricsAgreeWithMPIStats checks that the MPI call and byte counts
+// published into the metrics registry agree exactly with the engine's
+// own per-rank mpi.Stats for the same run.
+func TestMetricsAgreeWithMPIStats(t *testing.T) {
+	const nranks = 4
+	eng, _, reg := runObserved(t, nranks, 10)
+
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	snap, err := obs.ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+
+	stats := eng.MPIStats()
+	for r := 0; r < nranks; r++ {
+		for f := mpi.Func(0); f < mpi.NumFuncs; f++ {
+			fs := stats[r].Funcs[f]
+			calls := snap.Counters[obs.RankMetric("mpi."+f.String()+".calls", r)]
+			bytes := snap.Counters[obs.RankMetric("mpi."+f.String()+".bytes", r)]
+			if calls != fs.Calls {
+				t.Errorf("rank %d %s calls: registry %d, mpi.Stats %d", r, f, calls, fs.Calls)
+			}
+			if bytes != fs.Bytes {
+				t.Errorf("rank %d %s bytes: registry %d, mpi.Stats %d", r, f, bytes, fs.Bytes)
+			}
+		}
+		if fs := stats[r].Funcs[mpi.FuncSendrecv]; fs.Calls == 0 {
+			t.Errorf("rank %d made no Sendrecv calls; halo exchange missing from run", r)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"gomd/internal/domain"
 	"gomd/internal/kspace"
 	"gomd/internal/mpi"
+	"gomd/internal/obs"
 	"gomd/internal/pair"
 	"gomd/internal/perfmodel"
 	"gomd/internal/trace"
@@ -107,6 +108,14 @@ type Runner struct {
 	// Trace, when non-nil, receives a JSONL data log of every engine
 	// measurement (the Figure 2 "Data Log" stage).
 	Trace *trace.Logger
+	// SpanTrace, when non-nil, receives per-rank timeline spans from
+	// every engine run for Perfetto export (internal/obs). Cached
+	// measurements record nothing, so a one-measurement campaign yields
+	// one run's timeline.
+	SpanTrace *obs.Tracer
+	// Metrics, when non-nil, receives live engine metrics plus the
+	// end-of-run per-rank counter and MPI-profile export.
+	Metrics *obs.Registry
 
 	mu    sync.Mutex
 	cache map[measureKey]*measured
@@ -134,7 +143,10 @@ func (r *Runner) runEngine(spec Spec, nrun int) (*measured, error) {
 		Seed:      o.Seed,
 	}
 	factory := func() (core.Config, *atom.Store, error) {
-		return workload.Build(spec.Workload, wopts)
+		cfg, st, err := workload.Build(spec.Workload, wopts)
+		cfg.Trace = r.SpanTrace
+		cfg.Metrics = r.Metrics
+		return cfg, st, err
 	}
 	for attempt := 0; attempt < 8; attempt++ {
 		eng, err := domain.New(factory, spec.Ranks)
@@ -173,6 +185,7 @@ func (r *Runner) runEngine(spec Spec, nrun int) (*measured, error) {
 			per[i] = diffCounters(s.Counters, base[i])
 			ms[i] = diffStats(eng.World.Comm(i).Stats, baseMPI[i])
 		}
+		eng.PublishObs(r.Metrics)
 		cfg := eng.Sims[0].Cfg
 		l := eng.Sims[0].Box.Lengths()
 		q2 := 0.0

@@ -2,9 +2,11 @@ package kspace
 
 import (
 	"math"
+	"time"
 
 	"gomd/internal/atom"
 	"gomd/internal/box"
+	"gomd/internal/obs"
 	"gomd/internal/vec"
 )
 
@@ -37,7 +39,15 @@ type PPPM struct {
 	fky   []complex128
 	fkz   []complex128
 	wreal []float64
+
+	// span, when non-nil, receives one kernel span per pipeline stage
+	// (make_rho, FFTs, Poisson multiply, interp) — the mesh-side
+	// counterpart of the paper's Figure 8 kernel breakdown.
+	span *obs.Rank
 }
+
+// SetSpan implements obs.SpanCarrier.
+func (p *PPPM) SetSpan(r *obs.Rank) { p.span = r }
 
 // NewPPPM returns a PPPM solver with assignment order 5 (the LAMMPS
 // default used by the rhodopsin benchmark).
@@ -109,6 +119,21 @@ func (p *PPPM) Compute(st *atom.Store, bx box.Box, reduce func([]float64)) Resul
 		p.rho[i] = 0
 	}
 
+	// kernel marks the end of one pipeline stage on the span timeline
+	// and starts the next; tObs stays zero (and kernel free) when
+	// tracing is off.
+	var tObs time.Time
+	if p.span != nil {
+		tObs = time.Now()
+	}
+	kernel := func(name string) {
+		if p.span != nil {
+			now := time.Now()
+			p.span.Span(obs.CatKernel, name, tObs, now.Sub(tObs))
+			tObs = now
+		}
+	}
+
 	// particle_map + make_rho: spread charges with B-spline weights.
 	var wx, wy, wz [8]float64
 	var ix, iy, iz [8]int
@@ -140,6 +165,7 @@ func (p *PPPM) Compute(st *atom.Store, bx box.Box, reduce func([]float64)) Resul
 		}
 	}
 	res.SpreadOps = int64(spread)
+	kernel("pppm_make_rho")
 
 	// Decomposed runs hold a replicated mesh: sum contributions across
 	// ranks before the transform.
@@ -155,10 +181,12 @@ func (p *PPPM) Compute(st *atom.Store, bx box.Box, reduce func([]float64)) Resul
 		for i := range w {
 			p.rho[i] = complex(w[i], 0)
 		}
+		kernel("pppm_mesh_reduce")
 	}
 
 	p.fft.Butterflies = 0
 	p.fft.Forward(p.rho)
+	kernel("pppm_fft_forward")
 
 	// Green's function multiply + ik differentiation, with B-spline
 	// deconvolution (one W factor for spreading, one for interpolation).
@@ -210,10 +238,12 @@ func (p *PPPM) Compute(st *atom.Store, bx box.Box, reduce func([]float64)) Resul
 		}
 	}
 
+	kernel("pppm_poisson")
 	p.fft.Inverse(p.fkx)
 	p.fft.Inverse(p.fky)
 	p.fft.Inverse(p.fkz)
 	res.FFTOps = p.fft.Butterflies
+	kernel("pppm_fft_inverse")
 
 	// interp: gather per-particle field with the same weights.
 	// F_i = 2 cE q_i Ngrid Im(sum) per the mesh normalization.
@@ -249,6 +279,7 @@ func (p *PPPM) Compute(st *atom.Store, bx box.Box, reduce func([]float64)) Resul
 		f := vec.New(imag(ex), imag(ey), imag(ez)).Scale(fpre * q)
 		st.Force[i] = st.Force[i].Add(f)
 	}
+	kernel("pppm_interp")
 
 	// Self-energy correction.
 	var q2own float64

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"gomd/internal/obs"
 )
 
 // Func enumerates the instrumented MPI functions, following the paper's
@@ -144,7 +146,14 @@ type Comm struct {
 	rank  int
 	// Stats is the Figure 4/5 instrumentation.
 	Stats Stats
+	// span, when non-nil, receives one timeline span per primitive call,
+	// annotated with payload bytes and peer rank (internal/obs).
+	span *obs.Rank
 }
+
+// SetSpan attaches a per-rank span timeline to this endpoint; nil
+// detaches it. Call between parallel sections only.
+func (c *Comm) SetSpan(r *obs.Rank) { c.span = r }
 
 // Rank returns this endpoint's rank.
 func (c *Comm) Rank() int { return c.rank }
@@ -173,10 +182,14 @@ func (c *Comm) Send(dst, tag int, data any, bytes int) {
 	}
 	t0 := time.Now()
 	c.world.inbox[dst] <- message{src: c.rank, tag: tag, bytes: bytes, data: data}
+	el := time.Since(t0)
 	st := &c.Stats.Funcs[FuncSend]
 	st.Calls++
 	st.Bytes += int64(bytes)
-	st.Time += time.Since(t0)
+	st.Time += el
+	if c.span != nil {
+		c.span.Comm("MPI_Send", t0, el, int64(bytes), dst)
+	}
 }
 
 // Recv blocks until a message from src with tag arrives and returns its
@@ -190,6 +203,9 @@ func (c *Comm) Recv(src, tag int) any {
 	st.Bytes += int64(bytes)
 	st.Time += el
 	st.WaitTime += el
+	if c.span != nil {
+		c.span.Comm("MPI_Wait", t0, el, int64(bytes), src)
+	}
 	return data
 }
 
@@ -228,6 +244,9 @@ func (c *Comm) Sendrecv(dst int, sdata any, sbytes, src, tag int) any {
 	st.Bytes += int64(sbytes + rbytes)
 	st.Time += sendDone + wait
 	st.WaitTime += wait
+	if c.span != nil {
+		c.span.Comm("MPI_Sendrecv", t0, sendDone+wait, int64(sbytes+rbytes), dst)
+	}
 	return data
 }
 
@@ -269,6 +288,9 @@ func (c *Comm) Allreduce(data []float64) {
 	st.Bytes += int64(2 * bytes)
 	st.Time += el
 	st.WaitTime += el / 2 // heuristically half of a reduction is waiting
+	if c.span != nil {
+		c.span.Comm("MPI_Allreduce", t0, el, int64(2*bytes), -1)
+	}
 }
 
 // AllreduceScalar sums one value across ranks.
@@ -311,6 +333,9 @@ func (c *Comm) AllreduceMax(v float64) float64 {
 	st.Bytes += 16
 	st.Time += el
 	st.WaitTime += el / 2
+	if c.span != nil {
+		c.span.Comm("MPI_Allreduce", t0, el, 16, -1)
+	}
 	return out
 }
 

@@ -11,8 +11,10 @@ package neighbor
 
 import (
 	"math"
+	"time"
 
 	"gomd/internal/atom"
+	"gomd/internal/obs"
 	"gomd/internal/vec"
 )
 
@@ -73,6 +75,12 @@ type List struct {
 
 	Stats Stats
 
+	// Span, when non-nil, receives one kernel span per build on the
+	// owning rank's timeline; Rebuilds, when non-nil, counts builds in
+	// the metrics registry. Both default off (internal/obs).
+	Span     *obs.Rank
+	Rebuilds *obs.Counter
+
 	lastPos []vec.V3 // owned positions snapshot at last build
 
 	// scratch bin storage reused across builds
@@ -108,6 +116,10 @@ func (l *List) NeedsRebuild(st *atom.Store) bool {
 // Positions must already include up-to-date ghosts extending at least
 // cutoff+skin beyond the owned region.
 func (l *List) Build(st *atom.Store) {
+	var tObs time.Time
+	if l.Span != nil {
+		tObs = time.Now()
+	}
 	total := st.Total()
 	cut := l.BuildCutoff()
 	cut2 := cut * cut
@@ -255,6 +267,10 @@ func (l *List) Build(st *atom.Store) {
 	l.Stats.TotalPairs += pairs
 	l.Stats.LastPairs = pairs
 	l.Stats.DistanceChecks += checks
+	l.Rebuilds.Inc()
+	if l.Span != nil {
+		l.Span.Span(obs.CatKernel, "neigh_build", tObs, time.Since(tObs))
+	}
 
 	// Snapshot owned positions for the displacement trigger.
 	if cap(l.lastPos) < st.N {

@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilSafety: every recording surface must be a no-op on nil
+// receivers — the disabled-by-default contract of the package.
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	rk := tr.Rank(3)
+	if rk != nil {
+		t.Fatalf("nil tracer must hand out nil ranks")
+	}
+	rk.SetStep(1)
+	rk.Span(CatTask, "Pair", time.Now(), time.Millisecond)
+	rk.Comm("MPI_Send", time.Now(), time.Microsecond, 64, 1)
+	if err := tr.WriteJSON(nil); err != nil {
+		t.Fatalf("nil tracer WriteJSON: %v", err)
+	}
+	if tr.NumSpans() != 0 || tr.Events() != nil {
+		t.Fatalf("nil tracer must report no spans")
+	}
+
+	var reg *Registry
+	reg.Counter("x").Add(5)
+	reg.Counter("x").Inc()
+	reg.Gauge("y").Set(1.5)
+	reg.Histogram("z", []float64{1, 2}).Observe(1.0)
+	if reg.Counter("x").Value() != 0 || reg.Gauge("y").Value() != 0 {
+		t.Fatalf("nil registry metrics must read zero")
+	}
+	if err := reg.WriteJSON(nil); err != nil {
+		t.Fatalf("nil registry WriteJSON: %v", err)
+	}
+	reg.WriteTable(nil)
+}
+
+// TestTracerRoundTrip: spans written by multiple ranks export as valid
+// Chrome trace-event JSON and parse back with metadata rows per rank.
+func TestTracerRoundTrip(t *testing.T) {
+	tr := NewTracer(2)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rk := tr.Rank(r)
+			for step := int64(0); step < 3; step++ {
+				rk.SetStep(step)
+				t0 := time.Now()
+				rk.Span(CatTask, "Pair", t0, 2*time.Microsecond)
+				rk.Comm("MPI_Sendrecv", t0, time.Microsecond, 128, (r+1)%2)
+				rk.Span(CatStep, "step", t0, 5*time.Microsecond)
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	if got := tr.NumSpans(); got != 18 {
+		t.Fatalf("NumSpans = %d, want 18", got)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	tf, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	byRank := ByRank(tf)
+	if len(byRank) != 2 {
+		t.Fatalf("trace holds %d ranks, want 2", len(byRank))
+	}
+	meta := 0
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph == "M" {
+			meta++
+			continue
+		}
+		if ev.Ph != "X" {
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+		if ev.Dur < 0 || ev.TS < 0 {
+			t.Errorf("negative ts/dur on %q", ev.Name)
+		}
+	}
+	if meta != 5 { // process_name + 2x(thread_name, thread_sort_index)
+		t.Errorf("metadata events = %d, want 5", meta)
+	}
+	for r, evs := range byRank {
+		var comm *TraceEvent
+		for i := range evs {
+			if evs[i].Cat == CatMPI {
+				comm = &evs[i]
+			}
+		}
+		if comm == nil {
+			t.Fatalf("rank %d: no MPI span", r)
+		}
+		if comm.Args["bytes"].(float64) != 128 {
+			t.Errorf("rank %d: MPI bytes arg = %v", r, comm.Args["bytes"])
+		}
+		if int(comm.Args["peer"].(float64)) != (r+1)%2 {
+			t.Errorf("rank %d: MPI peer arg = %v", r, comm.Args["peer"])
+		}
+	}
+}
+
+// TestRankGrowth: handles beyond the constructed size are created on
+// demand and retained.
+func TestRankGrowth(t *testing.T) {
+	tr := NewTracer(1)
+	rk := tr.Rank(5)
+	if rk == nil {
+		t.Fatal("Rank(5) on a 1-rank tracer must grow")
+	}
+	if tr.Rank(5) != rk {
+		t.Fatal("Rank must return a stable handle")
+	}
+}
+
+// TestRegistry: counters, gauges, histograms record and snapshot; the
+// same name returns the same handle.
+func TestRegistry(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("mpi.send.bytes{rank=0}")
+	c.Add(100)
+	reg.Counter("mpi.send.bytes{rank=0}").Add(20)
+	if got := c.Value(); got != 120 {
+		t.Fatalf("counter = %d, want 120", got)
+	}
+	reg.Gauge("load.imbalance_pct").Set(12.5)
+	h := reg.Histogram("comm.msg_bytes", []float64{10, 100, 1000})
+	for _, v := range []float64{5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	s := reg.Snapshot()
+	if s.Gauges["load.imbalance_pct"] != 12.5 {
+		t.Errorf("gauge snapshot = %v", s.Gauges["load.imbalance_pct"])
+	}
+	hs := s.Histograms["comm.msg_bytes"]
+	want := []int64{1, 1, 1, 1}
+	for i, w := range want {
+		if hs.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, hs.Counts[i], w)
+		}
+	}
+	if hs.Count != 4 || hs.Sum != 5555 {
+		t.Errorf("hist count=%d sum=%g, want 4/5555", hs.Count, hs.Sum)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	back, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if back.Counters["mpi.send.bytes{rank=0}"] != 120 {
+		t.Errorf("JSON round trip lost counter: %v", back.Counters)
+	}
+
+	var tbl bytes.Buffer
+	reg.WriteTable(&tbl)
+	for _, want := range []string{"mpi.send.bytes{rank=0}", "load.imbalance_pct", "comm.msg_bytes"} {
+		if !strings.Contains(tbl.String(), want) {
+			t.Errorf("table missing %q:\n%s", want, tbl.String())
+		}
+	}
+}
+
+// TestRegistryConcurrent: metric handles must be safe under concurrent
+// recording (exercised with -race in CI).
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := reg.Counter("shared")
+			h := reg.Histogram("hist", []float64{0.5})
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("shared").Value(); got != 8000 {
+		t.Fatalf("concurrent counter = %d, want 8000", got)
+	}
+	if got := reg.Histogram("hist", nil).Count(); got != 8000 {
+		t.Fatalf("concurrent histogram count = %d, want 8000", got)
+	}
+}
+
+// TestServePprof: the endpoint binds an ephemeral port and serves the
+// pprof index.
+func TestServePprof(t *testing.T) {
+	addr, err := ServePprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ServePprof: %v", err)
+	}
+	resp, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("GET pprof index: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status = %d", resp.StatusCode)
+	}
+}

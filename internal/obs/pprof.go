@@ -1,0 +1,21 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers on DefaultServeMux
+)
+
+// ServePprof starts a net/http/pprof endpoint on addr (e.g. ":6060") in
+// a background goroutine and returns the bound address, so callers may
+// pass ":0" for an ephemeral port. The listener stays open for the
+// process lifetime — profiling endpoints are opt-in debugging surface,
+// not managed services.
+func ServePprof(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() { _ = http.Serve(ln, nil) }()
+	return ln.Addr().String(), nil
+}

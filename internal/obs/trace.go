@@ -1,0 +1,255 @@
+// Package obs is the in-engine observability layer: a per-rank span
+// tracer whose output opens in Perfetto/chrome://tracing (reproducing the
+// per-rank timeline views of the paper's Figures 6 and 13), a metrics
+// registry of counters, gauges, and fixed-bucket histograms, and pprof
+// wiring for Go-native profiles.
+//
+// Everything is disabled by default and nil-safe: a nil *Tracer hands out
+// nil *Rank handles, and every recording method on a nil receiver is a
+// no-op, so instrumented hot paths pay only a nil check (the same idiom
+// as internal/trace.Logger).
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span categories. They become the "cat" field of the exported trace
+// events, so Perfetto can filter timesteps, task phases, and MPI calls
+// independently.
+const (
+	// CatStep marks one whole timestep.
+	CatStep = "step"
+	// CatTask marks one task phase of the Table 1 taxonomy
+	// (Pair/Bond/Kspace/Neigh/Comm/Modify/Output/Other).
+	CatTask = "task"
+	// CatMPI marks one MPI primitive call (Send/Sendrecv/Wait/Allreduce).
+	CatMPI = "mpi"
+	// CatKernel marks an intra-task kernel (neighbor build, PPPM
+	// make_rho/FFT/interp), mirroring the paper's GPU kernel taxonomy.
+	CatKernel = "kernel"
+)
+
+// Span is one recorded interval on one rank's timeline. Times are
+// nanoseconds since the tracer epoch. Bytes and Peer are -1 when the
+// span carries no communication payload.
+type Span struct {
+	Cat   string
+	Name  string
+	TS    int64 // start, ns since epoch
+	Dur   int64 // duration, ns
+	Step  int64
+	Bytes int64
+	Peer  int32
+}
+
+// Tracer owns the per-rank span buffers of one run. Rank handles record
+// without any cross-goroutine locking (each rank's goroutine appends to
+// its own buffer); the Tracer merges them at export time.
+type Tracer struct {
+	epoch time.Time
+
+	mu    sync.Mutex
+	ranks []*Rank
+}
+
+// NewTracer returns a tracer expecting nranks ranks. Rank handles beyond
+// the initial size are created on demand.
+func NewTracer(nranks int) *Tracer {
+	t := &Tracer{epoch: time.Now()}
+	t.ranks = make([]*Rank, 0, nranks)
+	for r := 0; r < nranks; r++ {
+		t.ranks = append(t.ranks, &Rank{tid: r, epoch: t.epoch})
+	}
+	return t
+}
+
+// Rank returns rank r's recording handle, or nil on a nil tracer. Safe
+// to call from setup code only (it locks); the returned handle records
+// lock-free.
+func (t *Tracer) Rank(r int) *Rank {
+	if t == nil || r < 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for len(t.ranks) <= r {
+		t.ranks = append(t.ranks, &Rank{tid: len(t.ranks), epoch: t.epoch})
+	}
+	return t.ranks[r]
+}
+
+// Rank is one rank's append-only span buffer. All recording methods are
+// nil-safe no-ops; a non-nil Rank must only be recorded to by one
+// goroutine at a time (the rank's own), which the SPMD structure of the
+// engine guarantees.
+type Rank struct {
+	tid   int
+	epoch time.Time
+	step  int64
+	spans []Span
+}
+
+// SetStep tags subsequent spans with the current timestep.
+func (r *Rank) SetStep(step int64) {
+	if r == nil {
+		return
+	}
+	r.step = step
+}
+
+// Span records one interval that started at start and lasted d.
+func (r *Rank) Span(cat, name string, start time.Time, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.spans = append(r.spans, Span{
+		Cat:  cat,
+		Name: name,
+		TS:   start.Sub(r.epoch).Nanoseconds(),
+		Dur:  d.Nanoseconds(),
+		Step: r.step, Bytes: -1, Peer: -1,
+	})
+}
+
+// Comm records one communication interval annotated with its payload
+// size and peer rank (-1 for collectives).
+func (r *Rank) Comm(name string, start time.Time, d time.Duration, bytes int64, peer int) {
+	if r == nil {
+		return
+	}
+	r.spans = append(r.spans, Span{
+		Cat:  CatMPI,
+		Name: name,
+		TS:   start.Sub(r.epoch).Nanoseconds(),
+		Dur:  d.Nanoseconds(),
+		Step: r.step, Bytes: bytes, Peer: int32(peer),
+	})
+}
+
+// SpanCarrier is implemented by engine components (kspace solvers) that
+// can record kernel sub-spans when handed a rank timeline.
+type SpanCarrier interface {
+	SetSpan(*Rank)
+}
+
+// TraceEvent is one entry of the exported Chrome trace-event stream;
+// exported so tests (and downstream tools) can parse traces back.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// TraceFile is the exported JSON object.
+type TraceFile struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit,omitempty"`
+}
+
+// Events merges all rank buffers into Chrome trace events: one metadata
+// row per rank plus one complete ("X") event per span.
+func (t *Tracer) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	ranks := append([]*Rank(nil), t.ranks...)
+	t.mu.Unlock()
+
+	out := []TraceEvent{{
+		Name: "process_name", Ph: "M", Pid: 0, Tid: 0,
+		Args: map[string]any{"name": "gomd"},
+	}}
+	for _, rk := range ranks {
+		out = append(out,
+			TraceEvent{
+				Name: "thread_name", Ph: "M", Pid: 0, Tid: rk.tid,
+				Args: map[string]any{"name": fmt.Sprintf("rank %d", rk.tid)},
+			},
+			TraceEvent{
+				Name: "thread_sort_index", Ph: "M", Pid: 0, Tid: rk.tid,
+				Args: map[string]any{"sort_index": rk.tid},
+			})
+	}
+	for _, rk := range ranks {
+		for _, sp := range rk.spans {
+			ev := TraceEvent{
+				Name: sp.Name,
+				Cat:  sp.Cat,
+				Ph:   "X",
+				TS:   float64(sp.TS) / 1e3,
+				Dur:  float64(sp.Dur) / 1e3,
+				Pid:  0,
+				Tid:  rk.tid,
+				Args: map[string]any{"step": sp.Step},
+			}
+			if sp.Bytes >= 0 {
+				ev.Args["bytes"] = sp.Bytes
+			}
+			if sp.Peer >= 0 {
+				ev.Args["peer"] = sp.Peer
+			}
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// WriteJSON exports the merged trace as a Chrome trace-event JSON object
+// (open with https://ui.perfetto.dev or chrome://tracing).
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(TraceFile{TraceEvents: t.Events(), DisplayTimeUnit: "ms"})
+}
+
+// ReadTrace parses an exported trace back (validation and tests).
+func ReadTrace(r io.Reader) (TraceFile, error) {
+	var tf TraceFile
+	err := json.NewDecoder(r).Decode(&tf)
+	return tf, err
+}
+
+// NumSpans reports the total recorded span count across ranks.
+func (t *Tracer) NumSpans() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, rk := range t.ranks {
+		n += len(rk.spans)
+	}
+	return n
+}
+
+// ByRank groups the non-metadata events of a parsed trace by tid with
+// each rank's events in recorded order (a test helper, exported because
+// command-level tests live outside this package).
+func ByRank(tf TraceFile) map[int][]TraceEvent {
+	out := map[int][]TraceEvent{}
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph == "M" {
+			continue
+		}
+		out[ev.Tid] = append(out[ev.Tid], ev)
+	}
+	for _, evs := range out {
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].TS < evs[j].TS })
+	}
+	return out
+}

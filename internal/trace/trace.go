@@ -23,6 +23,7 @@ type Logger struct {
 	mu  sync.Mutex
 	enc *json.Encoder
 	seq int64
+	err error
 }
 
 // New returns a Logger writing to w, or nil if w is nil (callers may
@@ -42,9 +43,23 @@ func (l *Logger) Log(kind string, payload map[string]any) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.seq++
-	// Encoding errors are deliberately swallowed: the data log is an
-	// auxiliary artifact and must never fail an experiment.
-	_ = l.enc.Encode(Record{Seq: l.seq, Kind: kind, Payload: payload})
+	// Encoding errors never fail an experiment (the data log is an
+	// auxiliary artifact), but the first one is retained so campaigns can
+	// warn about an incomplete log at the end (see Err).
+	if err := l.enc.Encode(Record{Seq: l.seq, Kind: kind, Payload: payload}); err != nil && l.err == nil {
+		l.err = err
+	}
+}
+
+// Err returns the first encoding error encountered, or nil (also on a
+// nil Logger).
+func (l *Logger) Err() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
 }
 
 // Measurement logs the engine-side facts of one measurement.
