@@ -1,7 +1,8 @@
 # Tier-1 verification: build + vet + tests, then the same tests under
 # the race detector (the observability layer's multi-rank tests record
-# spans from every rank goroutine, so the race run is part of the bar).
-.PHONY: all build vet test race bench check
+# spans from every rank goroutine, so the race run is part of the bar),
+# then an end-to-end mdbench smoke campaign.
+.PHONY: all build vet test race bench bench-smoke check
 
 all: check
 
@@ -20,4 +21,13 @@ race:
 bench:
 	go test -bench=. -benchmem -run=^$$ ./...
 
-check: build vet test race
+# Short 8-rank rhodopsin campaign with a strict data log: fails if any
+# engine measurement is missing from the JSONL (the trace.Logger.Err()
+# path), catching end-to-end harness regressions the unit tests skip.
+bench-smoke:
+	go run ./cmd/mdbench -exp fig12 -quick -sizes 32 -ranks 8 \
+		-log /tmp/gomd-bench-smoke.jsonl -strict-log > /dev/null
+	@test -s /tmp/gomd-bench-smoke.jsonl || \
+		{ echo "bench-smoke: empty data log" >&2; exit 1; }
+
+check: build vet test race bench-smoke

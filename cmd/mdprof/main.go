@@ -2,7 +2,10 @@
 // (mode A of the paper's Figure 2): it measures one configuration on the
 // engine and prints the per-rank task breakdown, the per-MPI-function
 // profile, and — for GPU-instance projections — the per-device kernel
-// breakdown.
+// breakdown. The MPI-function profile reflects the runtime's tree
+// collectives: per-rank call, byte, and sequential-hop counts (log2(P)
+// rounds for allreduce/barrier, 2 log2(P) for the butterfly mesh
+// reduction that kspace solvers use).
 //
 // Usage:
 //

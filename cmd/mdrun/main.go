@@ -1,6 +1,10 @@
 // Command mdrun runs one benchmark workload on the gomd engine and
 // streams thermodynamic output — the "run a simulation" entry point,
-// playing the role of the lmp binary for this repository.
+// playing the role of the lmp binary for this repository. Decomposed
+// runs (-ranks > 1) execute on the simulated MPI runtime, whose
+// collectives are log2(P)-hop trees (recursive-doubling allreduce,
+// dissemination barrier) and whose PPPM/Ewald mesh reductions use a
+// reduce-scatter + allgather butterfly.
 //
 // Usage:
 //

@@ -443,6 +443,7 @@ func (s *Simulation) PublishObs(reg *obs.Registry) {
 	reg.Counter(obs.RankMetric("comm.halo_msgs", r)).Add(c.CommMsgs)
 	reg.Counter(obs.RankMetric("comm.migrated_atoms", r)).Add(c.MigratedAtoms)
 	reg.Counter(obs.RankMetric("kspace.fft_comm_bytes", r)).Add(c.KspaceCommBytes)
+	reg.Counter(obs.RankMetric("kspace.reduce_hops", r)).Add(c.KspaceCommHops)
 	reg.Counter(obs.RankMetric("kspace.fft_ops", r)).Add(c.KspaceFFTOps)
 	reg.Counter(obs.RankMetric("pair.ops", r)).Add(c.PairOps)
 	reg.Counter(obs.RankMetric("neigh.pairs", r)).Add(c.NeighPairs)

@@ -105,10 +105,13 @@ type Counters struct {
 	GhostAtoms    int64 // ghost entries refreshed per step, accumulated
 	MigratedAtoms int64
 
-	// Kspace mesh communication (replicated-mesh reduction in the
-	// engine; priced as distributed-FFT transposes by the model).
+	// Kspace mesh communication (butterfly mesh reduction in the
+	// engine; priced alongside distributed-FFT transposes by the model).
+	// Bytes are send-side per rank; Hops counts the sequential message
+	// rounds on this rank's critical path (2·log2 P for the butterfly).
 	KspaceCommMsgs  int64
 	KspaceCommBytes int64
+	KspaceCommHops  int64
 
 	// Modify task.
 	ModifyOps int64
@@ -135,6 +138,7 @@ func (c *Counters) Add(o Counters) {
 	c.CommBytes += o.CommBytes
 	c.KspaceCommMsgs += o.KspaceCommMsgs
 	c.KspaceCommBytes += o.KspaceCommBytes
+	c.KspaceCommHops += o.KspaceCommHops
 	c.GhostAtoms += o.GhostAtoms
 	c.MigratedAtoms += o.MigratedAtoms
 	c.ModifyOps += o.ModifyOps

@@ -403,14 +403,23 @@ func (b *Backend) ReduceBool(v bool) bool {
 	return b.comm.AllreduceMax(x) > 0.5
 }
 
-// GridReducer implements core.Backend: PPPM's replicated mesh is summed
-// element-wise across ranks.
+// ReduceGrid sums a replicated k-space grid element-wise across ranks
+// with the reduce-scatter + allgather butterfly, metering the traffic
+// under the Kspace counters (LAMMPS files mesh/FFT communication under
+// Kspace, not Comm). Bytes are what this rank actually sent —
+// ~2·len·8·(P-1)/P with the butterfly, versus len·8·(P-1) per rank for
+// the old whole-mesh allreduce.
+func (b *Backend) ReduceGrid(s *core.Simulation, grid []float64) {
+	hops, bytes := b.comm.ReduceScatterAllgather(grid)
+	s.Counters.KspaceCommMsgs++
+	s.Counters.KspaceCommBytes += bytes
+	s.Counters.KspaceCommHops += int64(hops)
+}
+
+// GridReducer implements core.Backend: PPPM's replicated mesh (and
+// Ewald's structure-factor table) is summed element-wise across ranks.
 func (b *Backend) GridReducer(s *core.Simulation) func([]float64) {
-	return func(grid []float64) {
-		b.comm.Allreduce(grid)
-		s.Counters.KspaceCommMsgs++
-		s.Counters.KspaceCommBytes += int64(8 * len(grid))
-	}
+	return func(grid []float64) { b.ReduceGrid(s, grid) }
 }
 
 // NGlobal implements core.Backend.

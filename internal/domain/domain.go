@@ -232,7 +232,8 @@ func (e *Engine) MPIStats() []mpi.Stats {
 // PublishObs exports the run's observability data into the metrics
 // registry: every rank's engine counters (core.Simulation.PublishObs),
 // the per-rank per-function MPI profile mirroring mpi.Stats exactly
-// (calls and bytes), and load-imbalance gauges — the per-rank pair-work
+// (calls, bytes, and collective hop counts), and load-imbalance gauges
+// — the per-rank pair-work
 // spread and MPI wait share behind the paper's Figure 4. No-op when reg
 // is nil; call once at the end of a run.
 func (e *Engine) PublishObs(reg *obs.Registry) {
@@ -251,6 +252,7 @@ func (e *Engine) PublishObs(reg *obs.Registry) {
 			}
 			reg.Counter(obs.RankMetric("mpi."+f.String()+".calls", r)).Add(fs.Calls)
 			reg.Counter(obs.RankMetric("mpi."+f.String()+".bytes", r)).Add(fs.Bytes)
+			reg.Counter(obs.RankMetric("mpi."+f.String()+".hops", r)).Add(fs.Hops)
 		}
 		if tot := st.TotalTime(); tot > 0 {
 			reg.Gauge(obs.RankMetric("mpi.wait_share", r)).Set(

@@ -2,6 +2,7 @@ package domain_test
 
 import (
 	"bytes"
+	"math"
 	"testing"
 
 	"gomd/internal/atom"
@@ -158,15 +159,65 @@ func TestMetricsAgreeWithMPIStats(t *testing.T) {
 			fs := stats[r].Funcs[f]
 			calls := snap.Counters[obs.RankMetric("mpi."+f.String()+".calls", r)]
 			bytes := snap.Counters[obs.RankMetric("mpi."+f.String()+".bytes", r)]
+			hops := snap.Counters[obs.RankMetric("mpi."+f.String()+".hops", r)]
 			if calls != fs.Calls {
 				t.Errorf("rank %d %s calls: registry %d, mpi.Stats %d", r, f, calls, fs.Calls)
 			}
 			if bytes != fs.Bytes {
 				t.Errorf("rank %d %s bytes: registry %d, mpi.Stats %d", r, f, bytes, fs.Bytes)
 			}
+			if hops != fs.Hops {
+				t.Errorf("rank %d %s hops: registry %d, mpi.Stats %d", r, f, hops, fs.Hops)
+			}
 		}
 		if fs := stats[r].Funcs[mpi.FuncSendrecv]; fs.Calls == 0 {
 			t.Errorf("rank %d made no Sendrecv calls; halo exchange missing from run", r)
+		}
+	}
+}
+
+// TestButterflyMeshReduceAccounting ties the engine's kspace-comm
+// counters to the butterfly's shape on a real PPPM run: every mesh
+// reduction at P=4 crosses 2*log2(4) = 4 sequential hops, per-rank
+// bytes per call land on the reduce-scatter + allgather's
+// ~2*len*8*(P-1)/P (the rhodo mesh, 15^3 points, does not divide by 4,
+// so segment rounding shifts a few elements between ranks), and the
+// MPI Allreduce bucket (which also holds thermo/rebuild reductions)
+// bounds the mesh share from above — the cross-check the model's
+// kspaceComm pricing rests on.
+func TestButterflyMeshReduceAccounting(t *testing.T) {
+	const nranks, steps = 4, 10
+	eng, _, _ := runObserved(t, nranks, steps)
+	stats := eng.MPIStats()
+	meshLen := 0.0
+	for r, s := range eng.Sims {
+		c := s.Counters
+		if c.KspaceCommMsgs == 0 {
+			t.Fatalf("rank %d ran no mesh reductions; PPPM missing from run", r)
+		}
+		if c.KspaceCommHops != 4*c.KspaceCommMsgs {
+			t.Errorf("rank %d mesh hops %d != 4 * %d msgs", r, c.KspaceCommHops, c.KspaceCommMsgs)
+		}
+		// Invert bytes/call = 2*len*8*(P-1)/P for the implied mesh size.
+		perCall := float64(c.KspaceCommBytes) / float64(c.KspaceCommMsgs)
+		implied := math.Round(perCall * nranks / (16 * (nranks - 1)))
+		if meshLen == 0 {
+			meshLen = implied
+		} else if implied != meshLen {
+			t.Errorf("rank %d implied mesh length %v differs from rank 0's %v", r, implied, meshLen)
+		}
+		// Butterfly shape, not replication: within rounding slack of the
+		// formula, and strictly below the tree allreduce's log2(P)*len*8.
+		if want := 16 * implied * (nranks - 1) / nranks; math.Abs(perCall-want) > 256 {
+			t.Errorf("rank %d mesh bytes/call %v, want ~%v (butterfly)", r, perCall, want)
+		}
+		if perCall >= 16*implied {
+			t.Errorf("rank %d mesh bytes/call %v not below the 2*len*8 tree-allreduce cost", r, perCall)
+		}
+		fs := stats[r].Funcs[mpi.FuncAllreduce]
+		if fs.Hops < c.KspaceCommHops || fs.Bytes < c.KspaceCommBytes {
+			t.Errorf("rank %d MPI Allreduce bucket (hops=%d bytes=%d) smaller than its mesh share (hops=%d bytes=%d)",
+				r, fs.Hops, fs.Bytes, c.KspaceCommHops, c.KspaceCommBytes)
 		}
 	}
 }

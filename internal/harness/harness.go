@@ -325,6 +325,7 @@ func diffCounters(a, b core.Counters) core.Counters {
 		CommBytes:       a.CommBytes - b.CommBytes,
 		KspaceCommMsgs:  a.KspaceCommMsgs - b.KspaceCommMsgs,
 		KspaceCommBytes: a.KspaceCommBytes - b.KspaceCommBytes,
+		KspaceCommHops:  a.KspaceCommHops - b.KspaceCommHops,
 		GhostAtoms:      a.GhostAtoms - b.GhostAtoms,
 		MigratedAtoms:   a.MigratedAtoms - b.MigratedAtoms,
 		ModifyOps:       a.ModifyOps - b.ModifyOps,
@@ -338,6 +339,7 @@ func diffStats(a, b mpi.Stats) mpi.Stats {
 		out.Funcs[f] = mpi.FuncStats{
 			Calls:    a.Funcs[f].Calls - b.Funcs[f].Calls,
 			Bytes:    a.Funcs[f].Bytes - b.Funcs[f].Bytes,
+			Hops:     a.Funcs[f].Hops - b.Funcs[f].Hops,
 			Time:     a.Funcs[f].Time - b.Funcs[f].Time,
 			WaitTime: a.Funcs[f].WaitTime - b.Funcs[f].WaitTime,
 		}

@@ -151,6 +151,8 @@ func (e *Ewald) Compute(st *atom.Store, bx box.Box, reduce func([]float64)) Resu
 			sf[2*kI+1] += q * s
 		}
 	}
+	// Decomposed runs sum partial structure factors across ranks; the
+	// backend's reducer uses the same butterfly as the PPPM mesh.
 	if reduce != nil {
 		reduce(sf)
 	}

@@ -168,7 +168,9 @@ func (p *PPPM) Compute(st *atom.Store, bx box.Box, reduce func([]float64)) Resul
 	kernel("pppm_make_rho")
 
 	// Decomposed runs hold a replicated mesh: sum contributions across
-	// ranks before the transform.
+	// ranks before the transform. The backend's reducer runs a
+	// reduce-scatter + allgather butterfly, so per-rank traffic scales
+	// as ~2·mesh·8·(P-1)/P bytes rather than the whole mesh per peer.
 	if reduce != nil {
 		if cap(p.wreal) < sz {
 			p.wreal = make([]float64, sz)

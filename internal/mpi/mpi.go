@@ -57,8 +57,17 @@ func (f Func) String() string {
 // FuncStats aggregates one function's activity on one rank.
 type FuncStats struct {
 	Calls int64
+	// Bytes counts payload bytes this rank put on the wire (sends), plus —
+	// for the point-to-point receive side — bytes accepted under MPI_Wait
+	// and MPI_Sendrecv. Collectives count send-side only, so every wire
+	// byte of a collective is charged exactly once world-wide.
 	Bytes int64
-	Time  time.Duration
+	// Hops counts sequential message rounds this rank traversed inside
+	// collective calls (the critical-path depth: log2 P for the tree
+	// algorithms, 2 log2 P for the reduce-scatter + allgather butterfly).
+	// Point-to-point calls leave it zero.
+	Hops int64
+	Time time.Duration
 	// WaitTime is the portion spent blocked on a peer (the imbalance
 	// metric of Figure 4 bottom: time waiting for data).
 	WaitTime time.Duration
@@ -161,15 +170,64 @@ func (c *Comm) Rank() int { return c.rank }
 // Size returns the world size.
 func (c *Comm) Size() int { return c.world.Size }
 
-// payloadBytes estimates the wire size of a payload.
+// Sized is implemented by payload types that know their own wire size;
+// it lets callers pass bytes < 0 for struct payloads without those
+// messages silently vanishing from the Figure 5 byte profile.
+type Sized interface {
+	WireBytes() int
+}
+
+// payloadBytes models the wire size of a payload, or -1 when the type is
+// unrecognized (callers must then either pass an explicit byte count or
+// implement Sized — unknown types are an accounting error, not 0 bytes).
 func payloadBytes(data any) int {
 	switch d := data.(type) {
 	case []float64:
 		return 8 * len(d)
+	case Sized:
+		return d.WireBytes()
 	case nil:
 		return 0
 	default:
-		return 0
+		return -1
+	}
+}
+
+// mustPayloadBytes resolves a wire size, panicking on unknown payload
+// types so new message kinds cannot silently report 0 bytes.
+func mustPayloadBytes(data any) int {
+	b := payloadBytes(data)
+	if b < 0 {
+		panic(fmt.Sprintf("mpi: payload type %T has no modeled wire size; pass an explicit byte count or implement mpi.Sized", data))
+	}
+	return b
+}
+
+// MailboxStallTimeout bounds how long a send may block on a full inbox
+// before the runtime panics with diagnostics. Mailboxes hold 64*nranks
+// messages; a full one means the destination stopped draining (a
+// collective ordering bug or tag mismatch), and without the guard the
+// whole world hangs silently. Tests shorten it.
+var MailboxStallTimeout = 30 * time.Second
+
+// deliver enqueues m into dst's mailbox, panicking with rank/tag/queue
+// diagnostics if the mailbox stays full for MailboxStallTimeout.
+func (c *Comm) deliver(dst int, m message) {
+	w := c.world
+	select {
+	case w.inbox[dst] <- m:
+		return
+	default:
+	}
+	timer := time.NewTimer(MailboxStallTimeout)
+	defer timer.Stop()
+	select {
+	case w.inbox[dst] <- m:
+	case <-timer.C:
+		panic(fmt.Sprintf(
+			"mpi: rank %d -> rank %d (tag %d, %d bytes) stalled %v on a full mailbox: dst inbox %d/%d queued, %d unmatched messages pending on rank %d — likely a collective ordering or tag-matching deadlock",
+			c.rank, dst, m.tag, m.bytes, MailboxStallTimeout,
+			len(w.inbox[dst]), cap(w.inbox[dst]), len(w.pend[c.rank]), c.rank))
 	}
 }
 
@@ -178,10 +236,10 @@ func payloadBytes(data any) int {
 // caller knows).
 func (c *Comm) Send(dst, tag int, data any, bytes int) {
 	if bytes < 0 {
-		bytes = payloadBytes(data)
+		bytes = mustPayloadBytes(data)
 	}
 	t0 := time.Now()
-	c.world.inbox[dst] <- message{src: c.rank, tag: tag, bytes: bytes, data: data}
+	c.deliver(dst, message{src: c.rank, tag: tag, bytes: bytes, data: data})
 	el := time.Since(t0)
 	st := &c.Stats.Funcs[FuncSend]
 	st.Calls++
@@ -231,10 +289,10 @@ func (c *Comm) recvMatch(src, tag int) (any, int) {
 // the halo-exchange primitive of the domain decomposition.
 func (c *Comm) Sendrecv(dst int, sdata any, sbytes, src, tag int) any {
 	if sbytes < 0 {
-		sbytes = payloadBytes(sdata)
+		sbytes = mustPayloadBytes(sdata)
 	}
 	t0 := time.Now()
-	c.world.inbox[dst] <- message{src: c.rank, tag: tag, bytes: sbytes, data: sdata}
+	c.deliver(dst, message{src: c.rank, tag: tag, bytes: sbytes, data: sdata})
 	sendDone := time.Since(t0)
 	t1 := time.Now()
 	data, rbytes := c.recvMatch(src, tag)
@@ -250,113 +308,6 @@ func (c *Comm) Sendrecv(dst int, sdata any, sbytes, src, tag int) any {
 	return data
 }
 
-// Allreduce sums data element-wise across all ranks; every rank returns
-// with the reduced vector written back into data.
-func (c *Comm) Allreduce(data []float64) {
-	t0 := time.Now()
-	n := c.world.Size
-	if n == 1 {
-		st := &c.Stats.Funcs[FuncAllreduce]
-		st.Calls++
-		st.Time += time.Since(t0)
-		return
-	}
-	const tag = -1000
-	bytes := 8 * len(data)
-	if c.rank == 0 {
-		for src := 1; src < n; src++ {
-			part, _ := c.recvMatch(src, tag)
-			for i, v := range part.([]float64) {
-				data[i] += v
-			}
-		}
-		for dst := 1; dst < n; dst++ {
-			cp := make([]float64, len(data))
-			copy(cp, data)
-			c.world.inbox[dst] <- message{src: 0, tag: tag - 1, bytes: bytes, data: cp}
-		}
-	} else {
-		cp := make([]float64, len(data))
-		copy(cp, data)
-		c.world.inbox[0] <- message{src: c.rank, tag: tag, bytes: bytes, data: cp}
-		red, _ := c.recvMatch(0, tag-1)
-		copy(data, red.([]float64))
-	}
-	el := time.Since(t0)
-	st := &c.Stats.Funcs[FuncAllreduce]
-	st.Calls++
-	st.Bytes += int64(2 * bytes)
-	st.Time += el
-	st.WaitTime += el / 2 // heuristically half of a reduction is waiting
-	if c.span != nil {
-		c.span.Comm("MPI_Allreduce", t0, el, int64(2*bytes), -1)
-	}
-}
-
-// AllreduceScalar sums one value across ranks.
-func (c *Comm) AllreduceScalar(v float64) float64 {
-	buf := []float64{v}
-	c.Allreduce(buf)
-	return buf[0]
-}
-
-// AllreduceMax computes the element-wise max across ranks (used for the
-// global neighbor-rebuild decision).
-func (c *Comm) AllreduceMax(v float64) float64 {
-	// Implemented over the sum tree with a max payload channel would
-	// complicate matching; emulate with a gather on rank 0.
-	t0 := time.Now()
-	n := c.world.Size
-	out := v
-	if n > 1 {
-		const tag = -2000
-		if c.rank == 0 {
-			for src := 1; src < n; src++ {
-				part, _ := c.recvMatch(src, tag)
-				pv := part.([]float64)[0]
-				if pv > out {
-					out = pv
-				}
-			}
-			for dst := 1; dst < n; dst++ {
-				c.world.inbox[dst] <- message{src: 0, tag: tag - 1, bytes: 8, data: []float64{out}}
-			}
-		} else {
-			c.world.inbox[0] <- message{src: c.rank, tag: tag, bytes: 8, data: []float64{v}}
-			red, _ := c.recvMatch(0, tag-1)
-			out = red.([]float64)[0]
-		}
-	}
-	el := time.Since(t0)
-	st := &c.Stats.Funcs[FuncAllreduce]
-	st.Calls++
-	st.Bytes += 16
-	st.Time += el
-	st.WaitTime += el / 2
-	if c.span != nil {
-		c.span.Comm("MPI_Allreduce", t0, el, 16, -1)
-	}
-	return out
-}
-
-// Barrier synchronizes all ranks (charged to "others").
-func (c *Comm) Barrier() {
-	t0 := time.Now()
-	c.AllreduceScalar(0)
-	// Reclassify: the scalar reduce above already charged Allreduce; move
-	// that sample to FuncOther to keep Figure 5's categories faithful.
-	ar := &c.Stats.Funcs[FuncAllreduce]
-	ar.Calls--
-	ar.Bytes -= 16
-	d := time.Since(t0)
-	ar.Time -= d
-	ar.WaitTime -= d / 2
-	ot := &c.Stats.Funcs[FuncOther]
-	ot.Calls++
-	ot.Time += d
-	ot.WaitTime += d / 2
-}
-
 // String summarizes the profile (debugging aid).
 func (s *Stats) String() string {
 	out := ""
@@ -365,8 +316,8 @@ func (s *Stats) String() string {
 		if fs.Calls == 0 {
 			continue
 		}
-		out += fmt.Sprintf("%s: calls=%d bytes=%d time=%v wait=%v\n",
-			f, fs.Calls, fs.Bytes, fs.Time, fs.WaitTime)
+		out += fmt.Sprintf("%s: calls=%d bytes=%d hops=%d time=%v wait=%v\n",
+			f, fs.Calls, fs.Bytes, fs.Hops, fs.Time, fs.WaitTime)
 	}
 	return out
 }

@@ -55,6 +55,8 @@ type Stats struct {
 	Builds         int
 	TotalPairs     int64 // pairs stored across all builds
 	LastPairs      int64 // pairs stored by the most recent build
+	LastOwnedPairs int64 // most recent build's owned-owned pairs
+	LastGhostPairs int64 // most recent build's owned-ghost pairs
 	DistanceChecks int64 // candidate pairs tested during builds
 }
 
@@ -208,6 +210,7 @@ func (l *List) Build(st *atom.Store) {
 
 	checks := int64(0)
 	pairs := int64(0)
+	ghostPairs := int64(0)
 	for i := 0; i < st.N; i++ {
 		pi := st.Pos[i]
 		bx := clampInt(int((pi.X-lo.X)*inv.X), 0, nb[0]-1)
@@ -257,6 +260,9 @@ func (l *List) Build(st *atom.Store) {
 						}
 						l.Neigh[i] = append(l.Neigh[i], entry)
 						pairs++
+						if ji >= st.N {
+							ghostPairs++
+						}
 					}
 				}
 			}
@@ -266,6 +272,8 @@ func (l *List) Build(st *atom.Store) {
 	l.Stats.Builds++
 	l.Stats.TotalPairs += pairs
 	l.Stats.LastPairs = pairs
+	l.Stats.LastOwnedPairs = pairs - ghostPairs
+	l.Stats.LastGhostPairs = ghostPairs
 	l.Stats.DistanceChecks += checks
 	l.Rebuilds.Inc()
 	if l.Span != nil {
@@ -289,7 +297,13 @@ func (l *List) NeighborsPerAtom(owned int) float64 {
 	}
 	per := float64(l.Stats.LastPairs) / float64(owned)
 	if l.Mode == Half {
-		per *= 2
+		// A Half list stores each owned-owned pair once, but an
+		// owned-ghost pair's mirror already lives on the ghost's owning
+		// rank, so only the owned-owned count doubles under the full
+		// convention. Doubling everything would overstate decomposed
+		// runs against Table 2 by the surface/volume ratio.
+		per = float64(2*l.Stats.LastOwnedPairs+l.Stats.LastGhostPairs) /
+			float64(owned)
 	}
 	return per
 }

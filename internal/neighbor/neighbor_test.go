@@ -187,6 +187,38 @@ func TestNeighborsPerAtomNormalization(t *testing.T) {
 	}
 }
 
+// TestNeighborsPerAtomWithGhosts: on a decomposed rank the Half list
+// stores owned-ghost pairs once per side, so only owned-owned pairs may
+// be doubled when normalizing to the full convention — the old
+// unconditional x2 overstated the density whenever ghosts were present.
+func TestNeighborsPerAtomWithGhosts(t *testing.T) {
+	st := randomStore(300, 7, 11)
+	r := rng.New(99)
+	for g := 0; g < 150; g++ {
+		st.AddGhost(atom.Ghost{
+			Tag:  int64(10000 + g),
+			Type: 1,
+			Pos:  vec.New(r.Range(7, 8), r.Range(0, 7), r.Range(0, 7)),
+		})
+	}
+	half := neighbor.NewList(neighbor.Half, 1.5, 0.2)
+	half.Build(st)
+	full := neighbor.NewList(neighbor.Full, 1.5, 0.2)
+	full.Build(st)
+	if half.Stats.LastGhostPairs == 0 {
+		t.Fatal("setup produced no owned-ghost pairs; test is vacuous")
+	}
+	if got := half.Stats.LastOwnedPairs + half.Stats.LastGhostPairs; got != half.Stats.LastPairs {
+		t.Fatalf("pair split %d+%d does not sum to %d",
+			half.Stats.LastOwnedPairs, half.Stats.LastGhostPairs, half.Stats.LastPairs)
+	}
+	h := half.NeighborsPerAtom(st.N)
+	f := full.NeighborsPerAtom(st.N)
+	if diff := h - f; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("half/full mismatch with ghosts: %v vs %v", h, f)
+	}
+}
+
 func TestDecodeRoundTrip(t *testing.T) {
 	for _, kind := range []atom.SpecialKind{0, atom.Special12, atom.Special13, atom.Special14} {
 		for _, idx := range []int{0, 1, 12345, neighbor.IdxMask} {

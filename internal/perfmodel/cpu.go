@@ -223,16 +223,26 @@ func EvaluateCPU(in Input) Outcome {
 		if c.KspaceGridPts > 0 {
 			slabBytes := float64(c.KspaceGridPts) / steps / float64(P) * 8
 			kspaceComm[r] = 4 * (co.MsgLatency*logP + slabBytes*co.ByteTime)
+			// Mesh reduction: priced from the butterfly's measured shape —
+			// per-hop latency on the 2·log2 P critical path plus this
+			// rank's actual send-side bytes (~2·mesh·8·(P-1)/P).
+			kspaceComm[r] += (float64(c.KspaceCommHops)*co.MsgLatency +
+				float64(c.KspaceCommBytes)*co.ByteTime) / steps
 		}
-		// Collectives (thermo, NPT, rebuild votes): count from the MPI
-		// profile, minus the engine's replicated-mesh reductions, which
-		// the distributed-FFT pricing above replaces.
-		arCalls := float64(in.MPI[r].Funcs[mpi.FuncAllreduce].Calls) -
-			float64(c.KspaceCommMsgs)
-		if arCalls < 0 {
-			arCalls = 0
+		// Collectives (thermo, NPT, rebuild votes): priced from the MPI
+		// profile's measured tree depth, minus the mesh-reduction hops
+		// priced under kspace above. Profiles recorded without hop
+		// instrumentation fall back to calls x log2 P.
+		fa := in.MPI[r].Funcs[mpi.FuncAllreduce]
+		arHops := float64(fa.Hops) - float64(c.KspaceCommHops)
+		if fa.Hops == 0 {
+			arCalls := float64(fa.Calls) - float64(c.KspaceCommMsgs)
+			arHops = arCalls * logP
 		}
-		allRed[r] = arCalls / steps * co.ReduceLatSeq * logP
+		if arHops < 0 {
+			arHops = 0
+		}
+		allRed[r] = arHops / steps * co.ReduceLatSeq
 	}
 
 	// Bulk-synchronous timeline: every rank advances together; the step
