@@ -13,10 +13,12 @@ vet:
 	go vet ./...
 
 test:
-	go test ./...
+	go test -shuffle=on ./...
 
+# The race run covers the intra-rank worker pool (internal/par) and the
+# threaded pair/neighbor/PPPM kernels alongside the multi-rank MPI tests.
 race:
-	go test -race ./...
+	go test -race -shuffle=on ./...
 
 bench:
 	go test -bench=. -benchmem -run=^$$ ./...
@@ -29,5 +31,8 @@ bench-smoke:
 		-log /tmp/gomd-bench-smoke.jsonl -strict-log > /dev/null
 	@test -s /tmp/gomd-bench-smoke.jsonl || \
 		{ echo "bench-smoke: empty data log" >&2; exit 1; }
+	go run ./cmd/kbench -atoms 8000 -iters 3 -out BENCH_kernels.json > /dev/null
+	@test -s BENCH_kernels.json || \
+		{ echo "bench-smoke: empty BENCH_kernels.json" >&2; exit 1; }
 
 check: build vet test race bench-smoke

@@ -1,0 +1,155 @@
+// Command kbench micro-benchmarks the engine's threadable kernels — the
+// pair force loop and the neighbor-list build — on the host machine at a
+// sweep of intra-rank worker counts, and writes the results as JSON
+// (BENCH_kernels.json in CI's bench-smoke target). Unlike mdbench, which
+// prices measured operation counts on the paper's platform models, this
+// reports real host wall times, so it is the tool for validating that
+// the worker pool actually scales on the machine at hand.
+//
+// Usage:
+//
+//	kbench -atoms 32000 -workers 1,4 -out BENCH_kernels.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"gomd/internal/core"
+	"gomd/internal/pair"
+	"gomd/internal/workload"
+)
+
+type kernelResult struct {
+	Kernel     string  `json:"kernel"`
+	Workers    int     `json:"workers"`
+	Iters      int     `json:"iters"`
+	NsPerOp    int64   `json:"ns_per_op"`
+	SpeedupVs1 float64 `json:"speedup_vs_1"`
+}
+
+type report struct {
+	Workload  string         `json:"workload"`
+	Atoms     int            `json:"atoms"`
+	GoVersion string         `json:"go_version"`
+	NumCPU    int            `json:"num_cpu"`
+	GOOS      string         `json:"goos"`
+	GOARCH    string         `json:"goarch"`
+	Kernels   []kernelResult `json:"kernels"`
+}
+
+func parseWorkers(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			fmt.Fprintf(os.Stderr, "kbench: bad worker list %q\n", s)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// timeKernel reports the best-of-iters wall time of one fn invocation.
+// Best-of suppresses scheduler noise, which dominates on shared CI hosts.
+func timeKernel(iters int, fn func()) int64 {
+	best := int64(1<<63 - 1)
+	for i := 0; i < iters; i++ {
+		t0 := time.Now()
+		fn()
+		if d := time.Since(t0).Nanoseconds(); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func main() {
+	var (
+		atoms   = flag.Int("atoms", 32000, "LJ system size")
+		iters   = flag.Int("iters", 5, "timed iterations per kernel (best-of)")
+		workers = flag.String("workers", "1,4", "comma-separated worker counts to sweep")
+		out     = flag.String("out", "BENCH_kernels.json", "output JSON path")
+	)
+	flag.Parse()
+	ws := parseWorkers(*workers)
+
+	rep := report{
+		Workload:  "lj",
+		Atoms:     *atoms,
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+
+	base := map[string]int64{} // kernel -> ns at workers=1 (first entry)
+	for _, w := range ws {
+		cfg, st := workload.MustBuild(workload.LJ, workload.Options{
+			Atoms: *atoms, Precision: pair.Mixed, Seed: 2022,
+		})
+		cfg.Workers = w
+		sim := core.New(cfg, st)
+		sim.Prime() // build ghosts + neighbor list + first forces
+		fmt.Fprintf(os.Stderr, "# lj %d atoms, workers=%d\n", sim.Store.N, w)
+
+		ctx := &pair.Context{
+			Store: sim.Store,
+			List:  sim.NL,
+			QQr2E: sim.Cfg.Units.QQr2E,
+			Dt:    sim.Cfg.Dt,
+			Pool:  sim.NL.Pool,
+		}
+		pairNs := timeKernel(*iters, func() {
+			sim.Store.ZeroForces()
+			sim.Cfg.Pair.Compute(ctx)
+		})
+		neighNs := timeKernel(*iters, func() {
+			sim.NL.Build(sim.Store)
+		})
+		sim.Close()
+
+		for _, k := range []struct {
+			name string
+			ns   int64
+		}{{"pair_lj", pairNs}, {"neigh_build", neighNs}} {
+			if _, ok := base[k.name]; !ok {
+				base[k.name] = k.ns
+			}
+			rep.Kernels = append(rep.Kernels, kernelResult{
+				Kernel:     k.name,
+				Workers:    w,
+				Iters:      *iters,
+				NsPerOp:    k.ns,
+				SpeedupVs1: float64(base[k.name]) / float64(k.ns),
+			})
+		}
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kbench: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		fmt.Fprintf(os.Stderr, "kbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "kbench: %v\n", err)
+		os.Exit(1)
+	}
+	for _, k := range rep.Kernels {
+		fmt.Printf("%-12s workers=%d  %10.3f ms/op  speedup %.2fx\n",
+			k.Kernel, k.Workers, float64(k.NsPerOp)/1e6, k.SpeedupVs1)
+	}
+}

@@ -51,6 +51,7 @@ func main() {
 		devices = flag.String("gpus", "", "GPU device counts (default 1,2,4,6,8)")
 		cap_    = flag.Int("measure-cap", 0, "max atoms actually simulated per measurement")
 		steps   = flag.Int("steps", 0, "measured steps per configuration")
+		workers = flag.Int("workers", 1, "intra-rank worker-pool width for engine kernels (priced as threads-per-rank)")
 		quick   = flag.Bool("quick", false, "reduced fidelity (cap 6000 atoms, 6 steps)")
 		csvPath = flag.String("csv", "", "also write results as CSV to this file")
 		logPath = flag.String("log", "", "write a JSONL data log of engine measurements")
@@ -75,7 +76,7 @@ func main() {
 		}
 	}
 
-	opts := harness.Options{MeasureCap: *cap_, Steps: *steps}
+	opts := harness.Options{MeasureCap: *cap_, Steps: *steps, Workers: *workers}
 	if *quick {
 		if opts.MeasureCap == 0 {
 			opts.MeasureCap = 6000

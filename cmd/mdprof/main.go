@@ -26,13 +26,14 @@ import (
 
 func main() {
 	var (
-		bench = flag.String("bench", "lj", "workload: rhodo, lj, chain, eam, chute")
-		size  = flag.Int("size", 32, "system size in thousands of atoms")
-		ranks = flag.Int("ranks", 8, "CPU MPI ranks")
-		gpus  = flag.Int("gpus", 0, "GPU devices (0 = CPU instance)")
+		bench     = flag.String("bench", "lj", "workload: rhodo, lj, chain, eam, chute")
+		size      = flag.Int("size", 32, "system size in thousands of atoms")
+		ranks     = flag.Int("ranks", 8, "CPU MPI ranks")
+		gpus      = flag.Int("gpus", 0, "GPU devices (0 = CPU instance)")
 		kacc      = flag.Float64("kspace-acc", 0, "rhodo PPPM error threshold")
 		capN      = flag.Int("measure-cap", 0, "max atoms actually simulated")
 		steps     = flag.Int("steps", 0, "measured steps")
+		workers   = flag.Int("workers", 1, "intra-rank worker-pool width for engine kernels (priced as threads-per-rank)")
 		traceOut  = flag.String("trace", "", "write a per-rank Chrome trace-event timeline (Perfetto) to this file")
 		metrOut   = flag.String("metrics", "", "write an engine metrics JSON dump to this file")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. :6060)")
@@ -48,7 +49,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "# pprof listening on http://%s/debug/pprof/\n", addr)
 	}
 
-	runner := harness.NewRunner(harness.Options{MeasureCap: *capN, Steps: *steps})
+	runner := harness.NewRunner(harness.Options{MeasureCap: *capN, Steps: *steps, Workers: *workers})
 	name := workload.Name(*bench)
 
 	ranksEff := *ranks

@@ -30,13 +30,14 @@ import (
 
 func main() {
 	var (
-		inFile = flag.String("in", "", "LAMMPS-style input script (overrides -bench)")
-		bench  = flag.String("bench", "lj", "workload: rhodo, lj, chain, eam, chute")
-		atoms  = flag.Int("atoms", 32000, "approximate atom count")
-		steps  = flag.Int("steps", 100, "timesteps to run")
-		ranks  = flag.Int("ranks", 1, "MPI ranks (1 = serial engine)")
-		thermo = flag.Int("thermo", 10, "thermo output interval")
-		seed   = flag.Uint64("seed", 42, "RNG seed")
+		inFile    = flag.String("in", "", "LAMMPS-style input script (overrides -bench)")
+		bench     = flag.String("bench", "lj", "workload: rhodo, lj, chain, eam, chute")
+		atoms     = flag.Int("atoms", 32000, "approximate atom count")
+		steps     = flag.Int("steps", 100, "timesteps to run")
+		ranks     = flag.Int("ranks", 1, "MPI ranks (1 = serial engine)")
+		workers   = flag.Int("workers", 1, "intra-rank worker-pool width for pair/neighbor/PPPM kernels")
+		thermo    = flag.Int("thermo", 10, "thermo output interval")
+		seed      = flag.Uint64("seed", 42, "RNG seed")
 		prec      = flag.String("precision", "double", "pair arithmetic: single, mixed, double")
 		kacc      = flag.Float64("kspace-acc", 0, "rhodo PPPM relative error threshold (default 1e-4)")
 		traceOut  = flag.String("trace", "", "write a per-rank Chrome trace-event timeline (Perfetto) to this file")
@@ -119,7 +120,9 @@ func main() {
 		cfg.ThermoTo = os.Stdout
 		cfg.Trace = tracer
 		cfg.Metrics = metrics
+		cfg.Workers = *workers
 		sim := core.New(cfg, st)
+		defer sim.Close()
 		fmt.Printf("# %s: %d atoms, serial, dt=%g (%s units)\n",
 			name, st.N, cfg.Dt, cfg.Units.Style)
 		sim.Run(*steps)
@@ -134,6 +137,7 @@ func main() {
 		cfg.ThermoTo = nil // rank-local thermo would interleave
 		cfg.Trace = tracer
 		cfg.Metrics = metrics
+		cfg.Workers = *workers
 		return cfg, st, err
 	}, *ranks)
 	if err != nil {
@@ -155,6 +159,7 @@ func main() {
 	}
 	wall := time.Since(start)
 	eng.PublishObs(metrics)
+	eng.Close()
 	writeObs()
 	fmt.Printf("# wall %.3fs  %.2f TS/s (host-machine rate, not the modeled platform)\n",
 		wall.Seconds(), float64(*steps)/wall.Seconds())

@@ -18,6 +18,7 @@ import (
 	"gomd/internal/neighbor"
 	"gomd/internal/obs"
 	"gomd/internal/pair"
+	"gomd/internal/par"
 	"gomd/internal/rng"
 	"gomd/internal/units"
 	"gomd/internal/vec"
@@ -55,7 +56,12 @@ type Config struct {
 	// ClusterMigrate makes migration keep molecules on one rank (needed
 	// by SHAKE); see the domain package.
 	ClusterMigrate bool
-	Seed           uint64
+	// Workers is the intra-rank worker count for the threaded kernels
+	// (pair forces, neighbor build, PPPM). 0 or 1 selects the serial
+	// paths with no pool goroutines; results are bit-identical for any
+	// value (see internal/par and DESIGN.md "Intra-rank threading").
+	Workers int
+	Seed    uint64
 	// ThermoEvery is the thermo output interval (0 disables).
 	ThermoEvery int
 	// ThermoTo receives thermo lines (nil discards them).
@@ -134,6 +140,7 @@ type Simulation struct {
 
 	backend Backend
 	fixCtx  fix.Context
+	pool    *par.Pool
 
 	// Observability handles (all nil when disabled; recording through
 	// them costs one nil check).
@@ -172,11 +179,21 @@ func NewWithBackend(cfg Config, st *atom.Store, be Backend) *Simulation {
 		backend: be,
 	}
 	s.NL = neighbor.NewList(cfg.Pair.ListMode(), cfg.Pair.Cutoff(), cfg.Skin)
+	// Intra-rank worker pool for the threaded kernels. Workers <= 1
+	// yields an inline pool with no goroutines, so serial configurations
+	// cost nothing. The pool is driven only from this simulation's
+	// goroutine (its rank goroutine in decomposed runs).
+	s.pool = par.NewPool(cfg.Workers)
+	s.NL.Pool = s.pool
+	if pc, ok := cfg.Kspace.(par.Carrier); ok {
+		pc.SetPool(s.pool)
+	}
 	// Wire the observability layer before Setup so construction-time halo
 	// traffic and neighbor builds are already visible.
 	rank := be.Rank()
 	s.span = cfg.Trace.Rank(rank)
 	s.NL.Span = s.span
+	s.pool.SetSpan(s.span)
 	if sc, ok := cfg.Kspace.(obs.SpanCarrier); ok {
 		sc.SetSpan(s.span)
 	}
@@ -338,6 +355,7 @@ func (s *Simulation) evaluateForces() {
 		Sync:  ghostSync{s},
 		QQr2E: cfg.Units.QQr2E,
 		Dt:    cfg.Dt,
+		Pool:  s.pool,
 	})
 	d = time.Since(tP)
 	s.Times[TaskPair] += d
@@ -447,6 +465,19 @@ func (s *Simulation) PublishObs(reg *obs.Registry) {
 	reg.Counter(obs.RankMetric("kspace.fft_ops", r)).Add(c.KspaceFFTOps)
 	reg.Counter(obs.RankMetric("pair.ops", r)).Add(c.PairOps)
 	reg.Counter(obs.RankMetric("neigh.pairs", r)).Add(c.NeighPairs)
+	// Worker-pool utilization per threaded kernel (empty for 1-worker
+	// configurations, which never dispatch).
+	s.pool.Publish(reg, r)
+}
+
+// Workers returns the intra-rank worker count of the threaded kernels.
+func (s *Simulation) Workers() int { return s.pool.Workers() }
+
+// Close releases the intra-rank worker pool's goroutines. The simulation
+// must be idle; Run must not be called afterwards. Safe on 1-worker
+// simulations (which hold no goroutines) and safe to call twice.
+func (s *Simulation) Close() {
+	s.pool.Close()
 }
 
 // WrapOwned folds owned positions into the primary cell. With cluster

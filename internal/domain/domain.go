@@ -197,6 +197,15 @@ func (e *Engine) Run(n int) {
 	})
 }
 
+// Close releases every rank's intra-rank worker pool. The engine must
+// be idle; Run must not be called afterwards. A no-op for 1-worker
+// configurations and safe to call twice.
+func (e *Engine) Close() {
+	for _, s := range e.Sims {
+		s.Close()
+	}
+}
+
 // Thermo computes the current global thermodynamic state (identical on
 // every rank; rank 0's copy is returned).
 func (e *Engine) Thermo() core.Thermo {

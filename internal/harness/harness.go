@@ -37,6 +37,11 @@ type Options struct {
 	// Warmup steps excluded from counters (default 3).
 	Warmup int
 	Seed   uint64
+	// Workers is the intra-rank worker-pool width for the engine's
+	// kernels (0/1 = serial). Counters are worker-independent, so this
+	// does not enter the measurement cache key; it is forwarded to the
+	// performance model as threads-per-rank.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -75,6 +80,7 @@ type Measurement struct {
 	perRank []core.Counters
 	mpiStat []mpi.Stats
 	steps   int
+	workers int
 
 	// Target-system kspace mesh (for rhodo).
 	gridDims [3]int
@@ -146,6 +152,7 @@ func (r *Runner) runEngine(spec Spec, nrun int) (*measured, error) {
 		cfg, st, err := workload.Build(spec.Workload, wopts)
 		cfg.Trace = r.SpanTrace
 		cfg.Metrics = r.Metrics
+		cfg.Workers = o.Workers
 		return cfg, st, err
 	}
 	for attempt := 0; attempt < 8; attempt++ {
@@ -186,6 +193,7 @@ func (r *Runner) runEngine(spec Spec, nrun int) (*measured, error) {
 			ms[i] = diffStats(eng.World.Comm(i).Stats, baseMPI[i])
 		}
 		eng.PublishObs(r.Metrics)
+		eng.Close()
 		cfg := eng.Sims[0].Cfg
 		l := eng.Sims[0].Box.Lengths()
 		q2 := 0.0
@@ -239,6 +247,7 @@ func (r *Runner) Measure(spec Spec) (*Measurement, error) {
 		NMeasured: m.nMeasured,
 		NTarget:   target,
 		steps:     m.steps,
+		workers:   o.Workers,
 		pairStyle: m.pairStyle,
 	}
 
@@ -292,15 +301,16 @@ func (m *Measurement) GPU(devices, ranksPerDevice int) (perfmodel.GPUOutcome, er
 
 func (m *Measurement) modelInput() perfmodel.Input {
 	return perfmodel.Input{
-		Instance:  perfmodel.CPUInstance(),
-		Costs:     perfmodel.CPUCosts(),
-		Ranks:     m.Spec.Ranks,
-		Steps:     m.steps,
-		PairStyle: m.pairStyle,
-		Precision: m.Spec.Precision,
-		NGlobal:   m.NTarget,
-		PerRank:   m.perRank,
-		MPI:       m.mpiStat,
+		Instance:       perfmodel.CPUInstance(),
+		Costs:          perfmodel.CPUCosts(),
+		WorkersPerRank: m.workers,
+		Ranks:          m.Spec.Ranks,
+		Steps:          m.steps,
+		PairStyle:      m.pairStyle,
+		Precision:      m.Spec.Precision,
+		NGlobal:        m.NTarget,
+		PerRank:        m.perRank,
+		MPI:            m.mpiStat,
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"gomd/internal/atom"
 	"gomd/internal/box"
 	"gomd/internal/obs"
+	"gomd/internal/par"
 	"gomd/internal/vec"
 )
 
@@ -40,14 +41,36 @@ type PPPM struct {
 	fkz   []complex128
 	wreal []float64
 
+	// Cached per-atom B-spline stencils, filled by the particle_map
+	// stage each Compute and shared by make_rho and interp (24 weights,
+	// 24 wrapped indices, and 3 per-dimension counts per atom).
+	mapWts []float64
+	mapIdx []int32
+	mapCnt []uint8
+
+	// per-worker counter slots and per-plane Poisson partials
+	planeE, planeV            []float64
+	mapOpsW, spreadW, interpW []int64
+	gridOpsW                  []int64
+
 	// span, when non-nil, receives one kernel span per pipeline stage
 	// (make_rho, FFTs, Poisson multiply, interp) — the mesh-side
 	// counterpart of the paper's Figure 8 kernel breakdown.
 	span *obs.Rank
+
+	// pool, when non-nil, parallelizes particle_map, make_rho (z-slab
+	// grid ownership), the Poisson multiply (per-plane), and interp
+	// (per-atom) across intra-rank workers; the FFTs stay serial. All
+	// stages produce bit-identical grids and forces for any worker
+	// count (see DESIGN.md "Intra-rank threading").
+	pool *par.Pool
 }
 
 // SetSpan implements obs.SpanCarrier.
 func (p *PPPM) SetSpan(r *obs.Rank) { p.span = r }
+
+// SetPool implements par.Carrier.
+func (p *PPPM) SetPool(pl *par.Pool) { p.pool = pl }
 
 // NewPPPM returns a PPPM solver with assignment order 5 (the LAMMPS
 // default used by the rhodopsin benchmark).
@@ -114,10 +137,15 @@ func (p *PPPM) Compute(st *atom.Store, bx box.Box, reduce func([]float64)) Resul
 	lo := bx.Lo
 	n := st.N
 	order := p.Order
+	pool := p.pool
+	W := pool.Workers()
 
-	for i := range p.rho {
-		p.rho[i] = 0
-	}
+	pool.Run("pppm_zero", sz, func(w, lo_, hi_ int) {
+		rho := p.rho
+		for i := lo_; i < hi_; i++ {
+			rho[i] = 0
+		}
+	})
 
 	// kernel marks the end of one pipeline stage on the span timeline
 	// and starts the next; tObs stays zero (and kernel free) when
@@ -134,37 +162,96 @@ func (p *PPPM) Compute(st *atom.Store, bx box.Box, reduce func([]float64)) Resul
 		}
 	}
 
-	// particle_map + make_rho: spread charges with B-spline weights.
-	var wx, wy, wz [8]float64
-	var ix, iy, iz [8]int
-	spread := 0
-	for i := 0; i < n; i++ {
-		q := st.Charge[i]
-		if q == 0 {
-			continue
+	// particle_map: compute and cache each charged atom's B-spline
+	// stencil (weights, wrapped mesh indices, per-dimension counts).
+	// The cache is shared by make_rho and interp, which both previously
+	// recomputed it; values are identical bit for bit.
+	p.mapWts = growK(p.mapWts, n*24)
+	p.mapIdx = growK(p.mapIdx, n*24)
+	p.mapCnt = growK(p.mapCnt, n*3)
+	p.mapOpsW = growK(p.mapOpsW, W)
+	clear(p.mapOpsW)
+	pool.Run("pppm_map", n, func(w, alo, ahi int) {
+		var wx, wy, wz [8]float64
+		var ix, iy, iz [8]int
+		var ops int64
+		for i := alo; i < ahi; i++ {
+			if st.Charge[i] == 0 {
+				p.mapCnt[i*3] = 0
+				p.mapCnt[i*3+1] = 0
+				p.mapCnt[i*3+2] = 0
+				continue
+			}
+			ops++
+			pos := st.Pos[i]
+			ux := (pos.X - lo.X) / l.X * float64(nx)
+			uy := (pos.Y - lo.Y) / l.Y * float64(ny)
+			uz := (pos.Z - lo.Z) / l.Z * float64(nz)
+			kx := splineWeights(ux, nx, order, &wx, &ix)
+			ky := splineWeights(uy, ny, order, &wy, &iy)
+			kz := splineWeights(uz, nz, order, &wz, &iz)
+			p.mapCnt[i*3], p.mapCnt[i*3+1], p.mapCnt[i*3+2] = uint8(kx), uint8(ky), uint8(kz)
+			base := i * 24
+			for t := 0; t < kx; t++ {
+				p.mapWts[base+t] = wx[t]
+				p.mapIdx[base+t] = int32(ix[t])
+			}
+			for t := 0; t < ky; t++ {
+				p.mapWts[base+8+t] = wy[t]
+				p.mapIdx[base+8+t] = int32(iy[t])
+			}
+			for t := 0; t < kz; t++ {
+				p.mapWts[base+16+t] = wz[t]
+				p.mapIdx[base+16+t] = int32(iz[t])
+			}
 		}
-		res.MapOps++
-		pos := st.Pos[i]
-		ux := (pos.X - lo.X) / l.X * float64(nx)
-		uy := (pos.Y - lo.Y) / l.Y * float64(ny)
-		uz := (pos.Z - lo.Z) / l.Z * float64(nz)
-		kx := splineWeights(ux, nx, order, &wx, &ix)
-		ky := splineWeights(uy, ny, order, &wy, &iy)
-		kz := splineWeights(uz, nz, order, &wz, &iz)
-		for a := 0; a < kz; a++ {
-			base1 := iz[a] * ny
-			qz := q * wz[a]
-			for b := 0; b < ky; b++ {
-				base2 := (base1 + iy[b]) * nx
-				qyz := qz * wy[b]
-				for c := 0; c < kx; c++ {
-					p.rho[base2+ix[c]] += complex(qyz*wx[c], 0)
-					spread++
+		p.mapOpsW[w] = ops
+	})
+	for _, ops := range p.mapOpsW {
+		res.MapOps += ops
+	}
+
+	// make_rho: spread charges onto the mesh. Workers own disjoint
+	// z-plane slabs and each scans every atom, applying only the
+	// stencil planes inside its slab — so each mesh cell accumulates
+	// its contributions in ascending atom order for ANY worker count,
+	// which keeps the grid (and everything downstream) bit-identical
+	// across worker counts.
+	p.spreadW = growK(p.spreadW, W)
+	clear(p.spreadW)
+	pool.Run("pppm_make_rho", nz, func(w, zlo, zhi int) {
+		var spread int64
+		for i := 0; i < n; i++ {
+			q := st.Charge[i]
+			if q == 0 {
+				continue
+			}
+			base := i * 24
+			kx := int(p.mapCnt[i*3])
+			ky := int(p.mapCnt[i*3+1])
+			kz := int(p.mapCnt[i*3+2])
+			for a := 0; a < kz; a++ {
+				z := int(p.mapIdx[base+16+a])
+				if z < zlo || z >= zhi {
+					continue
+				}
+				base1 := z * ny
+				qz := q * p.mapWts[base+16+a]
+				for b := 0; b < ky; b++ {
+					base2 := (base1 + int(p.mapIdx[base+8+b])) * nx
+					qyz := qz * p.mapWts[base+8+b]
+					for c := 0; c < kx; c++ {
+						p.rho[base2+int(p.mapIdx[base+c])] += complex(qyz*p.mapWts[base+c], 0)
+						spread++
+					}
 				}
 			}
 		}
+		p.spreadW[w] = spread
+	})
+	for _, s := range p.spreadW {
+		res.SpreadOps += s
 	}
-	res.SpreadOps = int64(spread)
 	kernel("pppm_make_rho")
 
 	// Decomposed runs hold a replicated mesh: sum contributions across
@@ -175,14 +262,18 @@ func (p *PPPM) Compute(st *atom.Store, bx box.Box, reduce func([]float64)) Resul
 		if cap(p.wreal) < sz {
 			p.wreal = make([]float64, sz)
 		}
-		w := p.wreal[:sz]
-		for i := range w {
-			w[i] = real(p.rho[i])
-		}
-		reduce(w)
-		for i := range w {
-			p.rho[i] = complex(w[i], 0)
-		}
+		wr := p.wreal[:sz]
+		pool.Run("pppm_pack", sz, func(w, lo_, hi_ int) {
+			for i := lo_; i < hi_; i++ {
+				wr[i] = real(p.rho[i])
+			}
+		})
+		reduce(wr)
+		pool.Run("pppm_unpack", sz, func(w, lo_, hi_ int) {
+			for i := lo_; i < hi_; i++ {
+				p.rho[i] = complex(wr[i], 0)
+			}
+		})
 		kernel("pppm_mesh_reduce")
 	}
 
@@ -203,41 +294,64 @@ func (p *PPPM) Compute(st *atom.Store, bx box.Box, reduce func([]float64)) Resul
 	denX := splineDenominator(nx, order)
 	denY := splineDenominator(ny, order)
 	denZ := splineDenominator(nz, order)
-	for z := 0; z < nz; z++ {
-		mz := wrapFreq(z, nz)
-		kz := float64(mz) * kunit[2]
-		for y := 0; y < ny; y++ {
-			my := wrapFreq(y, ny)
-			ky := float64(my) * kunit[1]
-			base := nx * (y + ny*z)
-			for x := 0; x < nx; x++ {
-				idx := base + x
-				mx := wrapFreq(x, nx)
-				kx := float64(mx) * kunit[0]
-				k2 := kx*kx + ky*ky + kz*kz
-				if k2 == 0 {
-					p.rho[idx] = 0
-					p.fkx[idx], p.fky[idx], p.fkz[idx] = 0, 0, 0
-					continue
+	// Workers own disjoint z-plane ranges; energy/virial accumulate into
+	// per-plane partials folded serially in plane order, so the totals do
+	// not depend on the worker count.
+	p.planeE = growK(p.planeE, nz)
+	p.planeV = growK(p.planeV, nz)
+	p.gridOpsW = growK(p.gridOpsW, W)
+	clear(p.planeE)
+	clear(p.planeV)
+	clear(p.gridOpsW)
+	pool.Run("pppm_poisson", nz, func(w, zlo, zhi int) {
+		var gridOps int64
+		for z := zlo; z < zhi; z++ {
+			mz := wrapFreq(z, nz)
+			kz := float64(mz) * kunit[2]
+			var planeE, planeV float64
+			for y := 0; y < ny; y++ {
+				my := wrapFreq(y, ny)
+				ky := float64(my) * kunit[1]
+				base := nx * (y + ny*z)
+				for x := 0; x < nx; x++ {
+					idx := base + x
+					mx := wrapFreq(x, nx)
+					kx := float64(mx) * kunit[0]
+					k2 := kx*kx + ky*ky + kz*kz
+					if k2 == 0 {
+						p.rho[idx] = 0
+						p.fkx[idx], p.fky[idx], p.fkz[idx] = 0, 0, 0
+						continue
+					}
+					gridOps++
+					w2 := denX[x] * denY[y] * denZ[z] // |W(k)|^2
+					a := math.Exp(-k2/g4) / k2 / w2
+					s := p.rho[idx]
+					s2 := real(s)*real(s) + imag(s)*imag(s)
+					t := cE * a * s2 * share
+					planeE += t
+					planeV += t * (1 - 2*k2/g4)
+					// Field components H_c = A k_c Sm(k)/|W|^2; after the
+					// inverse transform and W-weighted interpolation this
+					// yields (1/Ngrid) sum_k A k_c S*(k) e^{ik r}, whose
+					// imaginary part drives the force.
+					h := s * complex(a, 0)
+					p.fkx[idx] = h * complex(kx, 0)
+					p.fky[idx] = h * complex(ky, 0)
+					p.fkz[idx] = h * complex(kz, 0)
 				}
-				res.GridOps++
-				w2 := denX[x] * denY[y] * denZ[z] // |W(k)|^2
-				a := math.Exp(-k2/g4) / k2 / w2
-				s := p.rho[idx]
-				s2 := real(s)*real(s) + imag(s)*imag(s)
-				t := cE * a * s2 * share
-				res.Energy += t
-				res.Virial += t * (1 - 2*k2/g4)
-				// Field components H_c = A k_c Sm(k)/|W|^2; after the
-				// inverse transform and W-weighted interpolation this
-				// yields (1/Ngrid) sum_k A k_c S*(k) e^{ik r}, whose
-				// imaginary part drives the force.
-				h := s * complex(a, 0)
-				p.fkx[idx] = h * complex(kx, 0)
-				p.fky[idx] = h * complex(ky, 0)
-				p.fkz[idx] = h * complex(kz, 0)
 			}
+			p.planeE[z] = planeE
+			p.planeV[z] = planeV
 		}
+		p.gridOpsW[w] = gridOps
+	})
+	for z := 0; z < nz; z++ {
+		res.Energy += p.planeE[z]
+		res.Virial += p.planeV[z]
+	}
+	for _, g := range p.gridOpsW {
+		res.GridOps += g
 	}
 
 	kernel("pppm_poisson")
@@ -247,39 +361,46 @@ func (p *PPPM) Compute(st *atom.Store, bx box.Box, reduce func([]float64)) Resul
 	res.FFTOps = p.fft.Butterflies
 	kernel("pppm_fft_inverse")
 
-	// interp: gather per-particle field with the same weights.
-	// F_i = 2 cE q_i Ngrid Im(sum) per the mesh normalization.
+	// interp: gather per-particle field with the cached stencils (each
+	// worker owns a contiguous atom range and writes only its own
+	// forces). F_i = 2 cE q_i Ngrid Im(sum) per the mesh normalization.
 	fpre := 2 * cE * float64(sz)
-	for i := 0; i < n; i++ {
-		q := st.Charge[i]
-		if q == 0 {
-			continue
-		}
-		pos := st.Pos[i]
-		ux := (pos.X - lo.X) / l.X * float64(nx)
-		uy := (pos.Y - lo.Y) / l.Y * float64(ny)
-		uz := (pos.Z - lo.Z) / l.Z * float64(nz)
-		kx := splineWeights(ux, nx, order, &wx, &ix)
-		ky := splineWeights(uy, ny, order, &wy, &iy)
-		kz := splineWeights(uz, nz, order, &wz, &iz)
-		var ex, ey, ez complex128
-		for a := 0; a < kz; a++ {
-			base1 := iz[a] * ny
-			for b := 0; b < ky; b++ {
-				base2 := (base1 + iy[b]) * nx
-				wyz := wz[a] * wy[b]
-				for c := 0; c < kx; c++ {
-					w := complex(wyz*wx[c], 0)
-					idx := base2 + ix[c]
-					ex += w * p.fkx[idx]
-					ey += w * p.fky[idx]
-					ez += w * p.fkz[idx]
-					res.InterpOps++
+	p.interpW = growK(p.interpW, W)
+	clear(p.interpW)
+	pool.Run("pppm_interp", n, func(w, alo, ahi int) {
+		var ops int64
+		for i := alo; i < ahi; i++ {
+			q := st.Charge[i]
+			if q == 0 {
+				continue
+			}
+			base := i * 24
+			kx := int(p.mapCnt[i*3])
+			ky := int(p.mapCnt[i*3+1])
+			kz := int(p.mapCnt[i*3+2])
+			var ex, ey, ez complex128
+			for a := 0; a < kz; a++ {
+				base1 := int(p.mapIdx[base+16+a]) * ny
+				for b := 0; b < ky; b++ {
+					base2 := (base1 + int(p.mapIdx[base+8+b])) * nx
+					wyz := p.mapWts[base+16+a] * p.mapWts[base+8+b]
+					for c := 0; c < kx; c++ {
+						w := complex(wyz*p.mapWts[base+c], 0)
+						idx := base2 + int(p.mapIdx[base+c])
+						ex += w * p.fkx[idx]
+						ey += w * p.fky[idx]
+						ez += w * p.fkz[idx]
+						ops++
+					}
 				}
 			}
+			f := vec.New(imag(ex), imag(ey), imag(ez)).Scale(fpre * q)
+			st.Force[i] = st.Force[i].Add(f)
 		}
-		f := vec.New(imag(ex), imag(ey), imag(ez)).Scale(fpre * q)
-		st.Force[i] = st.Force[i].Add(f)
+		p.interpW[w] = ops
+	})
+	for _, ops := range p.interpW {
+		res.InterpOps += ops
 	}
 	kernel("pppm_interp")
 
@@ -290,6 +411,15 @@ func (p *PPPM) Compute(st *atom.Store, bx box.Box, reduce func([]float64)) Resul
 	}
 	res.Energy -= p.qqr2e * p.g / math.Sqrt(math.Pi) * q2own
 	return res
+}
+
+// growK resizes s to length n reusing capacity; contents are undefined
+// until written.
+func growK[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }
 
 // wrapFreq maps a grid index to its signed frequency.

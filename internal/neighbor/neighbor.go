@@ -15,6 +15,7 @@ import (
 
 	"gomd/internal/atom"
 	"gomd/internal/obs"
+	"gomd/internal/par"
 	"gomd/internal/vec"
 )
 
@@ -83,11 +84,36 @@ type List struct {
 	Span     *obs.Rank
 	Rebuilds *obs.Counter
 
+	// Pool, when non-nil, parallelizes binning and the per-atom scan
+	// across intra-rank workers. The produced list is bit-identical for
+	// any worker count: binning is a counting sort whose within-bin
+	// order is ascending atom index regardless of chunking, and each
+	// worker writes only its own rows.
+	Pool *par.Pool
+
 	lastPos []vec.V3 // owned positions snapshot at last build
 
-	// scratch bin storage reused across builds
-	binHead []int32
-	binNext []int32
+	// scratch bin storage reused across builds (counting-sort cells)
+	binStart []int32 // CSR offsets per bin, len nbins+1
+	binAtoms []int32 // atom indices sorted by bin, ascending within bin
+	binCnt   []int32 // flat per-worker x per-bin counts / cursors
+	wlo, whi []vec.V3
+	checksW  []int64
+	pairsW   []int64
+	ghostW   []int64
+
+	// rowPtr is the CSR offset of each owned row's entries in the flat
+	// pair index space used by pair kernels (rowPtr[i] + k for entry k
+	// of row i); rebuilt on every Build.
+	rowPtr []int32
+
+	// Lazily built transpose of the half list (flat entry -> target
+	// atom), used by the deterministic two-phase pair kernels.
+	revPtr   []int32
+	revRow   []int32
+	revIdx   []int32
+	revCnt   []int32
+	revValid bool
 }
 
 // NewList returns a list with the given discipline, cutoff, and skin.
@@ -117,6 +143,10 @@ func (l *List) NeedsRebuild(st *atom.Store) bool {
 // Build constructs the neighbor list over the owned+ghost atoms of st.
 // Positions must already include up-to-date ghosts extending at least
 // cutoff+skin beyond the owned region.
+//
+// With a Pool attached the bounds pass, binning, and per-atom scan run
+// across workers; the stored list (entry order included) is identical
+// for every worker count.
 func (l *List) Build(st *atom.Store) {
 	var tObs time.Time
 	if l.Span != nil {
@@ -125,21 +155,48 @@ func (l *List) Build(st *atom.Store) {
 	total := st.Total()
 	cut := l.BuildCutoff()
 	cut2 := cut * cut
+	pool := l.Pool
+	W := pool.Workers()
+	l.revValid = false
 
-	// Grow per-atom slices, preserving capacity across rebuilds.
+	// Grow per-atom slices, preserving capacity across rebuilds. Rows
+	// are reset inside the scan, one worker per row range.
 	if cap(l.Neigh) < st.N {
 		l.Neigh = make([][]int32, st.N)
 	}
 	l.Neigh = l.Neigh[:st.N]
-	for i := range l.Neigh {
-		l.Neigh[i] = l.Neigh[i][:0]
-	}
 
 	// Bin geometry: cover the bounding box of all atoms with bins of
 	// roughly half the interaction range and a distance-pruned stencil,
 	// the standard LAMMPS discipline — candidate counts per atom drop
 	// ~2.5x versus cutoff-sized bins.
-	lo, hi := bounds(st.Pos[:total])
+	//
+	// The bounds pass reduces per-worker extents; min/max merging is
+	// exact under any grouping, so the geometry is worker-independent.
+	l.wlo = grow(l.wlo, W)
+	l.whi = grow(l.whi, W)
+	var lo, hi vec.V3
+	if total == 0 {
+		lo, hi = vec.V3{}, vec.Splat(1)
+	} else {
+		for w := 0; w < W; w++ {
+			// Seed every slot with a real position so workers whose
+			// chunk is empty (W > total) contribute a no-op extent.
+			l.wlo[w], l.whi[w] = st.Pos[0], st.Pos[0]
+		}
+		pool.Run("neigh_bounds", total, func(w, alo, ahi int) {
+			l.wlo[w], l.whi[w] = bounds(st.Pos[alo:ahi])
+		})
+		lo, hi = l.wlo[0], l.whi[0]
+		for w := 1; w < W; w++ {
+			lo.X = math.Min(lo.X, l.wlo[w].X)
+			lo.Y = math.Min(lo.Y, l.wlo[w].Y)
+			lo.Z = math.Min(lo.Z, l.wlo[w].Z)
+			hi.X = math.Max(hi.X, l.whi[w].X)
+			hi.Y = math.Max(hi.Y, l.whi[w].Y)
+			hi.Z = math.Max(hi.Z, l.whi[w].Z)
+		}
+	}
 	// Expand marginally so the max coordinate bins inside the grid.
 	eps := 1e-9 * (1 + hi.Sub(lo).MaxComponent())
 	lo = lo.Sub(vec.Splat(eps))
@@ -153,17 +210,6 @@ func (l *List) Build(st *atom.Store) {
 	}
 	inv := vec.New(float64(nb[0])/span.X, float64(nb[1])/span.Y, float64(nb[2])/span.Z)
 	nbins := nb[0] * nb[1] * nb[2]
-	if cap(l.binHead) < nbins {
-		l.binHead = make([]int32, nbins)
-	}
-	l.binHead = l.binHead[:nbins]
-	for i := range l.binHead {
-		l.binHead[i] = -1
-	}
-	if cap(l.binNext) < total {
-		l.binNext = make([]int32, total)
-	}
-	l.binNext = l.binNext[:total]
 
 	binOf := func(p vec.V3) int {
 		bx := clampInt(int((p.X-lo.X)*inv.X), 0, nb[0]-1)
@@ -171,11 +217,43 @@ func (l *List) Build(st *atom.Store) {
 		bz := clampInt(int((p.Z-lo.Z)*inv.Z), 0, nb[2]-1)
 		return bx + nb[0]*(by+nb[1]*bz)
 	}
-	for i := 0; i < total; i++ {
-		b := binOf(st.Pos[i])
-		l.binNext[i] = l.binHead[b]
-		l.binHead[b] = int32(i)
+
+	// Counting-sort binning. Each worker counts its contiguous atom
+	// chunk, a serial prefix turns the per-(worker,bin) counts into
+	// write cursors, and the same chunking scatters atoms into place.
+	// Within a bin, cursor regions follow worker order and chunks are
+	// ascending, so bin contents are ascending atom index for ANY
+	// worker count — unlike the previous head-insertion linked list,
+	// whose within-bin order was descending and inherently serial.
+	l.binCnt = grow(l.binCnt, W*nbins)
+	clear(l.binCnt)
+	pool.Run("neigh_bin_count", total, func(w, alo, ahi int) {
+		c := l.binCnt[w*nbins : (w+1)*nbins]
+		for i := alo; i < ahi; i++ {
+			c[binOf(st.Pos[i])]++
+		}
+	})
+	l.binStart = grow(l.binStart, nbins+1)
+	ofs := int32(0)
+	for b := 0; b < nbins; b++ {
+		l.binStart[b] = ofs
+		for w := 0; w < W; w++ {
+			c := &l.binCnt[w*nbins+b]
+			n := *c
+			*c = ofs
+			ofs += n
+		}
 	}
+	l.binStart[nbins] = ofs
+	l.binAtoms = grow(l.binAtoms, total)
+	pool.Run("neigh_bin_fill", total, func(w, alo, ahi int) {
+		cur := l.binCnt[w*nbins : (w+1)*nbins]
+		for i := alo; i < ahi; i++ {
+			b := binOf(st.Pos[i])
+			l.binAtoms[cur[b]] = int32(i)
+			cur[b]++
+		}
+	})
 
 	// Stencil: bin offsets whose nearest corner lies within the cutoff.
 	binSize := vec.New(span.X/float64(nb[0]), span.Y/float64(nb[1]), span.Z/float64(nb[2]))
@@ -208,66 +286,97 @@ func (l *List) Build(st *atom.Store) {
 		}
 	}
 
-	checks := int64(0)
-	pairs := int64(0)
-	ghostPairs := int64(0)
-	for i := 0; i < st.N; i++ {
-		pi := st.Pos[i]
-		bx := clampInt(int((pi.X-lo.X)*inv.X), 0, nb[0]-1)
-		by := clampInt(int((pi.Y-lo.Y)*inv.Y), 0, nb[1]-1)
-		bz := clampInt(int((pi.Z-lo.Z)*inv.Z), 0, nb[2]-1)
-		hasSpecial := len(st.Special[i]) > 0
-		for _, o := range stencil {
-			z := bz + o.z
-			if z < 0 || z >= nb[2] {
-				continue
-			}
-			{
+	// Per-atom scan: each worker owns a contiguous row range and appends
+	// only into its own rows; counters accumulate per worker and are
+	// summed in worker order (integers, so the sum is exact).
+	l.checksW = grow(l.checksW, W)
+	l.pairsW = grow(l.pairsW, W)
+	l.ghostW = grow(l.ghostW, W)
+	clear(l.checksW)
+	clear(l.pairsW)
+	clear(l.ghostW)
+	pool.Run("neigh_scan", st.N, func(w, rlo, rhi int) {
+		var checks, pairs, ghostPairs int64
+		for i := rlo; i < rhi; i++ {
+			l.Neigh[i] = l.Neigh[i][:0]
+			pi := st.Pos[i]
+			bx := clampInt(int((pi.X-lo.X)*inv.X), 0, nb[0]-1)
+			by := clampInt(int((pi.Y-lo.Y)*inv.Y), 0, nb[1]-1)
+			bz := clampInt(int((pi.Z-lo.Z)*inv.Z), 0, nb[2]-1)
+			hasSpecial := len(st.Special[i]) > 0
+			for _, o := range stencil {
+				z := bz + o.z
+				if z < 0 || z >= nb[2] {
+					continue
+				}
 				y := by + o.y
 				if y < 0 || y >= nb[1] {
 					continue
 				}
-				{
-					x := bx + o.x
-					if x < 0 || x >= nb[0] {
+				x := bx + o.x
+				if x < 0 || x >= nb[0] {
+					continue
+				}
+				b := x + nb[0]*(y+nb[1]*z)
+				for _, j := range l.binAtoms[l.binStart[b]:l.binStart[b+1]] {
+					ji := int(j)
+					if ji == i {
 						continue
 					}
-					for j := l.binHead[x+nb[0]*(y+nb[1]*z)]; j >= 0; j = l.binNext[j] {
-						ji := int(j)
-						if ji == i {
-							continue
-						}
-						// Half discipline: owned-owned stored once.
-						if l.Mode == Half && ji < st.N && ji < i {
-							continue
-						}
-						checks++
-						d := pi.Sub(st.Pos[ji])
-						if d.Norm2() > cut2 {
-							continue
-						}
-						entry := j
-						if hasSpecial {
-							if kind, ok := st.IsSpecial(i, st.Tag[ji]); ok {
-								if l.SpecialWeight == nil {
-									continue
-								}
-								if _, keep := l.SpecialWeight(kind); !keep {
-									continue
-								}
-								entry |= int32(kind) << KindShift
+					// Half discipline: owned-owned stored once.
+					if l.Mode == Half && ji < st.N && ji < i {
+						continue
+					}
+					checks++
+					d := pi.Sub(st.Pos[ji])
+					if d.Norm2() > cut2 {
+						continue
+					}
+					entry := j
+					if hasSpecial {
+						if kind, ok := st.IsSpecial(i, st.Tag[ji]); ok {
+							if l.SpecialWeight == nil {
+								continue
 							}
+							if _, keep := l.SpecialWeight(kind); !keep {
+								continue
+							}
+							entry |= int32(kind) << KindShift
 						}
-						l.Neigh[i] = append(l.Neigh[i], entry)
-						pairs++
-						if ji >= st.N {
-							ghostPairs++
-						}
+					}
+					l.Neigh[i] = append(l.Neigh[i], entry)
+					pairs++
+					if ji >= st.N {
+						ghostPairs++
 					}
 				}
 			}
 		}
+		l.checksW[w] = checks
+		l.pairsW[w] = pairs
+		l.ghostW[w] = ghostPairs
+	})
+	checks := int64(0)
+	pairs := int64(0)
+	ghostPairs := int64(0)
+	for w := 0; w < W; w++ {
+		checks += l.checksW[w]
+		pairs += l.pairsW[w]
+		ghostPairs += l.ghostW[w]
 	}
+
+	// Flat CSR offsets over owned rows, the index space pair kernels
+	// use for their per-entry scratch and the transpose map.
+	if pairs > math.MaxInt32 {
+		panic("neighbor: pair count exceeds int32 flat index space")
+	}
+	l.rowPtr = grow(l.rowPtr, st.N+1)
+	off := int32(0)
+	for i := 0; i < st.N; i++ {
+		l.rowPtr[i] = off
+		off += int32(len(l.Neigh[i]))
+	}
+	l.rowPtr[st.N] = off
 
 	l.Stats.Builds++
 	l.Stats.TotalPairs += pairs
@@ -308,6 +417,64 @@ func (l *List) NeighborsPerAtom(owned int) float64 {
 	return per
 }
 
+// RowPtr returns the CSR offsets of each owned row's entries in the
+// flat pair-entry index space of the most recent Build: entry k of row
+// i has flat index RowPtr()[i]+k, and RowPtr()[owned] is the total
+// entry count.
+func (l *List) RowPtr() []int32 { return l.rowPtr }
+
+// Transpose returns the reverse scatter map of the most recent Build:
+// for each owned target atom j, the rows i whose entries point at j
+// (decoded index < owned) together with the flat entry index of that
+// (i,k) entry. Per target, rows appear in ascending (i,k) order — the
+// exact order a serial pass over the list would touch j — which is what
+// lets the two-phase pair kernels reproduce serial scatter arithmetic
+// bit-for-bit at any worker count.
+//
+// The map is built lazily (serially) and cached until the next Build.
+// Ghost targets have no entries; Full-mode kernels never scatter and do
+// not call this.
+func (l *List) Transpose() (ptr, row, idx []int32) {
+	if l.revValid {
+		return l.revPtr, l.revRow, l.revIdx
+	}
+	owned := len(l.Neigh)
+	l.revCnt = grow(l.revCnt, owned)
+	clear(l.revCnt)
+	for i := 0; i < owned; i++ {
+		for _, e := range l.Neigh[i] {
+			if j := int(e & IdxMask); j < owned {
+				l.revCnt[j]++
+			}
+		}
+	}
+	l.revPtr = grow(l.revPtr, owned+1)
+	off := int32(0)
+	for j := 0; j < owned; j++ {
+		l.revPtr[j] = off
+		off += l.revCnt[j]
+		l.revCnt[j] = l.revPtr[j] // becomes the write cursor
+	}
+	l.revPtr[owned] = off
+	l.revRow = grow(l.revRow, int(off))
+	l.revIdx = grow(l.revIdx, int(off))
+	for i := 0; i < owned; i++ {
+		base := l.rowPtr[i]
+		for k, e := range l.Neigh[i] {
+			j := int(e & IdxMask)
+			if j >= owned {
+				continue
+			}
+			t := l.revCnt[j]
+			l.revRow[t] = int32(i)
+			l.revIdx[t] = base + int32(k)
+			l.revCnt[j] = t + 1
+		}
+	}
+	l.revValid = true
+	return l.revPtr, l.revRow, l.revIdx
+}
+
 func bounds(pos []vec.V3) (lo, hi vec.V3) {
 	if len(pos) == 0 {
 		return vec.V3{}, vec.Splat(1)
@@ -336,6 +503,15 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// grow resizes s to length n, reusing capacity; contents are undefined
+// until written (callers clear or overwrite).
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }
 
 func clampInt(v, lo, hi int) int {

@@ -49,6 +49,13 @@ func RankMetric(name string, rank int) string {
 	return fmt.Sprintf("%s{rank=%d}", name, rank)
 }
 
+// KernelMetric renders the per-rank, per-kernel metric name used by the
+// worker-pool accounting, e.g. KernelMetric("par.util", 0, "pair_phase1")
+// = "par.util{rank=0,kernel=pair_phase1}".
+func KernelMetric(name string, rank int, kernel string) string {
+	return fmt.Sprintf("%s{rank=%d,kernel=%s}", name, rank, kernel)
+}
+
 // Counter is a monotonically adjustable integer metric.
 type Counter struct{ v atomic.Int64 }
 

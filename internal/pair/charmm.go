@@ -19,6 +19,8 @@ type CharmmCoulLong struct {
 	RCoul      float64     // Coulomb real-space cutoff (= ROuter)
 	GEwald     float64     // Ewald splitting parameter, set by the kspace solver
 	Prec       Precision
+
+	scr pairScratch // two-phase parallel path scratch
 }
 
 // NewCharmm builds the style with arithmetic mixing over per-type eps and
@@ -99,79 +101,160 @@ func charmmCompute[T Real](p *CharmmCoulLong, ctx *Context) Result {
 	twoSqrtPi := 2.0 / math.Sqrt(math.Pi)
 
 	owned := st.N
-	for i := 0; i < owned; i++ {
-		pi := st.Pos[i]
-		ti := int(st.Type[i]) - 1
-		qi := st.Charge[i]
-		xi, yi, zi := T(pi.X), T(pi.Y), T(pi.Z)
-		var fx, fy, fz float64
-		for _, entry := range nl.Neigh[i] {
-			j, kind := neighbor.Decode(entry)
-			pj := st.Pos[j]
-			dx := xi - T(pj.X)
-			dy := yi - T(pj.Y)
-			dz := zi - T(pj.Z)
-			r2 := dx*dx + dy*dy + dz*dz
-			if r2 > maxCut2 {
-				continue
-			}
-			r2f := float64(r2)
-			inv2 := 1 / r2f
-			var fpair, epair float64
 
-			// Special (bonded-topology) pairs carry CHARMM weights:
-			// LJ excluded, Coulomb handled below as a k-space
-			// compensation (factor_coul = 0).
-			if kind == 0 && r2 <= cutLJ2 {
-				tj := int(st.Type[j]) - 1
-				k := ti*nt + tj
-				inv6 := inv2 * inv2 * inv2
-				flj := inv6 * (float64(lj1[k])*inv6 - float64(lj2[k])) * inv2
-				elj := inv6 * (float64(lj3[k])*inv6 - float64(lj4[k]))
-				if r2f > in2 {
-					// CHARMM switching: S(r) smoothly takes the LJ term
-					// from full at RInner to zero at ROuter.
-					t1 := out2 - r2f
-					t2 := t1 * t1
-					sw := t2 * (out2 + 2*r2f - 3*in2) / denom
-					dsw := 12 * t1 * (in2 - r2f) / denom // dS/d(r2)
-					flj = flj*sw - elj*dsw
-					elj *= sw
-				}
-				fpair += flj
-				epair += elj
-			}
+	// pairTerms evaluates one entry: the switched LJ term plus the
+	// erfc-damped real-space Coulomb term (with the exclusion
+	// compensation for special pairs). Shared verbatim by the serial
+	// and two-phase parallel paths.
+	pairTerms := func(r2 T, qi, qj float64, ti, tj int, kind int) (fpair, epair float64) {
+		r2f := float64(r2)
+		inv2 := 1 / r2f
 
-			if r2 <= cutCoul2 && (qi != 0 || st.Charge[j] != 0) {
-				r := math.Sqrt(r2f)
-				qq := qqr2e * qi * st.Charge[j]
-				erfcGr := math.Erfc(g * r)
-				pre := qq / r
-				ecoul := pre * erfcGr
-				fcoul := (ecoul + qq*twoSqrtPi*g*math.Exp(-g*g*r2f)) * inv2
-				if kind != 0 {
-					// Excluded pair: subtract the full 1/r term, leaving
-					// -erf(g r)/r, which exactly cancels the k-space
-					// solver's contribution for this pair.
-					fcoul -= pre * inv2
-					ecoul -= pre
-				}
-				fpair += fcoul
-				epair += ecoul
+		// Special (bonded-topology) pairs carry CHARMM weights:
+		// LJ excluded, Coulomb handled below as a k-space
+		// compensation (factor_coul = 0).
+		if kind == 0 && r2 <= cutLJ2 {
+			k := ti*nt + tj
+			inv6 := inv2 * inv2 * inv2
+			flj := inv6 * (float64(lj1[k])*inv6 - float64(lj2[k])) * inv2
+			elj := inv6 * (float64(lj3[k])*inv6 - float64(lj4[k]))
+			if r2f > in2 {
+				// CHARMM switching: S(r) smoothly takes the LJ term
+				// from full at RInner to zero at ROuter.
+				t1 := out2 - r2f
+				t2 := t1 * t1
+				sw := t2 * (out2 + 2*r2f - 3*in2) / denom
+				dsw := 12 * t1 * (in2 - r2f) / denom // dS/d(r2)
+				flj = flj*sw - elj*dsw
+				elj *= sw
 			}
-
-			fx += fpair * float64(dx)
-			fy += fpair * float64(dy)
-			fz += fpair * float64(dz)
-			if j < owned {
-				st.Force[j] = st.Force[j].Sub(vec.New(fpair*float64(dx), fpair*float64(dy), fpair*float64(dz)))
-			}
-			w := scaleHalf(j, owned)
-			res.Energy += w * epair
-			res.Virial += w * fpair * r2f
-			res.Pairs++
+			fpair += flj
+			epair += elj
 		}
-		st.Force[i] = st.Force[i].Add(vec.New(fx, fy, fz))
+
+		if r2 <= cutCoul2 && (qi != 0 || qj != 0) {
+			r := math.Sqrt(r2f)
+			qq := qqr2e * qi * qj
+			erfcGr := math.Erfc(g * r)
+			pre := qq / r
+			ecoul := pre * erfcGr
+			fcoul := (ecoul + qq*twoSqrtPi*g*math.Exp(-g*g*r2f)) * inv2
+			if kind != 0 {
+				// Excluded pair: subtract the full 1/r term, leaving
+				// -erf(g r)/r, which exactly cancels the k-space
+				// solver's contribution for this pair.
+				fcoul -= pre * inv2
+				ecoul -= pre
+			}
+			fpair += fcoul
+			epair += ecoul
+		}
+		return fpair, epair
 	}
+
+	// Serial single-pass path (same per-row partial grouping as the
+	// parallel fold; see ljCompute).
+	if ctx.Pool.Workers() <= 1 {
+		for i := 0; i < owned; i++ {
+			pi := st.Pos[i]
+			ti := int(st.Type[i]) - 1
+			qi := st.Charge[i]
+			xi, yi, zi := T(pi.X), T(pi.Y), T(pi.Z)
+			var fx, fy, fz, eRow, vRow float64
+			for _, entry := range nl.Neigh[i] {
+				j, kind := neighbor.Decode(entry)
+				pj := st.Pos[j]
+				dx := xi - T(pj.X)
+				dy := yi - T(pj.Y)
+				dz := zi - T(pj.Z)
+				r2 := dx*dx + dy*dy + dz*dz
+				if r2 > maxCut2 {
+					continue
+				}
+				fpair, epair := pairTerms(r2, qi, st.Charge[j], ti, int(st.Type[j])-1, int(kind))
+				fx += fpair * float64(dx)
+				fy += fpair * float64(dy)
+				fz += fpair * float64(dz)
+				if j < owned {
+					st.Force[j] = st.Force[j].Sub(vec.New(fpair*float64(dx), fpair*float64(dy), fpair*float64(dz)))
+				}
+				w := scaleHalf(j, owned)
+				eRow += w * epair
+				vRow += w * fpair * float64(r2)
+				res.Pairs++
+			}
+			st.Force[i] = st.Force[i].Add(vec.New(fx, fy, fz))
+			res.Energy += eRow
+			res.Virial += vRow
+		}
+		return res
+	}
+
+	// Two-phase parallel path (see ljCompute / DESIGN.md).
+	pool := ctx.Pool
+	rp := nl.RowPtr()
+	scr := &p.scr
+	scr.reserve(owned, int(rp[owned]), pool.Workers())
+	pool.Run("pair_rows", owned, func(w, rlo, rhi int) {
+		var pairs int64
+		for i := rlo; i < rhi; i++ {
+			pi := st.Pos[i]
+			ti := int(st.Type[i]) - 1
+			qi := st.Charge[i]
+			xi, yi, zi := T(pi.X), T(pi.Y), T(pi.Z)
+			base := rp[i]
+			var fx, fy, fz, eRow, vRow float64
+			for kIdx, entry := range nl.Neigh[i] {
+				e := base + int32(kIdx)
+				j, kind := neighbor.Decode(entry)
+				pj := st.Pos[j]
+				dx := xi - T(pj.X)
+				dy := yi - T(pj.Y)
+				dz := zi - T(pj.Z)
+				r2 := dx*dx + dy*dy + dz*dz
+				if r2 > maxCut2 {
+					scr.pairF[e] = 0
+					continue
+				}
+				fpair, epair := pairTerms(r2, qi, st.Charge[j], ti, int(st.Type[j])-1, int(kind))
+				scr.pairF[e] = fpair
+				fx += fpair * float64(dx)
+				fy += fpair * float64(dy)
+				fz += fpair * float64(dz)
+				w := scaleHalf(j, owned)
+				eRow += w * epair
+				vRow += w * fpair * float64(r2)
+				pairs++
+			}
+			scr.ownF[i] = [3]float64{fx, fy, fz}
+			scr.rowE[i] = eRow
+			scr.rowV[i] = vRow
+		}
+		scr.pairsW[w] = pairs
+	})
+	tptr, trow, tidx := nl.Transpose()
+	pool.Run("pair_gather", owned, func(w, jlo, jhi int) {
+		for j := jlo; j < jhi; j++ {
+			pj := st.Pos[j]
+			xj, yj, zj := T(pj.X), T(pj.Y), T(pj.Z)
+			var fx, fy, fz float64
+			for t := tptr[j]; t < tptr[j+1]; t++ {
+				fpair := scr.pairF[tidx[t]]
+				if fpair == 0 {
+					continue
+				}
+				pi := st.Pos[trow[t]]
+				fx -= fpair * float64(T(pi.X)-xj)
+				fy -= fpair * float64(T(pi.Y)-yj)
+				fz -= fpair * float64(T(pi.Z)-zj)
+			}
+			o := scr.ownF[j]
+			fx += o[0]
+			fy += o[1]
+			fz += o[2]
+			st.Force[j] = st.Force[j].Add(vec.New(fx, fy, fz))
+		}
+	})
+	scr.fold(owned, &res)
 	return res
 }

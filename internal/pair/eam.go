@@ -32,6 +32,9 @@ type EAM struct {
 	// scratch reused across calls
 	rho []float64
 	fp  []float64
+
+	scr    pairScratch // two-phase parallel path scratch
+	rhoOwn []float64   // per-row own-density partials (parallel path)
 }
 
 // NewEAMCopper returns the Sutton-Chen Cu parameterization with the
@@ -90,94 +93,252 @@ func eamCompute[T Real](p *EAM, ctx *Context) Result {
 	a2 := T(p.A * p.A)
 	mHalf := p.MExp / 2 // density term: (a^2/r^2)^(m/2)
 	nOdd := p.NExp % 2
+	epsN := p.EpsSC * float64(p.NExp)
+	pool := ctx.Pool
+	W := pool.Workers()
 
-	// Pass 1: accumulate electron density.
-	for i := 0; i < owned; i++ {
-		pi := st.Pos[i]
-		xi, yi, zi := T(pi.X), T(pi.Y), T(pi.Z)
-		var acc float64
-		for _, j32 := range nl.Neigh[i] {
-			j := int(j32)
-			pj := st.Pos[j]
-			dx := xi - T(pj.X)
-			dy := yi - T(pj.Y)
-			dz := zi - T(pj.Z)
-			r2 := dx*dx + dy*dy + dz*dz
-			if r2 > cut2 {
+	if W <= 1 {
+		// Serial single-pass path. As in ljCompute, pass-2 energy and
+		// virial accumulate per row before folding into the totals so
+		// the grouping matches the parallel path exactly.
+
+		// Pass 1: accumulate electron density.
+		for i := 0; i < owned; i++ {
+			pi := st.Pos[i]
+			xi, yi, zi := T(pi.X), T(pi.Y), T(pi.Z)
+			var acc float64
+			for _, j32 := range nl.Neigh[i] {
+				j := int(j32)
+				pj := st.Pos[j]
+				dx := xi - T(pj.X)
+				dy := yi - T(pj.Y)
+				dz := zi - T(pj.Z)
+				r2 := dx*dx + dy*dy + dz*dz
+				if r2 > cut2 {
+					continue
+				}
+				q := a2 / r2
+				d := powInt(q, mHalf) // (a/r)^m for even m
+				acc += float64(d)
+				if j < owned {
+					rho[j] += float64(d)
+				}
+				res.Pairs++
+			}
+			rho[i] += acc
+		}
+		// Ghost densities come from their owners (half lists never accumulate
+		// into ghosts for owned-ghost pairs on this side; the mirror rank, or
+		// the owner itself in serial periodic runs, holds the complete sum).
+		ctx.Sync.ForwardScalar(rho)
+
+		// Embedding energy and its derivative for owned atoms; ghosts get fp
+		// via the halo exchange.
+		for i := 0; i < owned; i++ {
+			r := rho[i]
+			if r <= 0 {
+				fp[i] = 0
 				continue
 			}
-			q := a2 / r2
-			d := powInt(q, mHalf) // (a/r)^m for even m
-			acc += float64(d)
-			if j < owned {
-				rho[j] += float64(d)
-			}
-			res.Pairs++
+			sq := math.Sqrt(r)
+			res.Energy += -p.EpsSC * p.C * sq
+			fp[i] = -p.EpsSC * p.C * 0.5 / sq // dF/drho
 		}
-		rho[i] += acc
+		ctx.Sync.ForwardScalar(fp)
+
+		// Pass 2: pair repulsion + embedding forces.
+		for i := 0; i < owned; i++ {
+			pi := st.Pos[i]
+			xi, yi, zi := T(pi.X), T(pi.Y), T(pi.Z)
+			fpi := fp[i]
+			var fx, fy, fz, eRow, vRow float64
+			for _, j32 := range nl.Neigh[i] {
+				j := int(j32)
+				pj := st.Pos[j]
+				dx := xi - T(pj.X)
+				dy := yi - T(pj.Y)
+				dz := zi - T(pj.Z)
+				r2 := dx*dx + dy*dy + dz*dz
+				if r2 > cut2 {
+					continue
+				}
+				q := a2 / r2
+				r2f := float64(r2)
+				// (a/r)^n: for odd n multiply an even power by a/r.
+				vn := float64(powInt(q, p.NExp/2))
+				if nOdd == 1 {
+					vn *= math.Sqrt(float64(q))
+				}
+				vm := float64(powInt(q, mHalf))
+				phi := p.EpsSC * vn
+				// dV/dr * (1/r) = -n*V/r^2 ; d rho/dr * (1/r) = -m*rho_term/r^2
+				dphi := -epsN * vn / r2f
+				drho := -float64(p.MExp) * vm / r2f
+				fpair := -(dphi + (fpi+fp[j])*drho)
+				fx += fpair * float64(dx)
+				fy += fpair * float64(dy)
+				fz += fpair * float64(dz)
+				if j < owned {
+					st.Force[j] = st.Force[j].Sub(vec.New(fpair*float64(dx), fpair*float64(dy), fpair*float64(dz)))
+				}
+				w := scaleHalf(j, owned)
+				eRow += w * phi
+				vRow += w * fpair * r2f
+				res.Pairs++
+			}
+			st.Force[i] = st.Force[i].Add(vec.New(fx, fy, fz))
+			res.Energy += eRow
+			res.Virial += vRow
+		}
+		return res
 	}
-	// Ghost densities come from their owners (half lists never accumulate
-	// into ghosts for owned-ghost pairs on this side; the mirror rank, or
-	// the owner itself in serial periodic runs, holds the complete sum).
+
+	// Two-phase parallel path. Pass 1 reuses the pair-magnitude buffer
+	// for per-entry density terms and gathers them through the list
+	// transpose in ascending (row, entry) order; pass 2 is the same
+	// scheme as ljCompute. Both passes fold scalars serially over rows,
+	// so energy/virial/forces match the serial path bit for bit.
+	rp := nl.RowPtr()
+	scr := &p.scr
+	scr.reserve(owned, int(rp[owned]), W)
+	p.rhoOwn = growSlice(p.rhoOwn, owned)
+	rhoOwn := p.rhoOwn
+
+	// Pass 1a: per-entry density terms and per-row own sums.
+	pool.Run("eam_rho_rows", owned, func(w, rlo, rhi int) {
+		var pairs int64
+		for i := rlo; i < rhi; i++ {
+			pi := st.Pos[i]
+			xi, yi, zi := T(pi.X), T(pi.Y), T(pi.Z)
+			base := rp[i]
+			var acc float64
+			for kIdx, j32 := range nl.Neigh[i] {
+				e := base + int32(kIdx)
+				pj := st.Pos[int(j32)]
+				dx := xi - T(pj.X)
+				dy := yi - T(pj.Y)
+				dz := zi - T(pj.Z)
+				r2 := dx*dx + dy*dy + dz*dz
+				if r2 > cut2 {
+					scr.pairF[e] = 0
+					continue
+				}
+				d := powInt(a2/r2, mHalf)
+				scr.pairF[e] = float64(d)
+				acc += float64(d)
+				pairs++
+			}
+			rhoOwn[i] = acc
+		}
+		scr.pairsW[w] = pairs
+	})
+	// Pass 1b: gather densities per owned target (ghost slots stay 0,
+	// exactly as the serial half-list pass leaves them).
+	tptr, trow, tidx := nl.Transpose()
+	pool.Run("eam_rho_gather", owned, func(w, jlo, jhi int) {
+		for j := jlo; j < jhi; j++ {
+			var acc float64
+			for t := tptr[j]; t < tptr[j+1]; t++ {
+				if d := scr.pairF[tidx[t]]; d != 0 {
+					acc += d
+				}
+			}
+			rho[j] = acc + rhoOwn[j]
+		}
+	})
 	ctx.Sync.ForwardScalar(rho)
 
-	// Embedding energy and its derivative for owned atoms; ghosts get fp
-	// via the halo exchange.
-	for i := 0; i < owned; i++ {
-		r := rho[i]
-		if r <= 0 {
-			fp[i] = 0
-			continue
+	// Embedding: per-row energies folded serially in row order (the
+	// serial path's flat per-atom chain has the same grouping).
+	pool.Run("eam_embed", owned, func(w, rlo, rhi int) {
+		for i := rlo; i < rhi; i++ {
+			r := rho[i]
+			if r <= 0 {
+				fp[i] = 0
+				scr.rowE[i] = 0
+				continue
+			}
+			sq := math.Sqrt(r)
+			scr.rowE[i] = -p.EpsSC * p.C * sq
+			fp[i] = -p.EpsSC * p.C * 0.5 / sq // dF/drho
 		}
-		sq := math.Sqrt(r)
-		res.Energy += -p.EpsSC * p.C * sq
-		fp[i] = -p.EpsSC * p.C * 0.5 / sq // dF/drho
+	})
+	for i := 0; i < owned; i++ {
+		res.Energy += scr.rowE[i]
 	}
 	ctx.Sync.ForwardScalar(fp)
 
-	// Pass 2: pair repulsion + embedding forces.
-	epsN := p.EpsSC * float64(p.NExp)
-	for i := 0; i < owned; i++ {
-		pi := st.Pos[i]
-		xi, yi, zi := T(pi.X), T(pi.Y), T(pi.Z)
-		fpi := fp[i]
-		var fx, fy, fz float64
-		for _, j32 := range nl.Neigh[i] {
-			j := int(j32)
-			pj := st.Pos[j]
-			dx := xi - T(pj.X)
-			dy := yi - T(pj.Y)
-			dz := zi - T(pj.Z)
-			r2 := dx*dx + dy*dy + dz*dz
-			if r2 > cut2 {
-				continue
+	// Pass 2a: force magnitudes, own forces, per-row energy/virial.
+	pool.Run("pair_rows", owned, func(w, rlo, rhi int) {
+		var pairs int64
+		for i := rlo; i < rhi; i++ {
+			pi := st.Pos[i]
+			xi, yi, zi := T(pi.X), T(pi.Y), T(pi.Z)
+			fpi := fp[i]
+			base := rp[i]
+			var fx, fy, fz, eRow, vRow float64
+			for kIdx, j32 := range nl.Neigh[i] {
+				e := base + int32(kIdx)
+				j := int(j32)
+				pj := st.Pos[j]
+				dx := xi - T(pj.X)
+				dy := yi - T(pj.Y)
+				dz := zi - T(pj.Z)
+				r2 := dx*dx + dy*dy + dz*dz
+				if r2 > cut2 {
+					scr.pairF[e] = 0
+					continue
+				}
+				q := a2 / r2
+				r2f := float64(r2)
+				vn := float64(powInt(q, p.NExp/2))
+				if nOdd == 1 {
+					vn *= math.Sqrt(float64(q))
+				}
+				vm := float64(powInt(q, mHalf))
+				phi := p.EpsSC * vn
+				dphi := -epsN * vn / r2f
+				drho := -float64(p.MExp) * vm / r2f
+				fpair := -(dphi + (fpi+fp[j])*drho)
+				scr.pairF[e] = fpair
+				fx += fpair * float64(dx)
+				fy += fpair * float64(dy)
+				fz += fpair * float64(dz)
+				w := scaleHalf(j, owned)
+				eRow += w * phi
+				vRow += w * fpair * r2f
+				pairs++
 			}
-			q := a2 / r2
-			r2f := float64(r2)
-			// (a/r)^n: for odd n multiply an even power by a/r.
-			vn := float64(powInt(q, p.NExp/2))
-			if nOdd == 1 {
-				vn *= math.Sqrt(float64(q))
-			}
-			vm := float64(powInt(q, mHalf))
-			phi := p.EpsSC * vn
-			// dV/dr * (1/r) = -n*V/r^2 ; d rho/dr * (1/r) = -m*rho_term/r^2
-			dphi := -epsN * vn / r2f
-			drho := -float64(p.MExp) * vm / r2f
-			fpair := -(dphi + (fpi+fp[j])*drho)
-			fx += fpair * float64(dx)
-			fy += fpair * float64(dy)
-			fz += fpair * float64(dz)
-			if j < owned {
-				st.Force[j] = st.Force[j].Sub(vec.New(fpair*float64(dx), fpair*float64(dy), fpair*float64(dz)))
-			}
-			w := scaleHalf(j, owned)
-			res.Energy += w * phi
-			res.Virial += w * fpair * r2f
-			res.Pairs++
+			scr.ownF[i] = [3]float64{fx, fy, fz}
+			scr.rowE[i] = eRow
+			scr.rowV[i] = vRow
 		}
-		st.Force[i] = st.Force[i].Add(vec.New(fx, fy, fz))
-	}
+		scr.pairsW[w] += pairs // adds to the pass-1 count, as serial does
+	})
+	// Pass 2b: gather scatter forces per owned target.
+	pool.Run("pair_gather", owned, func(w, jlo, jhi int) {
+		for j := jlo; j < jhi; j++ {
+			pj := st.Pos[j]
+			xj, yj, zj := T(pj.X), T(pj.Y), T(pj.Z)
+			var fx, fy, fz float64
+			for t := tptr[j]; t < tptr[j+1]; t++ {
+				fpair := scr.pairF[tidx[t]]
+				if fpair == 0 {
+					continue
+				}
+				pi := st.Pos[trow[t]]
+				fx -= fpair * float64(T(pi.X)-xj)
+				fy -= fpair * float64(T(pi.Y)-yj)
+				fz -= fpair * float64(T(pi.Z)-zj)
+			}
+			o := scr.ownF[j]
+			fx += o[0]
+			fy += o[1]
+			fz += o[2]
+			st.Force[j] = st.Force[j].Add(vec.New(fx, fy, fz))
+		}
+	})
+	scr.fold(owned, &res)
 	return res
 }
 

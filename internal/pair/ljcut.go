@@ -18,6 +18,8 @@ type LJCut struct {
 	RCut  float64
 	Shift bool // energy-shift the potential to zero at the cutoff
 	Prec  Precision
+
+	scr pairScratch // two-phase parallel path scratch
 }
 
 // NewLJCut builds a single-type LJ potential.
@@ -98,39 +100,124 @@ func ljCompute[T Real](p *LJCut, ctx *Context) Result {
 		}
 	}
 	owned := st.N
-	for i := 0; i < owned; i++ {
-		pi := st.Pos[i]
-		ti := int(st.Type[i]) - 1
-		xi, yi, zi := T(pi.X), T(pi.Y), T(pi.Z)
-		var fx, fy, fz float64
-		for _, j32 := range nl.Neigh[i] {
-			j := int(j32)
-			pj := st.Pos[j]
-			dx := xi - T(pj.X)
-			dy := yi - T(pj.Y)
-			dz := zi - T(pj.Z)
-			r2 := dx*dx + dy*dy + dz*dz
-			if r2 > cut2 {
-				continue
+
+	// Serial single-pass path. Per-row energy/virial partials fold into
+	// the totals at row end — exactly the grouping of the two-phase
+	// parallel path's fold, so both paths agree bit for bit.
+	if ctx.Pool.Workers() <= 1 {
+		for i := 0; i < owned; i++ {
+			pi := st.Pos[i]
+			ti := int(st.Type[i]) - 1
+			xi, yi, zi := T(pi.X), T(pi.Y), T(pi.Z)
+			var fx, fy, fz, eRow, vRow float64
+			for _, j32 := range nl.Neigh[i] {
+				j := int(j32)
+				pj := st.Pos[j]
+				dx := xi - T(pj.X)
+				dy := yi - T(pj.Y)
+				dz := zi - T(pj.Z)
+				r2 := dx*dx + dy*dy + dz*dz
+				if r2 > cut2 {
+					continue
+				}
+				tj := int(st.Type[j]) - 1
+				k := ti*nt + tj
+				inv2 := 1 / r2
+				inv6 := inv2 * inv2 * inv2
+				fpair := inv6 * (lj1[k]*inv6 - lj2[k]) * inv2
+				fx += float64(fpair * dx)
+				fy += float64(fpair * dy)
+				fz += float64(fpair * dz)
+				w := scaleHalf(j, owned)
+				if j < owned {
+					st.Force[j] = st.Force[j].Sub(vec.New(float64(fpair*dx), float64(fpair*dy), float64(fpair*dz)))
+				}
+				e := float64(inv6*(lj3[k]*inv6-lj4[k]) - shift[k])
+				eRow += w * e
+				vRow += w * float64(fpair*r2)
+				res.Pairs++
 			}
-			tj := int(st.Type[j]) - 1
-			k := ti*nt + tj
-			inv2 := 1 / r2
-			inv6 := inv2 * inv2 * inv2
-			fpair := inv6 * (lj1[k]*inv6 - lj2[k]) * inv2
-			fx += float64(fpair * dx)
-			fy += float64(fpair * dy)
-			fz += float64(fpair * dz)
-			w := scaleHalf(j, owned)
-			if j < owned {
-				st.Force[j] = st.Force[j].Sub(vec.New(float64(fpair*dx), float64(fpair*dy), float64(fpair*dz)))
-			}
-			e := float64(inv6*(lj3[k]*inv6-lj4[k]) - shift[k])
-			res.Energy += w * e
-			res.Virial += w * float64(fpair*r2)
-			res.Pairs++
+			st.Force[i] = st.Force[i].Add(vec.New(fx, fy, fz))
+			res.Energy += eRow
+			res.Virial += vRow
 		}
-		st.Force[i] = st.Force[i].Add(vec.New(fx, fy, fz))
+		return res
 	}
+
+	// Two-phase parallel path; see DESIGN.md "Intra-rank threading".
+	// Phase 1 computes every pair once per owning row and stores its
+	// force magnitude; phase 2 gathers each target's scatter terms in
+	// ascending (row, entry) order through the list transpose,
+	// reproducing the serial scatter arithmetic exactly.
+	pool := ctx.Pool
+	rp := nl.RowPtr()
+	scr := &p.scr
+	scr.reserve(owned, int(rp[owned]), pool.Workers())
+	pool.Run("pair_rows", owned, func(w, rlo, rhi int) {
+		var pairs int64
+		for i := rlo; i < rhi; i++ {
+			pi := st.Pos[i]
+			ti := int(st.Type[i]) - 1
+			xi, yi, zi := T(pi.X), T(pi.Y), T(pi.Z)
+			base := rp[i]
+			var fx, fy, fz, eRow, vRow float64
+			for kIdx, j32 := range nl.Neigh[i] {
+				e := base + int32(kIdx)
+				j := int(j32)
+				pj := st.Pos[j]
+				dx := xi - T(pj.X)
+				dy := yi - T(pj.Y)
+				dz := zi - T(pj.Z)
+				r2 := dx*dx + dy*dy + dz*dz
+				if r2 > cut2 {
+					scr.pairF[e] = 0
+					continue
+				}
+				tj := int(st.Type[j]) - 1
+				k := ti*nt + tj
+				inv2 := 1 / r2
+				inv6 := inv2 * inv2 * inv2
+				fpair := inv6 * (lj1[k]*inv6 - lj2[k]) * inv2
+				scr.pairF[e] = float64(fpair)
+				fx += float64(fpair * dx)
+				fy += float64(fpair * dy)
+				fz += float64(fpair * dz)
+				w := scaleHalf(j, owned)
+				ev := float64(inv6*(lj3[k]*inv6-lj4[k]) - shift[k])
+				eRow += w * ev
+				vRow += w * float64(fpair*r2)
+				pairs++
+			}
+			scr.ownF[i] = [3]float64{fx, fy, fz}
+			scr.rowE[i] = eRow
+			scr.rowV[i] = vRow
+		}
+		scr.pairsW[w] = pairs
+	})
+	tptr, trow, tidx := nl.Transpose()
+	pool.Run("pair_gather", owned, func(w, jlo, jhi int) {
+		for j := jlo; j < jhi; j++ {
+			pj := st.Pos[j]
+			xj, yj, zj := T(pj.X), T(pj.Y), T(pj.Z)
+			var fx, fy, fz float64
+			for t := tptr[j]; t < tptr[j+1]; t++ {
+				f64 := scr.pairF[tidx[t]]
+				if f64 == 0 {
+					continue
+				}
+				fpair := T(f64)
+				pi := st.Pos[trow[t]]
+				fx -= float64(fpair * (T(pi.X) - xj))
+				fy -= float64(fpair * (T(pi.Y) - yj))
+				fz -= float64(fpair * (T(pi.Z) - zj))
+			}
+			o := scr.ownF[j]
+			fx += o[0]
+			fy += o[1]
+			fz += o[2]
+			st.Force[j] = st.Force[j].Add(vec.New(fx, fy, fz))
+		}
+	})
+	scr.fold(owned, &res)
 	return res
 }

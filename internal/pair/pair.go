@@ -13,6 +13,7 @@ package pair
 import (
 	"gomd/internal/atom"
 	"gomd/internal/neighbor"
+	"gomd/internal/par"
 )
 
 // Real is the precision type parameter of the arithmetic kernels.
@@ -80,6 +81,12 @@ type Context struct {
 	QQr2E float64
 	// Dt is the timestep, needed by history-dependent (granular) styles.
 	Dt float64
+	// Pool, when non-nil and sized above one worker, runs the analytic
+	// kernels (lj/cut, eam, charmm) on intra-rank workers via their
+	// deterministic two-phase path; nil or one worker selects the
+	// single-pass serial path. Both paths produce bit-identical forces,
+	// energies, and virials (see DESIGN.md "Intra-rank threading").
+	Pool *par.Pool
 }
 
 // Style is a pairwise force field.
@@ -103,4 +110,52 @@ func scaleHalf(j, owned int) float64 {
 		return 1
 	}
 	return 0.5
+}
+
+// pairScratch is the per-style scratch of the two-phase parallel path:
+// phase 1 (rows) stores each in-cutoff entry's force magnitude in pairF
+// (0 marks out-of-cutoff), the row's own-force sum in ownF, and the
+// row's energy/virial partials in rowE/rowV; phase 2 (targets) gathers
+// scatter contributions through the list transpose. Scalars fold
+// serially over rows, so every total is independent of worker count.
+type pairScratch struct {
+	pairF  []float64
+	ownF   [][3]float64
+	rowE   []float64
+	rowV   []float64
+	pairsW []int64
+}
+
+// reserve sizes the scratch for owned rows, flat entries, and W workers.
+func (s *pairScratch) reserve(owned, flat, W int) {
+	s.pairF = growSlice(s.pairF, flat)
+	s.ownF = growSlice(s.ownF, owned)
+	s.rowE = growSlice(s.rowE, owned)
+	s.rowV = growSlice(s.rowV, owned)
+	s.pairsW = growSlice(s.pairsW, W)
+	for w := range s.pairsW {
+		s.pairsW[w] = 0
+	}
+}
+
+// fold accumulates the per-row partials in ascending row order — the
+// same grouping the serial kernels use — plus the per-worker pair
+// counts, into res.
+func (s *pairScratch) fold(owned int, res *Result) {
+	for i := 0; i < owned; i++ {
+		res.Energy += s.rowE[i]
+		res.Virial += s.rowV[i]
+	}
+	for _, n := range s.pairsW {
+		res.Pairs += n
+	}
+}
+
+// growSlice resizes s to length n reusing capacity; contents are
+// undefined until written.
+func growSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }

@@ -1,0 +1,37 @@
+package pair_test
+
+import (
+	"fmt"
+	"testing"
+
+	"gomd/internal/neighbor"
+	"gomd/internal/pair"
+	"gomd/internal/par"
+)
+
+// BenchmarkPairLJ times the LJ force kernel on a 32k-atom melt across
+// intra-rank worker counts: workers=1 runs the single-pass serial loop,
+// workers>1 the two-phase deterministic rows+gather path. Both produce
+// bit-identical forces (TestWorkerDeterminism in internal/core); this
+// measures what that guarantee costs and how it scales.
+func BenchmarkPairLJ(b *testing.B) {
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			st := benchStore(32000, 33.6) // LJ-melt density
+			style := pair.NewLJCut(1, 1, 2.5, pair.Mixed)
+			pool := par.NewPool(w)
+			defer pool.Close()
+			nl := neighbor.NewList(style.ListMode(), style.Cutoff(), 0.3)
+			nl.Pool = pool
+			nl.Build(st)
+			ctx := &pair.Context{Store: st, List: nl, Sync: noSync{}, QQr2E: 1, Dt: 0.005, Pool: pool}
+			b.ResetTimer()
+			var pairs int64
+			for i := 0; i < b.N; i++ {
+				st.ZeroForces()
+				pairs += style.Compute(ctx).Pairs
+			}
+			b.ReportMetric(float64(pairs)/float64(b.Elapsed().Nanoseconds()+1), "pairs/ns")
+		})
+	}
+}

@@ -48,6 +48,11 @@ type Costs struct {
 	ByteTime     float64 // per transferred byte
 	ReduceLatSeq float64 // per Allreduce stage (x log2 P)
 
+	// ThreadSync prices one intra-rank pool dispatch+join barrier per
+	// extra worker: each threaded kernel stage pays
+	// ThreadSync * (workers-1) on top of its divided compute time.
+	ThreadSync float64
+
 	// InitFrac models the paper's §5.1 observation that MPI_Init-related
 	// overhead is proportional to run time and grows with the rank count:
 	// per-rank Init time = InitFrac * P * wall time.
@@ -84,6 +89,8 @@ func CPUCosts() Costs {
 		ByteTime:     1.0 / 6.0e9, // ~6 GB/s per rank pair, shared memory
 		ReduceLatSeq: 2.2e-6,
 
+		ThreadSync: 2.0e-6,
+
 		InitFrac: 0.0042,
 	}
 }
@@ -97,6 +104,13 @@ type Input struct {
 	PairStyle string
 	Precision pair.Precision
 	NGlobal   int
+
+	// WorkersPerRank is the intra-rank worker-pool width (internal/par)
+	// applied to the threadable kernels: pair forces, neighbor builds,
+	// and the PPPM map/spread/interpolate/grid stages. 0/1 = serial. The
+	// model caps the effective width at the instance's cores per rank —
+	// oversubscribed workers add sync cost without adding speedup.
+	WorkersPerRank int
 
 	// PerRank holds each rank's engine counters accumulated over Steps.
 	PerRank []core.Counters
@@ -177,6 +191,18 @@ func EvaluateCPU(in Input) Outcome {
 	hs := in.Instance.HostSpeed
 	cPair := co.pairCost(in.PairStyle, in.Precision) * hs
 
+	// Intra-rank worker pool: the threadable kernels divide their compute
+	// across effW workers, capped at the cores available per rank (extra
+	// workers beyond physical cores only add sync overhead).
+	effW := in.WorkersPerRank
+	if effW < 1 {
+		effW = 1
+	}
+	if perRankCores := in.Instance.CPU.Cores() / maxInt(P, 1); effW > perRankCores && perRankCores >= 1 {
+		effW = perRankCores
+	}
+	fW := float64(effW)
+
 	comp := make([][core.NumTasks]float64, P) // compute-only portions
 	commData := make([]float64, P)            // modeled transfer time
 	kspaceComm := make([]float64, P)          // FFT exchange time
@@ -195,23 +221,38 @@ func EvaluateCPU(in Input) Outcome {
 				t[core.TaskPair] += rejected * co.PairReject * hs
 			}
 		}
+		t[core.TaskPair] /= fW
 		t[core.TaskBond] = float64(c.BondTerms) / steps * co.Bond * hs
 		// The engine computes the full replicated mesh per rank; the
 		// platform runs a distributed FFT: 1/P of the butterflies and
 		// grid ops per rank, plus transpose exchanges (priced below).
-		t[core.TaskKspace] = (float64(c.KspaceSpreadOps)*co.KspaceSpread +
-			float64(c.KspaceInterpOps)*co.KspaceInterp +
-			float64(c.KspaceMapOps)*co.KspaceMap +
-			(float64(c.KspaceFFTOps)*co.KspaceFFT+
-				float64(c.KspaceGridOps)*co.KspaceGrid)/float64(P)) / steps * hs
+		// Map/spread/interpolate and the per-plane grid ops are threaded
+		// by the intra-rank pool; the FFT butterflies stay serial per rank.
+		t[core.TaskKspace] = ((float64(c.KspaceSpreadOps)*co.KspaceSpread+
+			float64(c.KspaceInterpOps)*co.KspaceInterp+
+			float64(c.KspaceMapOps)*co.KspaceMap+
+			float64(c.KspaceGridOps)*co.KspaceGrid/float64(P))/fW +
+			float64(c.KspaceFFTOps)*co.KspaceFFT/float64(P)) / steps * hs
 		t[core.TaskNeigh] = (float64(c.NeighChecks)*co.NeighCheck +
-			float64(c.NeighPairs)*co.NeighStore) / steps * hs
+			float64(c.NeighPairs)*co.NeighStore) / steps * hs / fW
 		t[core.TaskModify] = float64(c.ModifyOps) / steps * co.Modify * hs
 		t[core.TaskOutput] = float64(c.ThermoEvals) / steps * co.Output * hs *
 			float64(in.NGlobal) / float64(maxInt(P, 1))
 		// Residual bookkeeping (force zeroing, wrap checks): proportional
 		// to local atoms.
 		t[core.TaskOther] = float64(in.NGlobal) / float64(P) * 0.6e-9 * hs
+		if effW > 1 {
+			// Pool dispatch+join barriers per step: two pair phases, four
+			// neighbor-build stages per rebuild, and the PPPM stages.
+			syncs := 2.0
+			if c.NeighBuilds > 0 {
+				syncs += 4 * float64(c.NeighBuilds) / steps
+			}
+			if c.KspaceGridPts > 0 {
+				syncs += 8
+			}
+			t[core.TaskOther] += syncs * co.ThreadSync * float64(effW-1)
+		}
 		comp[r] = t
 
 		// Halo + migration transfers.

@@ -62,6 +62,36 @@ func TestCPUStrongScalingMonotonic(t *testing.T) {
 	}
 }
 
+// TestWorkersSpeedup: intra-rank workers must raise TS/s, stay below the
+// ideal linear speedup (sync overhead), and cap at the cores per rank.
+func TestWorkersSpeedup(t *testing.T) {
+	mk := func(ranks, workers int) float64 {
+		in := syntheticInput(ranks, 256000, 10)
+		in.WorkersPerRank = workers
+		return perfmodel.EvaluateCPU(in).TSps
+	}
+	base := mk(8, 1)
+	if mk(8, 0) != base {
+		t.Error("workers=0 must price identically to workers=1")
+	}
+	prev := base
+	for _, w := range []int{2, 4, 8} {
+		got := mk(8, w)
+		if got <= prev {
+			t.Errorf("workers=%d: TS/s %v not above %v", w, got, prev)
+		}
+		if got >= base*float64(w) {
+			t.Errorf("workers=%d: speedup %.2f not sub-linear", w, got/base)
+		}
+		prev = got
+	}
+	// 64 ranks on a 64-core instance leave one core per rank: extra
+	// workers must not speed anything up.
+	if w4, w1 := mk(64, 4), mk(64, 1); w4 > w1*1.0001 {
+		t.Errorf("oversubscribed workers sped up the model: %v vs %v", w4, w1)
+	}
+}
+
 // TestImbalanceFromSkew: giving one rank extra work must surface as wait
 // time on the others.
 func TestImbalanceFromSkew(t *testing.T) {
