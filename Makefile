@@ -2,7 +2,7 @@
 # the race detector (the observability layer's multi-rank tests record
 # spans from every rank goroutine, so the race run is part of the bar),
 # then an end-to-end mdbench smoke campaign.
-.PHONY: all build vet test race bench bench-smoke check
+.PHONY: all build vet test race bench bench-smoke faults check
 
 all: check
 
@@ -35,4 +35,11 @@ bench-smoke:
 	@test -s BENCH_kernels.json || \
 		{ echo "bench-smoke: empty BENCH_kernels.json" >&2; exit 1; }
 
-check: build vet test race bench-smoke
+# Fault-tolerance suite under the race detector: abort protocol, fault
+# injector, guardrails, checkpoint bit-exactness, and supervised
+# recovery (including the 4-rank rhodopsin kill-and-resume scenario).
+faults:
+	go test -race -run 'TestFault|TestCheckpoint|TestGuardrail|TestSupervisor|TestRankAbort' \
+		./internal/fault/ ./internal/ckpt/ ./internal/core/ ./internal/mpi/ ./internal/harness/
+
+check: build vet test race bench-smoke faults

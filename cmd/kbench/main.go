@@ -23,6 +23,7 @@ import (
 
 	"gomd/internal/core"
 	"gomd/internal/pair"
+	"gomd/internal/trace"
 	"gomd/internal/workload"
 )
 
@@ -77,9 +78,21 @@ func main() {
 		iters   = flag.Int("iters", 5, "timed iterations per kernel (best-of)")
 		workers = flag.String("workers", "1,4", "comma-separated worker counts to sweep")
 		out     = flag.String("out", "BENCH_kernels.json", "output JSON path")
+		logPath = flag.String("log", "", "write a JSONL data log of kernel timings")
 	)
 	flag.Parse()
 	ws := parseWorkers(*workers)
+
+	var dlog *trace.Logger // nil-safe: methods no-op when unset
+	if *logPath != "" {
+		lf, err := os.Create(*logPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer lf.Close()
+		dlog = trace.New(lf)
+	}
 
 	rep := report{
 		Workload:  "lj",
@@ -130,6 +143,9 @@ func main() {
 				NsPerOp:    k.ns,
 				SpeedupVs1: float64(base[k.name]) / float64(k.ns),
 			})
+			dlog.Log("kernel", map[string]any{
+				"kernel": k.name, "workers": w, "ns_per_op": k.ns,
+			})
 		}
 	}
 
@@ -146,6 +162,10 @@ func main() {
 	}
 	if err := f.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "kbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := dlog.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "kbench: data log incomplete: %v\n", err)
 		os.Exit(1)
 	}
 	for _, k := range rep.Kernels {

@@ -52,11 +52,18 @@ func main() {
 		cap_    = flag.Int("measure-cap", 0, "max atoms actually simulated per measurement")
 		steps   = flag.Int("steps", 0, "measured steps per configuration")
 		workers = flag.Int("workers", 1, "intra-rank worker-pool width for engine kernels (priced as threads-per-rank)")
-		quick   = flag.Bool("quick", false, "reduced fidelity (cap 6000 atoms, 6 steps)")
-		csvPath = flag.String("csv", "", "also write results as CSV to this file")
-		logPath = flag.String("log", "", "write a JSONL data log of engine measurements")
-		strict  = flag.Bool("strict-log", false, "exit nonzero if the data log is incomplete (CI smoke runs)")
-		chart   = flag.Bool("chart", false, "render percentage breakdowns as stacked bars")
+		seed    = flag.Uint64("seed", 0, "RNG seed for measured workloads (0 = harness default)")
+
+		ckptEvery = flag.Int("checkpoint-every", 0, "checkpoint measured engine runs every N steps (0 = off)")
+		ckptPath  = flag.String("checkpoint", "mdbench.ckpt", "checkpoint file path")
+		restart   = flag.String("restart", "", "resume measured engine runs from this checkpoint file")
+		retries   = flag.Int("retries", 0, "automatic recoveries from rank failures per measurement")
+		chkEvery  = flag.Int("check-every", 0, "run numerical guardrails every N steps during measurements (0 = off)")
+		quick     = flag.Bool("quick", false, "reduced fidelity (cap 6000 atoms, 6 steps)")
+		csvPath   = flag.String("csv", "", "also write results as CSV to this file")
+		logPath   = flag.String("log", "", "write a JSONL data log of engine measurements")
+		strict    = flag.Bool("strict-log", false, "exit nonzero if the data log is incomplete (CI smoke runs)")
+		chart     = flag.Bool("chart", false, "render percentage breakdowns as stacked bars")
 
 		traceOut   = flag.String("trace", "", "write a per-rank Chrome trace-event timeline (Perfetto) to this file")
 		metrOut    = flag.String("metrics", "", "write an engine metrics JSON dump to this file")
@@ -76,7 +83,11 @@ func main() {
 		}
 	}
 
-	opts := harness.Options{MeasureCap: *cap_, Steps: *steps, Workers: *workers}
+	opts := harness.Options{
+		MeasureCap: *cap_, Steps: *steps, Workers: *workers, Seed: *seed,
+		CheckpointEvery: *ckptEvery, CheckpointPath: *ckptPath,
+		RestartPath: *restart, Retries: *retries, CheckEvery: *chkEvery,
+	}
 	if *quick {
 		if opts.MeasureCap == 0 {
 			opts.MeasureCap = 6000

@@ -21,6 +21,7 @@ import (
 	"gomd/internal/core"
 	"gomd/internal/harness"
 	"gomd/internal/obs"
+	"gomd/internal/trace"
 	"gomd/internal/workload"
 )
 
@@ -34,6 +35,7 @@ func main() {
 		capN      = flag.Int("measure-cap", 0, "max atoms actually simulated")
 		steps     = flag.Int("steps", 0, "measured steps")
 		workers   = flag.Int("workers", 1, "intra-rank worker-pool width for engine kernels (priced as threads-per-rank)")
+		logPath   = flag.String("log", "", "write a JSONL data log of engine measurements")
 		traceOut  = flag.String("trace", "", "write a per-rank Chrome trace-event timeline (Perfetto) to this file")
 		metrOut   = flag.String("metrics", "", "write an engine metrics JSON dump to this file")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. :6060)")
@@ -50,6 +52,15 @@ func main() {
 	}
 
 	runner := harness.NewRunner(harness.Options{MeasureCap: *capN, Steps: *steps, Workers: *workers})
+	if *logPath != "" {
+		lf, err := os.Create(*logPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdprof: %v\n", err)
+			os.Exit(1)
+		}
+		defer lf.Close()
+		runner.Trace = trace.New(lf)
+	}
 	name := workload.Name(*bench)
 
 	ranksEff := *ranks
@@ -72,6 +83,10 @@ func main() {
 	}
 	if err := obs.WriteFiles(runner.SpanTrace, runner.Metrics, *traceOut, *metrOut); err != nil {
 		fmt.Fprintf(os.Stderr, "mdprof: %v\n", err)
+		os.Exit(1)
+	}
+	if err := runner.Trace.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "mdprof: data log incomplete: %v\n", err)
 		os.Exit(1)
 	}
 

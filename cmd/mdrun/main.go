@@ -6,10 +6,22 @@
 // dissemination barrier) and whose PPPM/Ewald mesh reductions use a
 // reduce-scatter + allgather butterfly.
 //
+// Fault tolerance: -checkpoint-every writes periodic restart files
+// (bit-exact: a restored run reproduces the uninterrupted trajectory
+// bit for bit), -restart resumes from one, and decomposed runs are
+// supervised — a rank failure is recovered automatically from the last
+// checkpoint within the -retries budget. -fault installs the
+// deterministic fault injector (kill/nan/delay/reorder) for drills, and
+// -check-every enables the numerical guardrails (NaN/Inf forces and
+// energies, lost atoms).
+//
 // Usage:
 //
 //	mdrun -bench lj -atoms 32000 -steps 200 -thermo 20
 //	mdrun -bench rhodo -ranks 8 -steps 50
+//	mdrun -bench rhodo -ranks 4 -checkpoint-every 100 -steps 1000
+//	mdrun -bench rhodo -ranks 4 -restart run.ckpt -steps 500
+//	mdrun -bench rhodo -ranks 4 -fault kill:rank=2,step=50 -checkpoint-every 20 -retries 1
 //	mdrun -in examples/scripts/in.lj     # LAMMPS-style input script
 package main
 
@@ -20,11 +32,14 @@ import (
 	"time"
 
 	"gomd/internal/atom"
+	"gomd/internal/ckpt"
 	"gomd/internal/core"
-	"gomd/internal/domain"
+	"gomd/internal/fault"
+	"gomd/internal/harness"
 	"gomd/internal/obs"
 	"gomd/internal/pair"
 	"gomd/internal/script"
+	"gomd/internal/trace"
 	"gomd/internal/workload"
 )
 
@@ -40,6 +55,13 @@ func main() {
 		seed      = flag.Uint64("seed", 42, "RNG seed")
 		prec      = flag.String("precision", "double", "pair arithmetic: single, mixed, double")
 		kacc      = flag.Float64("kspace-acc", 0, "rhodo PPPM relative error threshold (default 1e-4)")
+		ckptEvery = flag.Int("checkpoint-every", 0, "write a restart checkpoint every N steps (0 = off)")
+		ckptPath  = flag.String("checkpoint", "mdrun.ckpt", "checkpoint file path")
+		restart   = flag.String("restart", "", "resume bit-exactly from this checkpoint file")
+		retries   = flag.Int("retries", 0, "automatic recoveries from rank failures (decomposed runs)")
+		faultSpec = flag.String("fault", "", "deterministic fault injection, e.g. kill:rank=1,step=50;nan:rank=0,step=30")
+		chkEvery  = flag.Int("check-every", 0, "run numerical guardrails (NaN/Inf/lost-atom) every N steps (0 = off)")
+		logPath   = flag.String("log", "", "write a JSONL data log (run summary, recoveries)")
 		traceOut  = flag.String("trace", "", "write a per-rank Chrome trace-event timeline (Perfetto) to this file")
 		metrOut   = flag.String("metrics", "", "write an engine metrics JSON dump to this file")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. :6060)")
@@ -62,10 +84,34 @@ func main() {
 	if *metrOut != "" {
 		metrics = obs.NewRegistry()
 	}
+	var dlog *trace.Logger // nil-safe: methods no-op when unset
+	if *logPath != "" {
+		lf, err := os.Create(*logPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdrun: %v\n", err)
+			os.Exit(1)
+		}
+		defer lf.Close()
+		dlog = trace.New(lf)
+	}
 	writeObs := func() {
 		if err := obs.WriteFiles(tracer, metrics, *traceOut, *metrOut); err != nil {
 			fmt.Fprintf(os.Stderr, "mdrun: %v\n", err)
 			os.Exit(1)
+		}
+		if err := dlog.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "mdrun: data log incomplete: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	var inj *fault.Injector
+	if *faultSpec != "" {
+		var err error
+		inj, err = fault.Parse(*faultSpec, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdrun: %v\n", err)
+			os.Exit(2)
 		}
 	}
 
@@ -121,45 +167,102 @@ func main() {
 		cfg.Trace = tracer
 		cfg.Metrics = metrics
 		cfg.Workers = *workers
-		sim := core.New(cfg, st)
+		cfg.CheckEvery = *chkEvery
+		cfg.Fault = inj
+		if *ckptEvery > 0 {
+			w := ckpt.NewWriter(*ckptPath, 1)
+			w.SetGrid([3]int{1, 1, 1})
+			cfg.CheckpointEvery = *ckptEvery
+			cfg.CheckpointSink = w.Sink()
+		}
+		var sim *core.Simulation
+		if *restart != "" {
+			ck, err := ckpt.ReadFile(*restart)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mdrun: reading restart checkpoint: %v\n", err)
+				os.Exit(1)
+			}
+			sim, err = ckpt.RestoreSerial(cfg, ck)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mdrun: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("# resumed from %s at step %d\n", *restart, sim.Step)
+		} else {
+			sim = core.New(cfg, st)
+		}
 		defer sim.Close()
 		fmt.Printf("# %s: %d atoms, serial, dt=%g (%s units)\n",
-			name, st.N, cfg.Dt, cfg.Units.Style)
-		sim.Run(*steps)
+			name, sim.Store.N, cfg.Dt, cfg.Units.Style)
+		if err := sim.RunChecked(*steps); err != nil {
+			fmt.Fprintf(os.Stderr, "mdrun: %v\n", err)
+			os.Exit(1)
+		}
 		sim.PublishObs(metrics)
+		dlog.Log("run", map[string]any{
+			"bench": string(name), "ranks": 1, "steps": *steps, "final_step": sim.Step,
+		})
 		writeObs()
 		report(sim, time.Since(start), *steps)
 		return
 	}
 
-	eng, err := domain.New(func() (core.Config, *atom.Store, error) {
-		cfg, st, err := workload.Build(name, opts)
-		cfg.ThermoTo = nil // rank-local thermo would interleave
-		cfg.Trace = tracer
-		cfg.Metrics = metrics
-		cfg.Workers = *workers
-		return cfg, st, err
-	}, *ranks)
-	if err != nil {
+	sup := &harness.Supervisor{
+		Factory: func() (core.Config, *atom.Store, error) {
+			cfg, st, err := workload.Build(name, opts)
+			cfg.ThermoTo = nil // rank-local thermo would interleave
+			cfg.Trace = tracer
+			cfg.Metrics = metrics
+			cfg.Workers = *workers
+			cfg.CheckEvery = *chkEvery
+			cfg.Fault = inj
+			return cfg, st, err
+		},
+		Ranks:           *ranks,
+		CheckpointEvery: *ckptEvery,
+		CheckpointPath:  *ckptPath,
+		RestartPath:     *restart,
+		Retries:         *retries,
+		Metrics:         metrics,
+		Tracer:          tracer,
+		Trace:           dlog,
+	}
+	if err := sup.Start(); err != nil {
 		fmt.Fprintf(os.Stderr, "mdrun: %v\n", err)
 		os.Exit(1)
 	}
+	eng := sup.Engine()
 	fmt.Printf("# %s: %d atoms, %d ranks (grid %dx%dx%d)\n",
 		name, eng.NGlobal(), *ranks, eng.Grid[0], eng.Grid[1], eng.Grid[2])
+	if *restart != "" {
+		fmt.Printf("# resumed from %s at step %d\n", *restart, eng.Step())
+	}
 	for done := 0; done < *steps; {
 		chunk := *thermo
 		if chunk <= 0 || done+chunk > *steps {
 			chunk = *steps - done
 		}
-		eng.Run(chunk)
+		if err := sup.Run(chunk); err != nil {
+			sup.Close()
+			fmt.Fprintf(os.Stderr, "mdrun: %v\n", err)
+			os.Exit(1)
+		}
 		done += chunk
-		th := eng.Thermo()
+		// Re-fetch: recoveries replace the engine.
+		th := sup.Engine().Thermo()
 		fmt.Printf("step %8d  T %10.4f  P %12.5g  PE %14.6g  KE %14.6g  E %14.6g\n",
 			th.Step, th.Temperature, th.Pressure, th.PotEnergy, th.KinEnergy, th.TotalEnergy)
 	}
 	wall := time.Since(start)
-	eng.PublishObs(metrics)
-	eng.Close()
+	sup.Engine().PublishObs(metrics)
+	if n := sup.Attempts(); n > 0 {
+		fmt.Printf("# recovered from %d rank failure(s)\n", n)
+	}
+	dlog.Log("run", map[string]any{
+		"bench": string(name), "ranks": *ranks, "steps": *steps,
+		"final_step": sup.Step(), "recoveries": sup.Attempts(),
+	})
+	sup.Close()
 	writeObs()
 	fmt.Printf("# wall %.3fs  %.2f TS/s (host-machine rate, not the modeled platform)\n",
 		wall.Seconds(), float64(*steps)/wall.Seconds())

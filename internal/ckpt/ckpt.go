@@ -1,0 +1,521 @@
+// Package ckpt implements versioned binary checkpoints for
+// fault-tolerant runs: a periodic snapshot of the full dynamic state of
+// every rank — positions, velocities, forces, box, RNG streams, fix
+// integrator state, and granular contact history — written atomically
+// so a supervisor (internal/harness) can restart a crashed run from the
+// last completed snapshot with a bit-exact continuation.
+//
+// Bit-exactness is the design center. A checkpoint step forces a
+// neighbor rebuild (see core.Config.CheckpointEvery), so the snapshot
+// captures post-migration, wrapped, freshly-ordered stores; the restore
+// path replays exactly one rebuild (deterministic over that state) and
+// then overwrites forces and energy with the checkpointed values rather
+// than recomputing them, because PostForce fixes like Langevin fold
+// RNG-drawn noise into the forces and replaying the draws would advance
+// the restored RNG stream twice. The restarted run must keep the same
+// rank count, worker count, and CheckpointEvery as the original.
+package ckpt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"gomd/internal/atom"
+	"gomd/internal/box"
+	"gomd/internal/core"
+	"gomd/internal/rng"
+	"gomd/internal/vec"
+)
+
+const (
+	ckptMagic   = 0x474d434b // "GMCK"
+	ckptVersion = 1
+)
+
+// HistoryEntry is one granular contact-history record: the shear
+// accumulator of the contact seen from Owner's perspective.
+type HistoryEntry struct {
+	Owner, Partner int64
+	Shear          vec.V3
+}
+
+// Rank is one rank's share of a checkpoint. Atoms are in store order
+// (which the forced rebuild makes canonical for the step); Force holds
+// the post-PostForce forces of the owned atoms in the same order.
+type Rank struct {
+	Atoms      []atom.Atom
+	Force      []vec.V3
+	LastPE     float64
+	LastVirial float64
+	RNG        rng.State
+	FixState   [][]float64
+	History    []HistoryEntry
+}
+
+// Checkpoint is a full-run snapshot at the end of a step.
+type Checkpoint struct {
+	Step     int64
+	Ranks    int
+	Grid     [3]int
+	Box      box.Box
+	SetupBox box.Box
+	Q2Setup  float64
+	PerRank  []Rank
+}
+
+// historyCarrier matches the pair styles with per-contact state
+// (GranHookeHistory); kept structurally identical to the domain
+// package's private copy.
+type historyCarrier interface {
+	ExtractHistory(tag int64) map[int64]vec.V3
+	InjectHistory(tag int64, h map[int64]vec.V3)
+}
+
+// CaptureRank snapshots one simulation's dynamic state. Called at the
+// end of a checkpoint step, after the step's forced rebuild.
+func CaptureRank(s *core.Simulation) Rank {
+	st := s.Store
+	r := Rank{
+		Atoms:      make([]atom.Atom, st.N),
+		Force:      append([]vec.V3(nil), st.Force[:st.N]...),
+		LastPE:     s.LastPE,
+		LastVirial: s.LastVirial,
+		RNG:        s.RNG.State(),
+		FixState:   s.FixStates(),
+	}
+	for i := 0; i < st.N; i++ {
+		r.Atoms[i] = st.Extract(i)
+	}
+	if hc, ok := s.Cfg.Pair.(historyCarrier); ok {
+		for i := 0; i < st.N; i++ {
+			tag := st.Tag[i]
+			h := hc.ExtractHistory(tag)
+			if len(h) == 0 {
+				continue
+			}
+			hc.InjectHistory(tag, h) // extraction is destructive; put it back
+			partners := make([]int64, 0, len(h))
+			for p := range h {
+				partners = append(partners, p)
+			}
+			sort.Slice(partners, func(a, b int) bool { return partners[a] < partners[b] })
+			for _, p := range partners {
+				r.History = append(r.History, HistoryEntry{Owner: tag, Partner: p, Shear: h[p]})
+			}
+		}
+	}
+	return r
+}
+
+// ApplyHistory re-injects checkpointed contact history into the
+// simulation's pair style (no-op for styles without history).
+func ApplyHistory(s *core.Simulation, hist []HistoryEntry) {
+	hc, ok := s.Cfg.Pair.(historyCarrier)
+	if !ok || len(hist) == 0 {
+		return
+	}
+	for i := 0; i < len(hist); {
+		owner := hist[i].Owner
+		h := make(map[int64]vec.V3)
+		for ; i < len(hist) && hist[i].Owner == owner; i++ {
+			h[hist[i].Partner] = hist[i].Shear
+		}
+		hc.InjectHistory(owner, h)
+	}
+}
+
+// RestoreState converts one rank's checkpoint share into the core
+// restore descriptor.
+func (ck *Checkpoint) RestoreState() *core.RestoreState {
+	return &core.RestoreState{
+		Step:     ck.Step,
+		Box:      ck.Box,
+		SetupBox: ck.SetupBox,
+		Q2Setup:  ck.Q2Setup,
+	}
+}
+
+// RestoreSerial resumes a single-rank checkpoint on the serial backend:
+// the inverse of a 1-rank Writer. cfg must describe the same workload
+// (pair style, fixes, seed) the checkpoint was taken from.
+func RestoreSerial(cfg core.Config, ck *Checkpoint) (*core.Simulation, error) {
+	if ck.Ranks != 1 {
+		return nil, fmt.Errorf("ckpt: checkpoint has %d ranks; serial restore needs 1 (re-decomposition is not supported)", ck.Ranks)
+	}
+	rk := &ck.PerRank[0]
+	st := atom.New(len(rk.Atoms))
+	for _, a := range rk.Atoms {
+		st.Add(a)
+	}
+	rs := ck.RestoreState()
+	rs.RNG = rk.RNG
+	rs.FixState = rk.FixState
+	s, err := core.NewRestored(cfg, st, &core.SerialBackend{}, rs)
+	if err != nil {
+		return nil, err
+	}
+	ApplyHistory(s, rk.History)
+	if err := s.PrimeRestored(rk.Force, rk.LastPE, rk.LastVirial); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Writer is the periodic checkpoint sink of a run: every rank's
+// CheckpointSink delivers its snapshot here, and when all ranks of a
+// step have reported, the checkpoint is written to path atomically
+// (temp file + rename), replacing the previous one. Ranks may be
+// working on different checkpoint steps simultaneously (they are not
+// barrier-synchronized), so assemblies are keyed by step.
+type Writer struct {
+	path  string
+	ranks int
+
+	mu      sync.Mutex
+	grid    [3]int
+	pending map[int64]*Checkpoint
+	filled  map[int64]int
+}
+
+// NewWriter returns a writer expecting one snapshot per rank per
+// checkpoint step.
+func NewWriter(path string, ranks int) *Writer {
+	return &Writer{
+		path:    path,
+		ranks:   ranks,
+		pending: map[int64]*Checkpoint{},
+		filled:  map[int64]int{},
+	}
+}
+
+// SetGrid records the engine's decomposition grid (stored in the file
+// so restore can rebuild per-rank coordinates).
+func (w *Writer) SetGrid(g [3]int) {
+	w.mu.Lock()
+	w.grid = g
+	w.mu.Unlock()
+}
+
+// Reset drops partially-assembled checkpoints. Call it when the run is
+// rebuilt after a rank failure: ranks killed mid-assembly leave stale
+// shares behind, and the restored run will re-report those steps.
+func (w *Writer) Reset() {
+	w.mu.Lock()
+	w.pending = map[int64]*Checkpoint{}
+	w.filled = map[int64]int{}
+	w.mu.Unlock()
+}
+
+// Sink returns the function to install as core.Config.CheckpointSink on
+// every rank of the run.
+func (w *Writer) Sink() func(*core.Simulation) error {
+	return func(s *core.Simulation) error {
+		rk := CaptureRank(s)
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		step := s.Step
+		ck := w.pending[step]
+		if ck == nil {
+			ck = &Checkpoint{
+				Step:     step,
+				Ranks:    w.ranks,
+				Grid:     w.grid,
+				Box:      s.Box,
+				SetupBox: s.SetupBox,
+				Q2Setup:  s.Q2Setup,
+				PerRank:  make([]Rank, w.ranks),
+			}
+			w.pending[step] = ck
+		}
+		ck.PerRank[s.Rank()] = rk
+		w.filled[step]++
+		if w.filled[step] < w.ranks {
+			return nil
+		}
+		delete(w.pending, step)
+		delete(w.filled, step)
+		return WriteFileAtomic(w.path, ck)
+	}
+}
+
+// WriteFileAtomic writes the checkpoint to a temp file in path's
+// directory and renames it over path, so a crash mid-write never
+// clobbers the previous good checkpoint.
+func WriteFileAtomic(path string, ck *Checkpoint) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, ck); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadFile loads a checkpoint written by WriteFileAtomic.
+func ReadFile(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Write serializes the checkpoint (little-endian, versioned; same
+// closure idiom as the dump package's restart format).
+func Write(out io.Writer, ck *Checkpoint) error {
+	bw := bufio.NewWriter(out)
+	le := binary.LittleEndian
+	wU32 := func(v uint32) { binary.Write(bw, le, v) }
+	wU64 := func(v uint64) { binary.Write(bw, le, v) }
+	wI64 := func(v int64) { binary.Write(bw, le, v) }
+	wF := func(v float64) { binary.Write(bw, le, v) }
+	wV := func(v vec.V3) { wF(v.X); wF(v.Y); wF(v.Z) }
+	wBox := func(b box.Box) {
+		wV(b.Lo)
+		wV(b.Hi)
+		for d := 0; d < 3; d++ {
+			p := uint32(0)
+			if b.Periodic[d] {
+				p = 1
+			}
+			wU32(p)
+		}
+	}
+
+	wU32(ckptMagic)
+	wU32(ckptVersion)
+	wI64(ck.Step)
+	wU32(uint32(ck.Ranks))
+	for d := 0; d < 3; d++ {
+		wU32(uint32(ck.Grid[d]))
+	}
+	wBox(ck.Box)
+	wBox(ck.SetupBox)
+	wF(ck.Q2Setup)
+	for r := range ck.PerRank {
+		rk := &ck.PerRank[r]
+		wI64(int64(len(rk.Atoms)))
+		for _, a := range rk.Atoms {
+			wI64(a.Tag)
+			wU32(uint32(a.Type))
+			wU32(uint32(a.Mol))
+			wV(a.Pos)
+			wV(a.Vel)
+			wF(a.Charge)
+			wU32(uint32(len(a.Special)))
+			for _, s := range a.Special {
+				wI64(s.Tag)
+				wU32(uint32(s.Kind))
+			}
+			wU32(uint32(len(a.Bonds)))
+			for _, b := range a.Bonds {
+				wU32(uint32(b.Type))
+				wI64(b.Partner)
+			}
+			wU32(uint32(len(a.Angles)))
+			for _, an := range a.Angles {
+				wU32(uint32(an.Type))
+				wI64(an.A)
+				wI64(an.C)
+			}
+			wU32(uint32(len(a.Dihedrals)))
+			for _, d := range a.Dihedrals {
+				wU32(uint32(d.Type))
+				wI64(d.A)
+				wI64(d.C)
+				wI64(d.D)
+			}
+		}
+		for _, f := range rk.Force {
+			wV(f)
+		}
+		wF(rk.LastPE)
+		wF(rk.LastVirial)
+		for _, s := range rk.RNG.S {
+			wU64(s)
+		}
+		wF(rk.RNG.Gauss)
+		hg := uint32(0)
+		if rk.RNG.HasGauss {
+			hg = 1
+		}
+		wU32(hg)
+		wU32(uint32(len(rk.FixState)))
+		for _, fs := range rk.FixState {
+			wU32(uint32(len(fs)))
+			for _, v := range fs {
+				wF(v)
+			}
+		}
+		wU32(uint32(len(rk.History)))
+		for _, h := range rk.History {
+			wI64(h.Owner)
+			wI64(h.Partner)
+			wV(h.Shear)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a checkpoint written by Write.
+func Read(in io.Reader) (*Checkpoint, error) {
+	br := bufio.NewReader(in)
+	le := binary.LittleEndian
+	var err error
+	rU32 := func() uint32 {
+		var v uint32
+		if err == nil {
+			err = binary.Read(br, le, &v)
+		}
+		return v
+	}
+	rU64 := func() uint64 {
+		var v uint64
+		if err == nil {
+			err = binary.Read(br, le, &v)
+		}
+		return v
+	}
+	rI64 := func() int64 {
+		var v int64
+		if err == nil {
+			err = binary.Read(br, le, &v)
+		}
+		return v
+	}
+	rF := func() float64 {
+		var v float64
+		if err == nil {
+			err = binary.Read(br, le, &v)
+		}
+		return v
+	}
+	rV := func() vec.V3 { return vec.New(rF(), rF(), rF()) }
+	rBox := func() box.Box {
+		var b box.Box
+		b.Lo = rV()
+		b.Hi = rV()
+		for d := 0; d < 3; d++ {
+			b.Periodic[d] = rU32() == 1
+		}
+		return b
+	}
+
+	if m := rU32(); err != nil || m != ckptMagic {
+		if err == nil {
+			err = fmt.Errorf("ckpt: bad magic %#x", m)
+		}
+		return nil, err
+	}
+	if v := rU32(); err != nil || v != ckptVersion {
+		if err == nil {
+			err = fmt.Errorf("ckpt: unsupported version %d", v)
+		}
+		return nil, err
+	}
+	ck := &Checkpoint{}
+	ck.Step = rI64()
+	ck.Ranks = int(rU32())
+	for d := 0; d < 3; d++ {
+		ck.Grid[d] = int(rU32())
+	}
+	ck.Box = rBox()
+	ck.SetupBox = rBox()
+	ck.Q2Setup = rF()
+	if err != nil {
+		return nil, err
+	}
+	if ck.Ranks < 1 || ck.Ranks > 1<<16 {
+		return nil, fmt.Errorf("ckpt: implausible rank count %d", ck.Ranks)
+	}
+	ck.PerRank = make([]Rank, ck.Ranks)
+	for r := 0; r < ck.Ranks && err == nil; r++ {
+		rk := &ck.PerRank[r]
+		n := rI64()
+		if err != nil {
+			break
+		}
+		if n < 0 || n > 1<<31 {
+			return nil, fmt.Errorf("ckpt: implausible atom count %d on rank %d", n, r)
+		}
+		rk.Atoms = make([]atom.Atom, 0, n)
+		for i := int64(0); i < n && err == nil; i++ {
+			var a atom.Atom
+			a.Tag = rI64()
+			a.Type = int32(rU32())
+			a.Mol = int32(rU32())
+			a.Pos = rV()
+			a.Vel = rV()
+			a.Charge = rF()
+			ns := rU32()
+			for k := uint32(0); k < ns && err == nil; k++ {
+				a.Special = append(a.Special, atom.SpecialRef{
+					Tag: rI64(), Kind: atom.SpecialKind(rU32()),
+				})
+			}
+			nb := rU32()
+			for k := uint32(0); k < nb && err == nil; k++ {
+				a.Bonds = append(a.Bonds, atom.BondRef{
+					Type: int32(rU32()), Partner: rI64(),
+				})
+			}
+			na := rU32()
+			for k := uint32(0); k < na && err == nil; k++ {
+				a.Angles = append(a.Angles, atom.AngleRef{
+					Type: int32(rU32()), A: rI64(), C: rI64(),
+				})
+			}
+			nd := rU32()
+			for k := uint32(0); k < nd && err == nil; k++ {
+				a.Dihedrals = append(a.Dihedrals, atom.DihedralRef{
+					Type: int32(rU32()), A: rI64(), C: rI64(), D: rI64(),
+				})
+			}
+			rk.Atoms = append(rk.Atoms, a)
+		}
+		rk.Force = make([]vec.V3, len(rk.Atoms))
+		for i := range rk.Force {
+			rk.Force[i] = rV()
+		}
+		rk.LastPE = rF()
+		rk.LastVirial = rF()
+		for i := range rk.RNG.S {
+			rk.RNG.S[i] = rU64()
+		}
+		rk.RNG.Gauss = rF()
+		rk.RNG.HasGauss = rU32() == 1
+		nfs := rU32()
+		for k := uint32(0); k < nfs && err == nil; k++ {
+			m := rU32()
+			fs := make([]float64, m)
+			for j := range fs {
+				fs[j] = rF()
+			}
+			rk.FixState = append(rk.FixState, fs)
+		}
+		nh := rU32()
+		for k := uint32(0); k < nh && err == nil; k++ {
+			rk.History = append(rk.History, HistoryEntry{
+				Owner: rI64(), Partner: rI64(), Shear: rV(),
+			})
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: truncated checkpoint: %w", err)
+	}
+	return ck, nil
+}

@@ -13,6 +13,7 @@ import (
 	"gomd/internal/bond"
 	"gomd/internal/box"
 	"gomd/internal/compute"
+	"gomd/internal/fault"
 	"gomd/internal/fix"
 	"gomd/internal/kspace"
 	"gomd/internal/neighbor"
@@ -73,6 +74,23 @@ type Config struct {
 	// Metrics, when non-nil, receives live engine metrics (step-duration
 	// and halo-message histograms, neighbor rebuild counts).
 	Metrics *obs.Registry
+	// CheckpointEvery, with a non-nil CheckpointSink, snapshots the rank
+	// state into the sink every that many steps. Checkpoint steps force a
+	// neighbor rebuild first (so the snapshot lands on migrated, wrapped,
+	// freshly-ordered state a restart can replay bit-exactly); a restarted
+	// run must therefore use the same CheckpointEvery. Decomposed runs
+	// share one sink (internal/ckpt.Writer) across per-rank configs.
+	CheckpointEvery int
+	CheckpointSink  func(*Simulation) error
+	// CheckEvery runs the numerical guardrails (NaN/Inf forces and
+	// energy, lost atoms, global count conservation) every that many
+	// steps; 0 disables. Part of the shared config: the count check is
+	// collective, so all ranks must agree on it.
+	CheckEvery int
+	// Fault, when non-nil, is the deterministic fault injector driving
+	// kill/NaN faults at step granularity (message faults install on the
+	// mpi world separately). Nil costs one pointer check per step.
+	Fault *fault.Injector
 }
 
 // Backend abstracts the communication substrate: the serial engine uses
@@ -138,6 +156,13 @@ type Simulation struct {
 	LastVirial float64
 	LastThermo Thermo
 
+	// SetupBox and Q2Setup record the box and global charge-square sum the
+	// k-space solver was configured with. PPPM derives its mesh dimensions
+	// and Ewald parameter from these once at setup, so a bit-exact restart
+	// must replay the same inputs even if the box has since changed (NPT).
+	SetupBox box.Box
+	Q2Setup  float64
+
 	backend Backend
 	fixCtx  fix.Context
 	pool    *par.Pool
@@ -165,6 +190,37 @@ func New(cfg Config, st *atom.Store) *Simulation {
 
 // NewWithBackend builds a simulation with an explicit backend.
 func NewWithBackend(cfg Config, st *atom.Store, be Backend) *Simulation {
+	s, err := build(cfg, st, be, nil)
+	if err != nil {
+		// build only fails when restoring (rs != nil).
+		panic(err)
+	}
+	return s
+}
+
+// RestoreState carries the non-store state a checkpoint must replay for
+// a bit-exact restart: the step counter, the current box (NPT runs
+// change it), the k-space setup inputs, the rank's RNG stream, and the
+// state vectors of stateful fixes in Config.Fixes order.
+type RestoreState struct {
+	Step     int64
+	Box      box.Box
+	SetupBox box.Box
+	Q2Setup  float64
+	RNG      rng.State
+	FixState [][]float64
+}
+
+// NewRestored builds a simulation resuming from a checkpoint: st must
+// hold this rank's atoms in checkpointed order, and rs the matching
+// non-store state. The returned simulation still needs PrimeRestored
+// (after the caller re-injects any auxiliary pair state) before Run.
+func NewRestored(cfg Config, st *atom.Store, be Backend, rs *RestoreState) (*Simulation, error) {
+	return build(cfg, st, be, rs)
+}
+
+// build is the shared constructor; rs != nil selects the restore path.
+func build(cfg Config, st *atom.Store, be Backend, rs *RestoreState) (*Simulation, error) {
 	if cfg.Dt == 0 {
 		cfg.Dt = cfg.Units.DefaultDt
 	}
@@ -177,6 +233,12 @@ func NewWithBackend(cfg Config, st *atom.Store, be Backend) *Simulation {
 		Store:   st,
 		RNG:     rng.New(cfg.Seed + 0x5eed),
 		backend: be,
+	}
+	if rs != nil {
+		// Restore path: resume the checkpointed box (NPT may have scaled
+		// it) and RNG stream before any construction-time work sees them.
+		s.Box = rs.Box
+		s.RNG.SetState(rs.RNG)
 	}
 	s.NL = neighbor.NewList(cfg.Pair.ListMode(), cfg.Pair.Cutoff(), cfg.Skin)
 	// Intra-rank worker pool for the threaded kernels. Workers <= 1
@@ -209,12 +271,22 @@ func NewWithBackend(cfg Config, st *atom.Store, be Backend) *Simulation {
 	}
 	be.Setup(s)
 	if cfg.Kspace != nil {
+		// The solver derives mesh dimensions and the Ewald parameter from
+		// its setup inputs once; record them so a restart replays the same
+		// setup even after the box or atom distribution changed.
+		s.SetupBox = s.Box
 		q2 := 0.0
-		for i := 0; i < st.N; i++ {
-			q2 += st.Charge[i] * st.Charge[i]
+		if rs != nil {
+			s.SetupBox = rs.SetupBox
+			q2 = rs.Q2Setup
+		} else {
+			for i := 0; i < st.N; i++ {
+				q2 += st.Charge[i] * st.Charge[i]
+			}
+			q2 = be.ReduceScalar(q2)
 		}
-		q2 = be.ReduceScalar(q2)
-		cfg.Kspace.Setup(s.Box, be.NGlobal(s), q2, cfg.Units.QQr2E)
+		s.Q2Setup = q2
+		cfg.Kspace.Setup(s.SetupBox, be.NGlobal(s), q2, cfg.Units.QQr2E)
 		// Replicated-mesh decomposition: every rank evaluates the full
 		// reciprocal sum, so each reports 1/ranks of energy and virial.
 		cfg.Kspace.SetShare(1 / float64(be.Size()))
@@ -222,7 +294,42 @@ func NewWithBackend(cfg Config, st *atom.Store, be Backend) *Simulation {
 			ch.GEwald = cfg.Kspace.GEwald()
 		}
 	}
-	return s
+	if rs != nil {
+		var states [][]float64
+		for _, f := range cfg.Fixes {
+			if _, ok := f.(fix.Stateful); ok {
+				states = append(states, nil)
+			}
+		}
+		if len(rs.FixState) != len(states) {
+			return nil, fmt.Errorf("core: checkpoint carries %d fix state vectors, config has %d stateful fixes",
+				len(rs.FixState), len(states))
+		}
+		i := 0
+		for _, f := range cfg.Fixes {
+			if sf, ok := f.(fix.Stateful); ok {
+				sf.SetStateVars(rs.FixState[i])
+				i++
+			}
+		}
+		s.Step = rs.Step
+		// The checkpoint step forced a rebuild, so the restored run's
+		// rebuild cadence (NeighDelay arithmetic) continues from it.
+		s.lastRebuild = rs.Step - 1
+	}
+	return s, nil
+}
+
+// FixStates returns the state vectors of the stateful fixes in
+// Config.Fixes order (checkpoint capture).
+func (s *Simulation) FixStates() [][]float64 {
+	var out [][]float64
+	for _, f := range s.Cfg.Fixes {
+		if sf, ok := f.(fix.Stateful); ok {
+			out = append(out, sf.StateVars())
+		}
+	}
+	return out
 }
 
 // NGlobal returns the global atom count.
@@ -235,10 +342,34 @@ func (s *Simulation) Run(n int) {
 	}
 }
 
+// RunChecked advances n timesteps, converting guardrail violations
+// (*SimError) and injected kills (*fault.Killed) into errors instead of
+// panics — the serial-engine analogue of the per-rank supervision the
+// mpi runtime applies to decomposed runs. Unrelated panics propagate.
+func (s *Simulation) RunChecked(n int) (err error) {
+	defer func() {
+		rec := recover()
+		switch e := rec.(type) {
+		case nil:
+		case *SimError:
+			err = e
+		case *fault.Killed:
+			err = e
+		default:
+			panic(rec)
+		}
+	}()
+	s.Run(n)
+	return nil
+}
+
 func (s *Simulation) step() {
 	st := s.Store
 	cfg := &s.Cfg
 	s.span.SetStep(s.Step)
+	if cfg.Fault != nil {
+		cfg.Fault.BeginStep(s.backend.Rank(), s.Step)
+	}
 
 	// --- Modify: initial integration (step I/II of Figure 1).
 	t0 := time.Now()
@@ -252,8 +383,14 @@ func (s *Simulation) step() {
 
 	// --- Comm/Neigh: boundary conditions, exchange, list rebuild
 	// (steps III/IV).
-	rebuild := false
-	if s.Step%int64(cfg.NeighEvery) == 0 &&
+	// Checkpoint steps force a rebuild: the snapshot at the end of this
+	// step then captures migrated, wrapped, freshly-ordered state whose
+	// restore (which replays exactly one rebuild) is bit-exact. The
+	// predicate depends only on shared config and the step counter, so
+	// the decision stays collective.
+	rebuild := cfg.CheckpointEvery > 0 && cfg.CheckpointSink != nil &&
+		(s.Step+1)%int64(cfg.CheckpointEvery) == 0
+	if !rebuild && s.Step%int64(cfg.NeighEvery) == 0 &&
 		(s.Step == 0 || s.Step-s.lastRebuild >= int64(cfg.NeighDelay)) {
 		tN := time.Now()
 		if cfg.NeighNoCheck && s.Step > 0 {
@@ -288,6 +425,12 @@ func (s *Simulation) step() {
 
 	// --- Forces (steps V/VI/VII).
 	s.evaluateForces()
+	if cfg.Fault != nil {
+		cfg.Fault.CorruptForces(s.backend.Rank(), s.Step, st)
+	}
+	if cfg.CheckEvery > 0 && s.Step%int64(cfg.CheckEvery) == 0 {
+		s.checkGuards()
+	}
 
 	// --- Modify: post-force, final integration, end-of-step.
 	tM := time.Now()
@@ -323,6 +466,19 @@ func (s *Simulation) step() {
 		d = time.Since(tO)
 		s.Times[TaskOutput] += d
 		s.span.Span(obs.CatTask, TaskOutput.String(), tO, d)
+	}
+
+	// --- Checkpoint: snapshot the completed step's state into the sink.
+	// This step's rebuild already ran (forced above), so the stored order
+	// is post-migration and a restart replays exactly one rebuild.
+	if cfg.CheckpointEvery > 0 && cfg.CheckpointSink != nil &&
+		s.Step%int64(cfg.CheckpointEvery) == 0 {
+		if err := cfg.CheckpointSink(s); err != nil {
+			panic(&SimError{
+				Rank: s.backend.Rank(), Step: s.Step, Kind: ErrCkptWrite,
+				Detail: err.Error(),
+			})
+		}
 	}
 
 	if s.span != nil || s.stepHist != nil {
@@ -417,6 +573,28 @@ func (s *Simulation) Prime() {
 	s.evaluateForces()
 }
 
+// PrimeRestored readies a NewRestored simulation to run: it builds the
+// neighbor list over the ghosts the constructor's Rebuild produced, then
+// overwrites the owned forces and force-evaluation results with the
+// checkpointed values. Forces are restored rather than recomputed
+// because the checkpoint captures the post-PostForce state — fixes like
+// Langevin add RNG-drawn noise there, and replaying the draws would
+// advance the (also restored) RNG stream twice.
+func (s *Simulation) PrimeRestored(force []vec.V3, pe, vir float64) error {
+	st := s.Store
+	if len(force) != st.N {
+		return fmt.Errorf("core: checkpoint carries %d forces, rank owns %d atoms", len(force), st.N)
+	}
+	s.NL.Build(st)
+	s.Counters.NeighBuilds = int64(s.NL.Stats.Builds)
+	s.Counters.NeighPairs = s.NL.Stats.TotalPairs
+	s.Counters.NeighChecks = s.NL.Stats.DistanceChecks
+	copy(st.Force[:st.N], force)
+	s.LastPE = pe
+	s.LastVirial = vir
+	return nil
+}
+
 // fixContext refreshes the shared fix context with the current step
 // state; the Ops counter persists across phases and steps and is mirrored
 // into the simulation counters.
@@ -472,6 +650,9 @@ func (s *Simulation) PublishObs(reg *obs.Registry) {
 
 // Workers returns the intra-rank worker count of the threaded kernels.
 func (s *Simulation) Workers() int { return s.pool.Workers() }
+
+// Rank returns this simulation's rank index (0 in serial runs).
+func (s *Simulation) Rank() int { return s.backend.Rank() }
 
 // Close releases the intra-rank worker pool's goroutines. The simulation
 // must be idle; Run must not be called afterwards. Safe on 1-worker

@@ -127,8 +127,13 @@ func New(factory Factory, nranks int) (*Engine, error) {
 		cfgs[r].Seed = cfg.Seed + uint64(r)*0x9e3779b9
 	}
 
-	errs := make([]error, nranks)
-	world.Parallel(func(c *mpi.Comm) {
+	// Deterministic fault injection intercepts point-to-point sends at
+	// the mpi layer; kill/NaN faults fire from the core step loop.
+	if cfg.Fault != nil {
+		world.SetFaultHook(cfg.Fault)
+	}
+
+	if err := world.Parallel(func(c *mpi.Comm) {
 		r := c.Rank()
 		// Attach the per-rank span timeline before any construction-time
 		// communication so setup traffic is traced too.
@@ -141,17 +146,10 @@ func New(factory Factory, nranks int) (*Engine, error) {
 			coord:   subs[r].Coord,
 			nglobal: global.N,
 		}
-		defer func() {
-			if rec := recover(); rec != nil {
-				errs[r] = fmt.Errorf("rank %d: %v", r, rec)
-			}
-		}()
 		e.Sims[r] = core.NewWithBackend(cfgs[r], stores[r], be)
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	}); err != nil {
+		e.Close()
+		return nil, err
 	}
 	return e, nil
 }
@@ -190,29 +188,39 @@ func anchorPositions(st *atom.Store, cluster bool, bx box.Box) []vec.V3 {
 	return out
 }
 
-// Run advances all ranks by n steps in parallel.
-func (e *Engine) Run(n int) {
-	e.World.Parallel(func(c *mpi.Comm) {
+// Run advances all ranks by n steps in parallel. A rank failure (panic,
+// guardrail violation, injected kill) aborts the world and is returned
+// as an *mpi.RankError; the engine is then permanently dead and a
+// supervisor must rebuild it (internal/harness restarts from the last
+// checkpoint).
+func (e *Engine) Run(n int) error {
+	return e.World.Parallel(func(c *mpi.Comm) {
 		e.Sims[c.Rank()].Run(n)
 	})
 }
 
 // Close releases every rank's intra-rank worker pool. The engine must
 // be idle; Run must not be called afterwards. A no-op for 1-worker
-// configurations and safe to call twice.
+// configurations and safe to call twice. Tolerates ranks whose
+// construction failed.
 func (e *Engine) Close() {
 	for _, s := range e.Sims {
-		s.Close()
+		if s != nil {
+			s.Close()
+		}
 	}
 }
 
 // Thermo computes the current global thermodynamic state (identical on
-// every rank; rank 0's copy is returned).
+// every rank; rank 0's copy is returned). Panics on an aborted world —
+// there is no trustworthy state to report after a rank failure.
 func (e *Engine) Thermo() core.Thermo {
 	out := make([]core.Thermo, e.World.Size)
-	e.World.Parallel(func(c *mpi.Comm) {
+	if err := e.World.Parallel(func(c *mpi.Comm) {
 		out[c.Rank()] = e.Sims[c.Rank()].ComputeThermo()
-	})
+	}); err != nil {
+		panic(err)
+	}
 	return out[0]
 }
 

@@ -1,0 +1,98 @@
+package domain
+
+import (
+	"fmt"
+
+	"gomd/internal/atom"
+	"gomd/internal/ckpt"
+	"gomd/internal/core"
+	"gomd/internal/mpi"
+)
+
+// Restore rebuilds a decomposed engine from a checkpoint: the inverse
+// of a run whose ranks fed a ckpt.Writer. The factory must describe the
+// same workload the checkpoint was taken from (same pair style, fixes,
+// rank count, and CheckpointEvery — the checkpoint records per-rank
+// atom ownership and store order, so re-decomposition is not
+// supported). The returned engine continues the original trajectory
+// bit-exactly from ck.Step.
+func Restore(factory Factory, ck *ckpt.Checkpoint) (*Engine, error) {
+	cfg, _, err := factory()
+	if err != nil {
+		return nil, err
+	}
+	nranks := ck.Ranks
+	if g := ck.Grid[0] * ck.Grid[1] * ck.Grid[2]; g != nranks {
+		return nil, fmt.Errorf("domain: checkpoint grid %v does not cover %d ranks", ck.Grid, nranks)
+	}
+
+	nglobal := 0
+	stores := make([]*atom.Store, nranks)
+	for r := 0; r < nranks; r++ {
+		rk := &ck.PerRank[r]
+		stores[r] = atom.New(len(rk.Atoms))
+		for _, a := range rk.Atoms {
+			stores[r].Add(a)
+		}
+		nglobal += len(rk.Atoms)
+	}
+
+	world := mpi.NewWorld(nranks)
+	e := &Engine{World: world, Sims: make([]*core.Simulation, nranks), Grid: ck.Grid, nglobal: nglobal}
+
+	cfgs := make([]core.Config, nranks)
+	cfgs[0] = cfg
+	for r := 1; r < nranks; r++ {
+		c2, _, err := factory()
+		if err != nil {
+			return nil, err
+		}
+		cfgs[r] = c2
+	}
+	for r := range cfgs {
+		cfgs[r].Seed = cfg.Seed + uint64(r)*0x9e3779b9
+	}
+
+	if cfg.Fault != nil {
+		world.SetFaultHook(cfg.Fault)
+	}
+
+	if err := world.Parallel(func(c *mpi.Comm) {
+		r := c.Rank()
+		if tr := cfgs[r].Trace; tr != nil {
+			c.SetSpan(tr.Rank(r))
+		}
+		be := &Backend{
+			comm: c,
+			grid: ck.Grid,
+			// Rank linearization is x-fastest: r = cx + gx*(cy + gy*cz).
+			coord: [3]int{
+				r % ck.Grid[0],
+				(r / ck.Grid[0]) % ck.Grid[1],
+				r / (ck.Grid[0] * ck.Grid[1]),
+			},
+			nglobal: nglobal,
+		}
+		rk := &ck.PerRank[r]
+		rs := ck.RestoreState()
+		rs.RNG = rk.RNG
+		rs.FixState = rk.FixState
+		s, err := core.NewRestored(cfgs[r], stores[r], be, rs)
+		if err != nil {
+			panic(err)
+		}
+		ckpt.ApplyHistory(s, rk.History)
+		if err := s.PrimeRestored(rk.Force, rk.LastPE, rk.LastVirial); err != nil {
+			panic(err)
+		}
+		e.Sims[r] = s
+	}); err != nil {
+		e.Close()
+		return nil, err
+	}
+	return e, nil
+}
+
+// Step returns the engine's current step counter (rank 0's copy; all
+// ranks advance in lockstep).
+func (e *Engine) Step() int64 { return e.Sims[0].Step }

@@ -1,0 +1,283 @@
+// Package fault is the deterministic fault injector of the engine's
+// robustness layer: seeded, step-addressed faults for exercising the
+// abort/recovery machinery (internal/mpi, internal/harness) and the
+// numerical guardrails (internal/core) under test and from the CLI.
+//
+// Three fault kinds are supported:
+//
+//   - kill: panic on a given rank at the top of a given step, modeling a
+//     rank crash. One-shot: after a supervisor restarts the run from a
+//     checkpoint, the same injector instance does not re-fire, so the
+//     restarted run completes.
+//   - nan: overwrite one force component of one owned atom with NaN
+//     after the pair computation of a given (rank, step), which the
+//     core guardrails must catch.
+//   - delay/reorder: hold up one point-to-point message matching a
+//     (source rank, tag, step) address — delay sleeps before delivery;
+//     reorder defers the message past the sender's next operation,
+//     exercising the runtime's out-of-order matching. These install
+//     through mpi.World.SetFaultHook.
+//
+// Addressing is deterministic: steps are tracked per rank via BeginStep
+// (called by the core timestep loop), and any unspecified atom/component
+// choice is derived from the injector seed, never from wall clock or
+// map order. A nil *Injector is inert and all hooks cost one nil check,
+// so production runs pay nothing.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"gomd/internal/atom"
+	"gomd/internal/rng"
+)
+
+// maxRanks bounds the per-rank step table (fixed so OnSend can read it
+// without locks; 1024 exceeds the paper's largest rank count 16x).
+const maxRanks = 1024
+
+// Killed is the panic value of an injected rank kill; supervisors
+// pattern-match it through mpi.RankError.Cause.
+type Killed struct {
+	Rank int
+	Step int64
+}
+
+// Error implements error.
+func (k *Killed) Error() string {
+	return fmt.Sprintf("fault: injected kill of rank %d at step %d", k.Rank, k.Step)
+}
+
+// killSpec is one kill:... fault.
+type killSpec struct {
+	rank  int
+	step  int64
+	fired atomic.Bool
+}
+
+// nanSpec is one nan:... fault. Atom (local index) and component are -1
+// for a seeded pick.
+type nanSpec struct {
+	rank  int
+	step  int64
+	atom  int
+	comp  int
+	fired atomic.Bool
+}
+
+// msgSpec is one delay:... or reorder:... fault. src/tag/step of -1
+// match any value; delay faults sleep for ms milliseconds.
+type msgSpec struct {
+	src     int
+	tag     int
+	step    int64
+	delay   time.Duration
+	reorder bool
+	fired   atomic.Bool
+}
+
+// Injector holds a parsed fault plan. One instance is shared by every
+// rank of a run — and by every restart attempt of a supervised run, so
+// one-shot faults stay one-shot across recoveries.
+type Injector struct {
+	seed  uint64
+	kills []*killSpec
+	nans  []*nanSpec
+	msgs  []*msgSpec
+	steps [maxRanks]atomic.Int64
+}
+
+// New returns an empty injector with the given seed (used for any
+// unspecified atom/component picks).
+func New(seed uint64) *Injector {
+	return &Injector{seed: seed}
+}
+
+// Parse builds an injector from a fault-plan spec, e.g.
+//
+//	kill:rank=1,step=50
+//	nan:rank=0,step=30,atom=7,comp=1;delay:src=2,tag=300,step=10,ms=50
+//	reorder:src=0,tag=200
+//
+// Faults are ';'-separated; each is kind:key=value,... . Unknown keys
+// or kinds are errors. Omitted rank/src/tag/step default to "any" for
+// message faults and are required for kill/nan; omitted atom/comp mean
+// a seeded pick.
+func Parse(spec string, seed uint64) (*Injector, error) {
+	in := New(seed)
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kind, args, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("fault: %q missing kind: prefix", part)
+		}
+		kv := map[string]int64{}
+		if args != "" {
+			for _, f := range strings.Split(args, ",") {
+				k, v, ok := strings.Cut(f, "=")
+				if !ok {
+					return nil, fmt.Errorf("fault: bad field %q in %q", f, part)
+				}
+				n, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("fault: bad value in %q: %v", part, err)
+				}
+				kv[strings.TrimSpace(k)] = n
+			}
+		}
+		get := func(key string, def int64) int64 {
+			if v, ok := kv[key]; ok {
+				delete(kv, key)
+				return v
+			}
+			return def
+		}
+		need := func(key string) (int64, error) {
+			v, ok := kv[key]
+			if !ok {
+				return 0, fmt.Errorf("fault: %s fault requires %s= in %q", kind, key, part)
+			}
+			delete(kv, key)
+			return v, nil
+		}
+		switch kind {
+		case "kill":
+			r, err := need("rank")
+			if err != nil {
+				return nil, err
+			}
+			s, err := need("step")
+			if err != nil {
+				return nil, err
+			}
+			in.kills = append(in.kills, &killSpec{rank: int(r), step: s})
+		case "nan":
+			r, err := need("rank")
+			if err != nil {
+				return nil, err
+			}
+			s, err := need("step")
+			if err != nil {
+				return nil, err
+			}
+			in.nans = append(in.nans, &nanSpec{
+				rank: int(r), step: s,
+				atom: int(get("atom", -1)), comp: int(get("comp", -1)),
+			})
+		case "delay", "reorder":
+			m := &msgSpec{
+				src:     int(get("src", -1)),
+				tag:     int(get("tag", -1)),
+				step:    get("step", -1),
+				reorder: kind == "reorder",
+			}
+			if kind == "delay" {
+				m.delay = time.Duration(get("ms", 10)) * time.Millisecond
+			}
+			in.msgs = append(in.msgs, m)
+		default:
+			return nil, fmt.Errorf("fault: unknown kind %q (want kill, nan, delay, reorder)", kind)
+		}
+		for k := range kv {
+			return nil, fmt.Errorf("fault: unknown key %q for %s fault in %q", k, kind, part)
+		}
+	}
+	return in, nil
+}
+
+// BeginStep is called by the timestep loop at the top of each step. It
+// publishes the rank's current step for message addressing and fires
+// any armed kill by panicking with *Killed (which the mpi supervision
+// converts to a RankError).
+func (in *Injector) BeginStep(rank int, step int64) {
+	if in == nil {
+		return
+	}
+	if rank < maxRanks {
+		in.steps[rank].Store(step)
+	}
+	for _, k := range in.kills {
+		if k.rank == rank && k.step == step && k.fired.CompareAndSwap(false, true) {
+			panic(&Killed{Rank: rank, Step: step})
+		}
+	}
+}
+
+// CorruptForces applies any armed nan fault for (rank, step) to the
+// store's owned forces, returning the local index poisoned (or -1).
+// Called by the core force pipeline after the pair computation.
+func (in *Injector) CorruptForces(rank int, step int64, st *atom.Store) int {
+	if in == nil || st.N == 0 {
+		return -1
+	}
+	for _, n := range in.nans {
+		if n.rank != rank || n.step != step || !n.fired.CompareAndSwap(false, true) {
+			continue
+		}
+		i, comp := n.atom, n.comp
+		if i < 0 || i >= st.N || comp < 0 || comp > 2 {
+			// Seeded pick, decorrelated by rank and step.
+			r := rng.New(in.seed ^ uint64(rank)*0x9e3779b97f4a7c15 ^ uint64(step))
+			if i < 0 || i >= st.N {
+				i = r.Intn(st.N)
+			}
+			if comp < 0 || comp > 2 {
+				comp = r.Intn(3)
+			}
+		}
+		f := st.Force[i]
+		switch comp {
+		case 0:
+			f.X = math.NaN()
+		case 1:
+			f.Y = math.NaN()
+		default:
+			f.Z = math.NaN()
+		}
+		st.Force[i] = f
+		return i
+	}
+	return -1
+}
+
+// OnSend implements mpi.FaultHook: match one armed message fault
+// against (src, tag) and the sender's current step.
+func (in *Injector) OnSend(src, dst, tag int) (time.Duration, bool) {
+	if in == nil || len(in.msgs) == 0 {
+		return 0, false
+	}
+	var step int64 = -1
+	if src < maxRanks {
+		step = in.steps[src].Load()
+	}
+	for _, m := range in.msgs {
+		if m.src >= 0 && m.src != src {
+			continue
+		}
+		if m.tag != -1 && m.tag != tag {
+			continue
+		}
+		if m.step >= 0 && m.step != step {
+			continue
+		}
+		if !m.fired.CompareAndSwap(false, true) {
+			continue
+		}
+		return m.delay, m.reorder
+	}
+	return 0, false
+}
+
+// Active reports whether the injector has any faults configured (a nil
+// injector is inactive).
+func (in *Injector) Active() bool {
+	return in != nil && (len(in.kills) > 0 || len(in.nans) > 0 || len(in.msgs) > 0)
+}

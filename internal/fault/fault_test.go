@@ -1,0 +1,161 @@
+package fault
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"gomd/internal/atom"
+	"gomd/internal/vec"
+)
+
+func TestFaultParse(t *testing.T) {
+	in, err := Parse("kill:rank=1,step=50;nan:rank=0,step=30,atom=7,comp=1;delay:src=2,tag=300,step=10,ms=50;reorder:src=0,tag=200", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Active() {
+		t.Fatal("injector should be active")
+	}
+	if len(in.kills) != 1 || in.kills[0].rank != 1 || in.kills[0].step != 50 {
+		t.Fatalf("kill spec = %+v", in.kills)
+	}
+	if len(in.nans) != 1 || in.nans[0].atom != 7 || in.nans[0].comp != 1 {
+		t.Fatalf("nan spec = %+v", in.nans)
+	}
+	if len(in.msgs) != 2 || !in.msgs[1].reorder || in.msgs[0].delay == 0 {
+		t.Fatalf("msg specs = %+v", in.msgs)
+	}
+	if in.msgs[1].step != -1 {
+		t.Fatalf("omitted step should be wildcard, got %d", in.msgs[1].step)
+	}
+}
+
+func TestFaultParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"boom:rank=0",            // unknown kind
+		"kill:step=5",            // missing rank
+		"nan:rank=0",             // missing step
+		"kill:rank=0,step=zap",   // bad value
+		"kill:rank=0,step=1,x=2", // unknown key
+		"rank=0",                 // missing kind prefix
+	} {
+		if _, err := Parse(spec, 1); err == nil {
+			t.Errorf("Parse(%q) should fail", spec)
+		}
+	}
+}
+
+func TestFaultNilInjectorInert(t *testing.T) {
+	var in *Injector
+	in.BeginStep(0, 0) // must not panic
+	if in.CorruptForces(0, 0, atom.New(0)) != -1 {
+		t.Fatal("nil injector corrupted forces")
+	}
+	if d, r := in.OnSend(0, 1, 7); d != 0 || r {
+		t.Fatal("nil injector intercepted a send")
+	}
+	if in.Active() {
+		t.Fatal("nil injector active")
+	}
+}
+
+func TestFaultKillOneShot(t *testing.T) {
+	in, err := Parse("kill:rank=2,step=5", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.BeginStep(2, 4) // wrong step: no fire
+	in.BeginStep(1, 5) // wrong rank: no fire
+
+	fired := func() (k *Killed) {
+		defer func() {
+			if r := recover(); r != nil {
+				k = r.(*Killed)
+			}
+		}()
+		in.BeginStep(2, 5)
+		return nil
+	}()
+	if fired == nil || fired.Rank != 2 || fired.Step != 5 {
+		t.Fatalf("kill did not fire correctly: %+v", fired)
+	}
+	if !strings.Contains(fired.Error(), "rank 2") || !strings.Contains(fired.Error(), "step 5") {
+		t.Fatalf("Killed error text: %q", fired.Error())
+	}
+	// One-shot: the restarted run passes the same step without re-firing.
+	in.BeginStep(2, 5)
+}
+
+func TestFaultNaNInjection(t *testing.T) {
+	in, err := Parse("nan:rank=0,step=3,atom=1,comp=2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := atom.New(0)
+	for i := 0; i < 4; i++ {
+		st.Add(atom.Atom{Tag: int64(i + 1), Type: 1})
+	}
+	if got := in.CorruptForces(0, 2, st); got != -1 {
+		t.Fatalf("fired at wrong step, idx %d", got)
+	}
+	if got := in.CorruptForces(1, 3, st); got != -1 {
+		t.Fatalf("fired at wrong rank, idx %d", got)
+	}
+	if got := in.CorruptForces(0, 3, st); got != 1 {
+		t.Fatalf("poisoned index = %d, want 1", got)
+	}
+	if !math.IsNaN(st.Force[1].Z) {
+		t.Fatalf("Force[1] = %v, want NaN in Z", st.Force[1])
+	}
+	if math.IsNaN(st.Force[1].X) || math.IsNaN(st.Force[1].Y) {
+		t.Fatal("other components should be untouched")
+	}
+	// One-shot.
+	st.Force[1] = vec.V3{}
+	if got := in.CorruptForces(0, 3, st); got != -1 {
+		t.Fatal("nan fault re-fired")
+	}
+}
+
+func TestFaultNaNSeededPick(t *testing.T) {
+	mk := func() *atom.Store {
+		st := atom.New(0)
+		for i := 0; i < 16; i++ {
+			st.Add(atom.Atom{Tag: int64(i + 1), Type: 1})
+		}
+		return st
+	}
+	pick := func() int {
+		in, err := Parse("nan:rank=0,step=1", 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in.CorruptForces(0, 1, mk())
+	}
+	a, b := pick(), pick()
+	if a < 0 || a != b {
+		t.Fatalf("seeded pick not deterministic: %d vs %d", a, b)
+	}
+}
+
+func TestFaultMessageMatch(t *testing.T) {
+	in, err := Parse("delay:src=1,tag=300,step=5,ms=7;reorder:src=0,tag=200", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.BeginStep(1, 5)
+	if d, r := in.OnSend(1, 0, 301); d != 0 || r {
+		t.Fatal("tag mismatch should not fire")
+	}
+	if d, r := in.OnSend(1, 0, 300); d == 0 || r {
+		t.Fatalf("delay should fire: d=%v r=%v", d, r)
+	}
+	if d, r := in.OnSend(1, 0, 300); d != 0 || r {
+		t.Fatal("delay fault re-fired")
+	}
+	// Wildcard step reorder fault fires regardless of src step.
+	if d, r := in.OnSend(0, 1, 200); d != 0 || !r {
+		t.Fatal("reorder should fire")
+	}
+}

@@ -93,6 +93,17 @@ type Fix interface {
 	EndOfStep(*Context)
 }
 
+// Stateful is implemented by fixes carrying integrator state that must
+// survive a checkpoint/restart (thermostat friction, barostat strain
+// rate). StateVars returns the state as a flat vector; SetStateVars
+// restores it. The two must round-trip bit-exactly — a restored fix
+// continues the trajectory of the interrupted one.
+type Stateful interface {
+	Fix
+	StateVars() []float64
+	SetStateVars([]float64)
+}
+
 // Base is a no-op Fix for embedding.
 type Base struct{}
 

@@ -26,6 +26,20 @@ type NPT struct {
 // Name implements Fix.
 func (*NPT) Name() string { return "npt" }
 
+// StateVars implements Stateful: thermostat friction and barostat
+// strain rate.
+func (f *NPT) StateVars() []float64 { return []float64{f.zeta, f.eps} }
+
+// SetStateVars implements Stateful.
+func (f *NPT) SetStateVars(v []float64) {
+	if len(v) > 0 {
+		f.zeta = v[0]
+	}
+	if len(v) > 1 {
+		f.eps = v[1]
+	}
+}
+
 func (f *NPT) targetT(c *Context) float64 {
 	if f.TotalSteps <= 0 || f.TStop == f.TStart {
 		return f.TStart

@@ -16,6 +16,16 @@ type NVT struct {
 // Name implements Fix.
 func (*NVT) Name() string { return "nvt" }
 
+// StateVars implements Stateful: the thermostat friction.
+func (f *NVT) StateVars() []float64 { return []float64{f.zeta} }
+
+// SetStateVars implements Stateful.
+func (f *NVT) SetStateVars(v []float64) {
+	if len(v) > 0 {
+		f.zeta = v[0]
+	}
+}
+
 func (f *NVT) target(c *Context) float64 {
 	if f.TotalSteps <= 0 || f.TStop == f.TStart {
 		return f.TStart

@@ -17,7 +17,7 @@ import (
 
 	"gomd/internal/atom"
 	"gomd/internal/core"
-	"gomd/internal/domain"
+	"gomd/internal/fault"
 	"gomd/internal/kspace"
 	"gomd/internal/mpi"
 	"gomd/internal/obs"
@@ -42,6 +42,21 @@ type Options struct {
 	// does not enter the measurement cache key; it is forwarded to the
 	// performance model as threads-per-rank.
 	Workers int
+
+	// Fault tolerance (see Supervisor): periodic checkpoints every
+	// CheckpointEvery steps to CheckpointPath, optional resume from
+	// RestartPath, and up to Retries automatic recoveries from rank
+	// failures. All zero values disable the machinery.
+	CheckpointEvery int
+	CheckpointPath  string
+	RestartPath     string
+	Retries         int
+
+	// CheckEvery enables the engine's numerical guardrails every that
+	// many steps; Fault installs a deterministic fault injector. Both are
+	// forwarded into every rank's config.
+	CheckEvery int
+	Fault      *fault.Injector
 }
 
 func (o Options) withDefaults() Options {
@@ -153,24 +168,52 @@ func (r *Runner) runEngine(spec Spec, nrun int) (*measured, error) {
 		cfg.Trace = r.SpanTrace
 		cfg.Metrics = r.Metrics
 		cfg.Workers = o.Workers
+		cfg.CheckEvery = o.CheckEvery
+		cfg.Fault = o.Fault
 		return cfg, st, err
 	}
 	for attempt := 0; attempt < 8; attempt++ {
-		eng, err := domain.New(factory, spec.Ranks)
-		if err != nil {
+		sup := &Supervisor{
+			Factory:         factory,
+			Ranks:           spec.Ranks,
+			CheckpointEvery: o.CheckpointEvery,
+			CheckpointPath:  o.CheckpointPath,
+			RestartPath:     o.RestartPath,
+			Retries:         o.Retries,
+			Metrics:         r.Metrics,
+			Tracer:          r.SpanTrace,
+			Trace:           r.Trace,
+		}
+		if err := sup.Start(); err != nil {
+			if o.RestartPath != "" {
+				// Restarts replay a fixed decomposition; growing won't help.
+				return nil, err
+			}
 			// Sub-domain too small for the halo: grow the measured size.
 			nrun = nrun * 2
 			wopts.Atoms = nrun
 			continue
 		}
-		eng.Run(o.Warmup)
+		if err := sup.Run(o.Warmup); err != nil {
+			sup.Close()
+			return nil, err
+		}
+		// Baselines reference the engine by identity; a recovery swaps the
+		// engine, so re-fetch after every supervised Run. (A recovery
+		// inside the measured window resets counters to the checkpoint's,
+		// perturbing the diff; measurement campaigns run without faults.)
+		eng := sup.Engine()
 		base := make([]core.Counters, spec.Ranks)
 		baseMPI := make([]mpi.Stats, spec.Ranks)
 		for i, s := range eng.Sims {
 			base[i] = s.Counters
 			baseMPI[i] = eng.World.Comm(i).Stats
 		}
-		eng.Run(o.Steps)
+		if err := sup.Run(o.Steps); err != nil {
+			sup.Close()
+			return nil, err
+		}
+		eng = sup.Engine()
 		steps := o.Steps
 		// The Neigh task only shows up when the window spans a rebuild;
 		// workloads with generous skins (rhodo: 2 A) rebuild every few
@@ -183,7 +226,11 @@ func (r *Runner) runEngine(spec Spec, nrun int) (*measured, error) {
 			if rebuilds > 0 {
 				break
 			}
-			eng.Run(o.Steps)
+			if err := sup.Run(o.Steps); err != nil {
+				sup.Close()
+				return nil, err
+			}
+			eng = sup.Engine()
 			steps += o.Steps
 		}
 		per := make([]core.Counters, spec.Ranks)

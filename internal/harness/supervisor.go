@@ -1,0 +1,211 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"gomd/internal/atom"
+	"gomd/internal/ckpt"
+	"gomd/internal/core"
+	"gomd/internal/domain"
+	"gomd/internal/mpi"
+	"gomd/internal/obs"
+	"gomd/internal/trace"
+)
+
+// Supervisor runs a decomposed engine under fault tolerance: it wires
+// the periodic checkpoint sink into every rank's config, and when a
+// rank fails (panic, injected kill, guardrail violation) it rebuilds
+// the engine from the last completed checkpoint and resumes, within a
+// retry budget. Because checkpoints restart bit-exactly, a supervised
+// run that recovers from a mid-run crash finishes with the same
+// trajectory as an uninterrupted one.
+type Supervisor struct {
+	// Factory builds the workload; the supervisor injects the checkpoint
+	// sink into every config it returns.
+	Factory domain.Factory
+	Ranks   int
+
+	// CheckpointEvery/CheckpointPath enable periodic snapshots (both
+	// must be set). RestartPath, when set, resumes from an existing
+	// checkpoint file instead of building a fresh engine.
+	CheckpointEvery int
+	CheckpointPath  string
+	RestartPath     string
+
+	// Retries bounds recovery attempts over the supervisor's lifetime
+	// (0 = fail on the first rank error). Backoff is slept before each
+	// rebuild; default 50ms.
+	Retries int
+	Backoff time.Duration
+
+	// Observability: recoveries are counted in Metrics
+	// (recover.attempts, recover.rank_errors{rank=r}), marked on the
+	// failed rank's span timeline, and logged to Trace. All optional.
+	Metrics *obs.Registry
+	Tracer  *obs.Tracer
+	Trace   *trace.Logger
+
+	eng      *domain.Engine
+	writer   *ckpt.Writer
+	attempts int
+}
+
+// wrapFactory injects the supervisor's checkpoint sink into the
+// workload configs (no-op without checkpointing).
+func (s *Supervisor) wrapFactory() domain.Factory {
+	if s.CheckpointEvery <= 0 || s.CheckpointPath == "" {
+		return s.Factory
+	}
+	if s.writer == nil {
+		s.writer = ckpt.NewWriter(s.CheckpointPath, s.Ranks)
+	}
+	sink := s.writer.Sink()
+	return func() (core.Config, *atom.Store, error) {
+		cfg, st, err := s.Factory()
+		cfg.CheckpointEvery = s.CheckpointEvery
+		cfg.CheckpointSink = sink
+		return cfg, st, err
+	}
+}
+
+// Start builds the engine — fresh, or resumed from RestartPath.
+func (s *Supervisor) Start() error {
+	f := s.wrapFactory()
+	var (
+		eng *domain.Engine
+		err error
+	)
+	if s.RestartPath != "" {
+		ck, rerr := ckpt.ReadFile(s.RestartPath)
+		if rerr != nil {
+			return fmt.Errorf("harness: reading restart checkpoint: %w", rerr)
+		}
+		if ck.Ranks != s.Ranks {
+			return fmt.Errorf("harness: checkpoint has %d ranks, supervisor configured for %d", ck.Ranks, s.Ranks)
+		}
+		eng, err = domain.Restore(f, ck)
+	} else {
+		eng, err = domain.New(f, s.Ranks)
+	}
+	if err != nil {
+		return err
+	}
+	if s.writer != nil {
+		s.writer.SetGrid(eng.Grid)
+	}
+	s.eng = eng
+	return nil
+}
+
+// Engine exposes the current engine (it changes identity across
+// recoveries).
+func (s *Supervisor) Engine() *domain.Engine { return s.eng }
+
+// Step returns the engine's absolute step position.
+func (s *Supervisor) Step() int64 { return s.eng.Step() }
+
+// Close releases the current engine.
+func (s *Supervisor) Close() {
+	if s.eng != nil {
+		s.eng.Close()
+	}
+}
+
+// Run advances the run to absolute step start+n, recovering from rank
+// failures along the way. Each recovery closes the dead engine, backs
+// off, and rebuilds from the last completed checkpoint (or from scratch
+// when none was written yet); the retry budget spans the supervisor's
+// lifetime, so a fault that re-fires on every attempt eventually
+// surfaces as an error.
+func (s *Supervisor) Run(n int) error {
+	if s.eng == nil {
+		return errors.New("harness: supervisor not started")
+	}
+	target := s.eng.Step() + int64(n)
+	for {
+		remaining := target - s.eng.Step()
+		if remaining <= 0 {
+			return nil
+		}
+		err := s.eng.Run(int(remaining))
+		if err == nil {
+			return nil
+		}
+		var re *mpi.RankError
+		if !errors.As(err, &re) {
+			return err
+		}
+		if s.attempts >= s.Retries {
+			return fmt.Errorf("harness: retry budget (%d) exhausted: %w", s.Retries, err)
+		}
+		s.attempts++
+		s.recordRecovery(re)
+
+		backoff := s.Backoff
+		if backoff == 0 {
+			backoff = 50 * time.Millisecond
+		}
+		time.Sleep(backoff)
+
+		s.eng.Close()
+		if err := s.rebuild(); err != nil {
+			return fmt.Errorf("harness: rebuilding after %v: %w", re, err)
+		}
+	}
+}
+
+// rebuild constructs a replacement engine from the newest checkpoint,
+// or from scratch when none has been written yet.
+func (s *Supervisor) rebuild() error {
+	f := s.wrapFactory()
+	if s.writer != nil {
+		s.writer.Reset() // drop shares from assemblies the crash interrupted
+	}
+	path := s.CheckpointPath
+	if path == "" {
+		path = s.RestartPath
+	}
+	if path != "" {
+		if ck, err := ckpt.ReadFile(path); err == nil {
+			eng, rerr := domain.Restore(f, ck)
+			if rerr != nil {
+				return rerr
+			}
+			s.eng = eng
+			return nil
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+	}
+	// No checkpoint landed before the failure: restart from step 0.
+	eng, err := domain.New(f, s.Ranks)
+	if err != nil {
+		return err
+	}
+	if s.writer != nil {
+		s.writer.SetGrid(eng.Grid)
+	}
+	s.eng = eng
+	return nil
+}
+
+// recordRecovery publishes one recovery event to the metrics registry,
+// the failed rank's span timeline, and the JSONL data log.
+func (s *Supervisor) recordRecovery(re *mpi.RankError) {
+	if s.Metrics != nil {
+		s.Metrics.Counter("recover.attempts").Inc()
+		s.Metrics.Counter(obs.RankMetric("recover.rank_errors", re.Rank)).Inc()
+	}
+	s.Tracer.Rank(re.Rank).Span(obs.CatStep, "recover", time.Now(), 0)
+	s.Trace.Log("recovery", map[string]any{
+		"rank":    re.Rank,
+		"attempt": s.attempts,
+		"cause":   fmt.Sprint(re.Cause),
+	})
+}
+
+// Attempts returns how many recoveries have been performed.
+func (s *Supervisor) Attempts() int { return s.attempts }

@@ -14,6 +14,7 @@ package mpi
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -111,7 +112,64 @@ type World struct {
 	inbox []chan message
 	pend  [][]message // per-rank out-of-order buffer
 	comms []*Comm
+
+	// Abort protocol (the MPI_Abort analogue). The first rank failure
+	// records its RankError and closes abort; every primitive blocked in
+	// a send or receive selects on the channel and unwinds with an
+	// abortPanic, so peers of a dead rank never deadlock. An aborted
+	// world is permanently dead — supervisors rebuild a fresh one.
+	abort     chan struct{}
+	abortOnce sync.Once
+	abortErr  *RankError
+
+	// fault, when non-nil, intercepts point-to-point sends for
+	// deterministic fault injection (internal/fault). Nil costs one
+	// pointer check per send.
+	fault FaultHook
 }
+
+// RankError is the structured form of a rank failure: the root-cause
+// panic of the first rank that died, converted by Parallel's per-rank
+// supervision. The cause's text (including the runtime's original
+// mailbox-stall and unknown-payload diagnostics) is preserved verbatim
+// in Error() for greppability.
+type RankError struct {
+	Rank  int
+	Cause any
+	Stack []byte
+}
+
+// Error implements error.
+func (e *RankError) Error() string {
+	return fmt.Sprintf("mpi: rank %d failed: %v", e.Rank, e.Cause)
+}
+
+// Unwrap exposes an error cause for errors.As/Is chains.
+func (e *RankError) Unwrap() error {
+	if err, ok := e.Cause.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// abortPanic is the sentinel thrown into primitives blocked when the
+// world aborts; Parallel recognizes it as a secondary unwind (the root
+// cause is already recorded) and discards it.
+type abortPanic struct{ err *RankError }
+
+// FaultHook intercepts point-to-point sends (Send/Sendrecv) for
+// deterministic fault injection. OnSend may delay delivery (sleep
+// before the message is enqueued) or defer it (reorder: the message is
+// held until the sender's next point-to-point or receive operation,
+// exercising the receivers' out-of-order matching). Collective hops are
+// not intercepted.
+type FaultHook interface {
+	OnSend(src, dst, tag int) (delay time.Duration, reorder bool)
+}
+
+// SetFaultHook installs h (nil removes it). Call between parallel
+// sections only.
+func (w *World) SetFaultHook(h FaultHook) { w.fault = h }
 
 // NewWorld creates a world of n ranks.
 func NewWorld(n int) *World {
@@ -123,6 +181,7 @@ func NewWorld(n int) *World {
 		inbox: make([]chan message, n),
 		pend:  make([][]message, n),
 		comms: make([]*Comm, n),
+		abort: make(chan struct{}),
 	}
 	for i := range w.inbox {
 		w.inbox[i] = make(chan message, 64*n)
@@ -135,18 +194,61 @@ func NewWorld(n int) *World {
 // Comm returns rank r's communicator.
 func (w *World) Comm(r int) *Comm { return w.comms[r] }
 
+// Abort records the first rank failure and releases every rank blocked
+// in a primitive. Idempotent; later failures are discarded (they are
+// cascades of the first).
+func (w *World) Abort(e *RankError) {
+	w.abortOnce.Do(func() {
+		w.abortErr = e
+		close(w.abort)
+	})
+}
+
+// Aborted returns the recorded rank failure, or nil while the world is
+// healthy. A non-nil result is permanent.
+func (w *World) Aborted() *RankError {
+	select {
+	case <-w.abort:
+		return w.abortErr
+	default:
+		return nil
+	}
+}
+
 // Parallel runs body on every rank concurrently and waits for all of
-// them (an SPMD section).
-func (w *World) Parallel(body func(c *Comm)) {
+// them (an SPMD section). Each rank goroutine runs supervised: a panic
+// becomes a *RankError, aborts the world (unblocking peers parked in
+// Send/Wait/Allreduce), and is returned once every rank has unwound.
+// On an already-aborted world Parallel returns the recorded failure
+// without running body.
+func (w *World) Parallel(body func(c *Comm)) error {
+	if err := w.Aborted(); err != nil {
+		return err
+	}
 	var wg sync.WaitGroup
 	wg.Add(w.Size)
 	for r := 0; r < w.Size; r++ {
 		go func(c *Comm) {
 			defer wg.Done()
+			defer func() {
+				rec := recover()
+				if rec == nil {
+					return
+				}
+				if _, secondary := rec.(abortPanic); secondary {
+					// Unwound by a peer's abort; root cause already filed.
+					return
+				}
+				w.Abort(&RankError{Rank: c.rank, Cause: rec, Stack: debug.Stack()})
+			}()
 			body(c)
 		}(w.comms[r])
 	}
 	wg.Wait()
+	if err := w.Aborted(); err != nil {
+		return err
+	}
+	return nil
 }
 
 // Comm is one rank's endpoint.
@@ -158,6 +260,16 @@ type Comm struct {
 	// span, when non-nil, receives one timeline span per primitive call,
 	// annotated with payload bytes and peer rank (internal/obs).
 	span *obs.Rank
+	// held is a message deferred by a reorder fault injection, released
+	// by this rank's next point-to-point operation. Only the owning rank
+	// goroutine touches it.
+	held []heldMessage
+}
+
+// heldMessage is one reorder-deferred in-flight message.
+type heldMessage struct {
+	dst int
+	m   message
 }
 
 // SetSpan attaches a per-rank span timeline to this endpoint; nil
@@ -211,7 +323,9 @@ func mustPayloadBytes(data any) int {
 var MailboxStallTimeout = 30 * time.Second
 
 // deliver enqueues m into dst's mailbox, panicking with rank/tag/queue
-// diagnostics if the mailbox stays full for MailboxStallTimeout.
+// diagnostics if the mailbox stays full for MailboxStallTimeout. A
+// world abort unblocks the send and unwinds with the abort sentinel, so
+// a dead destination cannot wedge its peers.
 func (c *Comm) deliver(dst int, m message) {
 	w := c.world
 	select {
@@ -223,12 +337,42 @@ func (c *Comm) deliver(dst int, m message) {
 	defer timer.Stop()
 	select {
 	case w.inbox[dst] <- m:
+	case <-w.abort:
+		panic(abortPanic{w.abortErr})
 	case <-timer.C:
 		panic(fmt.Sprintf(
 			"mpi: rank %d -> rank %d (tag %d, %d bytes) stalled %v on a full mailbox: dst inbox %d/%d queued, %d unmatched messages pending on rank %d — likely a collective ordering or tag-matching deadlock",
 			c.rank, dst, m.tag, m.bytes, MailboxStallTimeout,
 			len(w.inbox[dst]), cap(w.inbox[dst]), len(w.pend[c.rank]), c.rank))
 	}
+}
+
+// sendP2P routes one point-to-point message through the fault hook
+// (when installed) and delivers it, plus any message a reorder fault
+// previously deferred. Collective hops bypass it (collSend delivers
+// directly).
+func (c *Comm) sendP2P(dst int, m message) {
+	if h := c.world.fault; h != nil {
+		delay, reorder := h.OnSend(c.rank, dst, m.tag)
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		if reorder {
+			c.held = append(c.held, heldMessage{dst: dst, m: m})
+			return
+		}
+	}
+	c.deliver(dst, m)
+	c.flushHeld()
+}
+
+// flushHeld releases reorder-deferred messages (after the operation
+// that overtook them).
+func (c *Comm) flushHeld() {
+	for _, hm := range c.held {
+		c.deliver(hm.dst, hm.m)
+	}
+	c.held = c.held[:0]
 }
 
 // Send transmits data to rank dst under tag. bytes, when >= 0, overrides
@@ -239,7 +383,7 @@ func (c *Comm) Send(dst, tag int, data any, bytes int) {
 		bytes = mustPayloadBytes(data)
 	}
 	t0 := time.Now()
-	c.deliver(dst, message{src: c.rank, tag: tag, bytes: bytes, data: data})
+	c.sendP2P(dst, message{src: c.rank, tag: tag, bytes: bytes, data: data})
 	el := time.Since(t0)
 	st := &c.Stats.Funcs[FuncSend]
 	st.Calls++
@@ -268,6 +412,9 @@ func (c *Comm) Recv(src, tag int) any {
 }
 
 func (c *Comm) recvMatch(src, tag int) (any, int) {
+	// A receive is an ordering point: release any reorder-deferred sends
+	// before blocking (the peers may be waiting on them).
+	c.flushHeld()
 	// Check the out-of-order buffer first.
 	pend := c.world.pend[c.rank]
 	for i, m := range pend {
@@ -277,11 +424,15 @@ func (c *Comm) recvMatch(src, tag int) (any, int) {
 		}
 	}
 	for {
-		m := <-c.world.inbox[c.rank]
-		if m.src == src && m.tag == tag {
-			return m.data, m.bytes
+		select {
+		case m := <-c.world.inbox[c.rank]:
+			if m.src == src && m.tag == tag {
+				return m.data, m.bytes
+			}
+			c.world.pend[c.rank] = append(c.world.pend[c.rank], m)
+		case <-c.world.abort:
+			panic(abortPanic{c.world.abortErr})
 		}
-		c.world.pend[c.rank] = append(c.world.pend[c.rank], m)
 	}
 }
 
@@ -292,7 +443,7 @@ func (c *Comm) Sendrecv(dst int, sdata any, sbytes, src, tag int) any {
 		sbytes = mustPayloadBytes(sdata)
 	}
 	t0 := time.Now()
-	c.deliver(dst, message{src: c.rank, tag: tag, bytes: sbytes, data: sdata})
+	c.sendP2P(dst, message{src: c.rank, tag: tag, bytes: sbytes, data: sdata})
 	sendDone := time.Since(t0)
 	t1 := time.Now()
 	data, rbytes := c.recvMatch(src, tag)

@@ -54,6 +54,28 @@ func (s *Source) Stream(id uint64) *Source {
 	return New(s.Uint64() ^ (id+1)*0xd1342543de82ef95)
 }
 
+// State is the complete serializable generator state: the xoshiro256**
+// words plus the Box-Muller cache. Checkpoints carry it so a restored
+// stream continues bit-exactly where the interrupted one stopped —
+// including a pending second gaussian.
+type State struct {
+	S        [4]uint64
+	Gauss    float64
+	HasGauss bool
+}
+
+// State captures the generator state.
+func (s *Source) State() State {
+	return State{S: s.s, Gauss: s.gauss, HasGauss: s.hasGauss}
+}
+
+// SetState restores a previously captured state.
+func (s *Source) SetState(st State) {
+	s.s = st.S
+	s.gauss = st.Gauss
+	s.hasGauss = st.HasGauss
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 random bits.
