@@ -2,7 +2,7 @@
 # the race detector (the observability layer's multi-rank tests record
 # spans from every rank goroutine, so the race run is part of the bar),
 # then an end-to-end mdbench smoke campaign.
-.PHONY: all build vet test race bench bench-smoke faults check
+.PHONY: all build vet test race bench bench-smoke faults soak check
 
 all: check
 
@@ -42,4 +42,11 @@ faults:
 	go test -race -run 'TestFault|TestCheckpoint|TestGuardrail|TestSupervisor|TestRankAbort' \
 		./internal/fault/ ./internal/ckpt/ ./internal/core/ ./internal/mpi/ ./internal/harness/
 
-check: build vet test race bench-smoke faults
+# Seeded randomized fault campaign under the race detector: three
+# workloads each draw a kill plus a hang / checkpoint-flip / truncation
+# from a fixed-seed stream and must recover bit-exactly. Deterministic,
+# so any failure reproduces with plain `make soak`.
+soak:
+	go test -race -run TestSoak ./internal/harness/
+
+check: build vet test race bench-smoke faults soak

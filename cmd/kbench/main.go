@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"gomd/internal/core"
+	"gomd/internal/health"
 	"gomd/internal/pair"
 	"gomd/internal/trace"
 	"gomd/internal/workload"
@@ -79,9 +80,32 @@ func main() {
 		workers = flag.String("workers", "1,4", "comma-separated worker counts to sweep")
 		out     = flag.String("out", "BENCH_kernels.json", "output JSON path")
 		logPath = flag.String("log", "", "write a JSONL data log of kernel timings")
+		hangTO  = flag.Duration("hang-timeout", 0, "exit(2) with a diagnosis if no kernel iteration completes for this long (no checkpoints here — a hung sweep just dies; 0 = off)")
 	)
 	flag.Parse()
 	ws := parseWorkers(*workers)
+
+	// Process-level watchdog: kernel sweeps have no supervisor or
+	// checkpoints to recover through, so a wedged kernel (e.g. a worker
+	// pool deadlock) ends the process with the diagnosis instead of
+	// hanging CI forever.
+	var beat *health.Beat // nil-safe when -hang-timeout is off
+	var wd *health.Watchdog
+	if *hangTO > 0 {
+		mon := health.NewMonitor(1)
+		beat = mon.Rank(0)
+		beat.Mark(health.PhaseInit, 0)
+		wd = &health.Watchdog{
+			Mon:      mon,
+			Deadline: *hangTO,
+			OnHang: func(he *health.HangError) {
+				fmt.Fprintf(os.Stderr, "kbench: %v\n%s\n", he, he.Stacks)
+				os.Exit(2)
+			},
+		}
+		wd.Start()
+		defer wd.Stop()
+	}
 
 	var dlog *trace.Logger // nil-safe: methods no-op when unset
 	if *logPath != "" {
@@ -121,10 +145,12 @@ func main() {
 			Pool:  sim.NL.Pool,
 		}
 		pairNs := timeKernel(*iters, func() {
+			beat.Mark(health.PhaseForce, int64(w))
 			sim.Store.ZeroForces()
 			sim.Cfg.Pair.Compute(ctx)
 		})
 		neighNs := timeKernel(*iters, func() {
+			beat.Mark(health.PhaseNeigh, int64(w))
 			sim.NL.Build(sim.Store)
 		})
 		sim.Close()

@@ -56,8 +56,10 @@ func main() {
 
 		ckptEvery = flag.Int("checkpoint-every", 0, "checkpoint measured engine runs every N steps (0 = off)")
 		ckptPath  = flag.String("checkpoint", "mdbench.ckpt", "checkpoint file path")
+		ckptKeep  = flag.Int("keep-checkpoints", 1, "checkpoint generations to retain (N>1 rotates path -> path.1 -> ...)")
 		restart   = flag.String("restart", "", "resume measured engine runs from this checkpoint file")
 		retries   = flag.Int("retries", 0, "automatic recoveries from rank failures per measurement")
+		hangTO    = flag.Duration("hang-timeout", 0, "abort+recover measured runs making no progress for this long (0 = off)")
 		chkEvery  = flag.Int("check-every", 0, "run numerical guardrails every N steps during measurements (0 = off)")
 		quick     = flag.Bool("quick", false, "reduced fidelity (cap 6000 atoms, 6 steps)")
 		csvPath   = flag.String("csv", "", "also write results as CSV to this file")
@@ -86,7 +88,8 @@ func main() {
 	opts := harness.Options{
 		MeasureCap: *cap_, Steps: *steps, Workers: *workers, Seed: *seed,
 		CheckpointEvery: *ckptEvery, CheckpointPath: *ckptPath,
-		RestartPath: *restart, Retries: *retries, CheckEvery: *chkEvery,
+		RestartPath: *restart, KeepCheckpoints: *ckptKeep,
+		Retries: *retries, HangTimeout: *hangTO, CheckEvery: *chkEvery,
 	}
 	if *quick {
 		if opts.MeasureCap == 0 {

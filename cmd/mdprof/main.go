@@ -35,6 +35,7 @@ func main() {
 		capN      = flag.Int("measure-cap", 0, "max atoms actually simulated")
 		steps     = flag.Int("steps", 0, "measured steps")
 		workers   = flag.Int("workers", 1, "intra-rank worker-pool width for engine kernels (priced as threads-per-rank)")
+		hangTO    = flag.Duration("hang-timeout", 0, "abort profiled runs making no progress for this long (0 = off)")
 		logPath   = flag.String("log", "", "write a JSONL data log of engine measurements")
 		traceOut  = flag.String("trace", "", "write a per-rank Chrome trace-event timeline (Perfetto) to this file")
 		metrOut   = flag.String("metrics", "", "write an engine metrics JSON dump to this file")
@@ -51,7 +52,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "# pprof listening on http://%s/debug/pprof/\n", addr)
 	}
 
-	runner := harness.NewRunner(harness.Options{MeasureCap: *capN, Steps: *steps, Workers: *workers})
+	runner := harness.NewRunner(harness.Options{
+		MeasureCap: *capN, Steps: *steps, Workers: *workers, HangTimeout: *hangTO,
+	})
 	if *logPath != "" {
 		lf, err := os.Create(*logPath)
 		if err != nil {

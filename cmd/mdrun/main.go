@@ -10,8 +10,12 @@
 // (bit-exact: a restored run reproduces the uninterrupted trajectory
 // bit for bit), -restart resumes from one, and decomposed runs are
 // supervised — a rank failure is recovered automatically from the last
-// checkpoint within the -retries budget. -fault installs the
-// deterministic fault injector (kill/nan/delay/reorder) for drills, and
+// checkpoint within the -retries budget. Checkpoints carry per-section
+// CRCs; -keep-checkpoints retains older generations so a corrupted
+// newest file falls back to an intact one. -hang-timeout arms a
+// watchdog that converts silent hangs into diagnosed recoveries.
+// -fault installs the deterministic fault injector
+// (kill/nan/delay/reorder/hang/truncate-ckpt/flip-ckpt) for drills, and
 // -check-every enables the numerical guardrails (NaN/Inf forces and
 // energies, lost atoms).
 //
@@ -57,8 +61,10 @@ func main() {
 		kacc      = flag.Float64("kspace-acc", 0, "rhodo PPPM relative error threshold (default 1e-4)")
 		ckptEvery = flag.Int("checkpoint-every", 0, "write a restart checkpoint every N steps (0 = off)")
 		ckptPath  = flag.String("checkpoint", "mdrun.ckpt", "checkpoint file path")
+		ckptKeep  = flag.Int("keep-checkpoints", 1, "checkpoint generations to retain (N>1 rotates path -> path.1 -> ...)")
 		restart   = flag.String("restart", "", "resume bit-exactly from this checkpoint file")
 		retries   = flag.Int("retries", 0, "automatic recoveries from rank failures (decomposed runs)")
+		hangTO    = flag.Duration("hang-timeout", 0, "abort+recover ranks making no progress for this long, with a parked-primitive diagnosis (decomposed runs; 0 = off)")
 		faultSpec = flag.String("fault", "", "deterministic fault injection, e.g. kill:rank=1,step=50;nan:rank=0,step=30")
 		chkEvery  = flag.Int("check-every", 0, "run numerical guardrails (NaN/Inf/lost-atom) every N steps (0 = off)")
 		logPath   = flag.String("log", "", "write a JSONL data log (run summary, recoveries)")
@@ -172,6 +178,10 @@ func main() {
 		if *ckptEvery > 0 {
 			w := ckpt.NewWriter(*ckptPath, 1)
 			w.SetGrid([3]int{1, 1, 1})
+			w.SetKeep(*ckptKeep)
+			if inj != nil {
+				w.SetCorruptor(inj.CorruptCheckpoint)
+			}
 			cfg.CheckpointEvery = *ckptEvery
 			cfg.CheckpointSink = w.Sink()
 		}
@@ -222,7 +232,10 @@ func main() {
 		CheckpointEvery: *ckptEvery,
 		CheckpointPath:  *ckptPath,
 		RestartPath:     *restart,
+		KeepCheckpoints: *ckptKeep,
 		Retries:         *retries,
+		HangTimeout:     *hangTO,
+		Fault:           inj,
 		Metrics:         metrics,
 		Tracer:          tracer,
 		Trace:           dlog,

@@ -19,9 +19,13 @@ package ckpt
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 
@@ -32,10 +36,64 @@ import (
 	"gomd/internal/vec"
 )
 
+// GMCK format versions. v2 adds the integrity layer: a CRC32 (IEEE)
+// after the header and after every rank section (covering that
+// section's bytes), plus a footer of {footer magic, payload byte count,
+// whole-file CRC} so truncation and bit-flips are detected before a
+// supervisor restores garbage. v1 files (no CRCs, no footer) are still
+// readable.
 const (
-	ckptMagic   = 0x474d434b // "GMCK"
-	ckptVersion = 1
+	ckptMagic       = 0x474d434b // "GMCK"
+	ckptVersion     = 2
+	ckptV1          = 1
+	ckptFooterMagic = 0x4b434d47 // "KCMG": marks a complete v2 file
 )
+
+// IntegrityError reports a checkpoint whose bytes were readable but
+// failed verification (CRC or footer mismatch) — corruption, as opposed
+// to plain truncation/IO errors.
+type IntegrityError struct {
+	Section string // "header", "rank N", "footer"
+	Detail  string
+}
+
+// Error implements error.
+func (e *IntegrityError) Error() string {
+	return fmt.Sprintf("ckpt: %s verification failed: %s", e.Section, e.Detail)
+}
+
+// crcWriter tees every written byte into the running section and file
+// hashes (the v2 integrity layer) while counting payload bytes.
+type crcWriter struct {
+	w    io.Writer
+	sect hash.Hash32
+	file hash.Hash32
+	n    int64
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.sect.Write(p[:n])
+	cw.file.Write(p[:n])
+	cw.n += int64(n)
+	return n, err
+}
+
+// crcReader mirrors crcWriter on the read side.
+type crcReader struct {
+	r    io.Reader
+	sect hash.Hash32
+	file hash.Hash32
+	n    int64
+}
+
+func (cr *crcReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.sect.Write(p[:n])
+	cr.file.Write(p[:n])
+	cr.n += int64(n)
+	return n, err
+}
 
 // HistoryEntry is one granular contact-history record: the shear
 // accumulator of the contact seen from Owner's perspective.
@@ -175,6 +233,11 @@ func RestoreSerial(cfg core.Config, ck *Checkpoint) (*core.Simulation, error) {
 type Writer struct {
 	path  string
 	ranks int
+	keep  int
+	// corrupt, when set, runs after each completed checkpoint write with
+	// the step and final path — the fault injector's hook for simulating
+	// on-disk corruption that the CRC layer must catch on restore.
+	corrupt func(step int64, path string)
 
 	mu      sync.Mutex
 	grid    [3]int
@@ -188,9 +251,30 @@ func NewWriter(path string, ranks int) *Writer {
 	return &Writer{
 		path:    path,
 		ranks:   ranks,
+		keep:    1,
 		pending: map[int64]*Checkpoint{},
 		filled:  map[int64]int{},
 	}
+}
+
+// SetKeep retains n checkpoint generations (default 1): before each
+// write the existing files rotate path -> path.1 -> ... -> path.(n-1),
+// so a corrupted newest generation still leaves n-1 older intact ones
+// for ReadNewestValid to fall back on.
+func (w *Writer) SetKeep(n int) {
+	if n < 1 {
+		n = 1
+	}
+	w.mu.Lock()
+	w.keep = n
+	w.mu.Unlock()
+}
+
+// SetCorruptor installs a post-write hook (see the corrupt field).
+func (w *Writer) SetCorruptor(fn func(step int64, path string)) {
+	w.mu.Lock()
+	w.corrupt = fn
+	w.mu.Unlock()
 }
 
 // SetGrid records the engine's decomposition grid (stored in the file
@@ -239,13 +323,25 @@ func (w *Writer) Sink() func(*core.Simulation) error {
 		}
 		delete(w.pending, step)
 		delete(w.filled, step)
-		return WriteFileAtomic(w.path, ck)
+		if w.keep > 1 {
+			rotate(w.path, w.keep)
+		}
+		if err := WriteFileAtomic(w.path, ck); err != nil {
+			return err
+		}
+		if w.corrupt != nil {
+			w.corrupt(ck.Step, w.path)
+		}
+		return nil
 	}
 }
 
 // WriteFileAtomic writes the checkpoint to a temp file in path's
 // directory and renames it over path, so a crash mid-write never
-// clobbers the previous good checkpoint.
+// clobbers the previous good checkpoint. The temp file is fsynced
+// before the rename and the directory after it: without the first a
+// host crash can "commit" a rename whose data never reached disk;
+// without the second the rename itself can be lost.
 func WriteFileAtomic(path string, ck *Checkpoint) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -257,11 +353,95 @@ func WriteFileAtomic(path string, ck *Checkpoint) error {
 		os.Remove(tmp)
 		return err
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir flushes a directory's entries (the durable half of an atomic
+// rename).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// GenerationPath names checkpoint generation gen of path: generation 0
+// is path itself (the newest), generation g > 0 is "path.g" (older by g
+// rotations).
+func GenerationPath(path string, gen int) string {
+	if gen <= 0 {
+		return path
+	}
+	return fmt.Sprintf("%s.%d", path, gen)
+}
+
+// rotate shifts the retained generations one slot older ahead of a new
+// write: path.(keep-2) -> path.(keep-1), ..., path -> path.1. Missing
+// generations are skipped; the oldest falls off the end.
+func rotate(path string, keep int) {
+	for g := keep - 1; g >= 1; g-- {
+		src := GenerationPath(path, g-1)
+		if _, err := os.Stat(src); err == nil {
+			os.Rename(src, GenerationPath(path, g))
+		}
+	}
+}
+
+// GenError records why one checkpoint generation was rejected during a
+// ReadNewestValid scan. Supervisors log every rejection: a silent
+// fallback would hide corruption.
+type GenError struct {
+	Gen  int
+	Path string
+	Err  error
+}
+
+// ReadNewestValid loads the newest generation that parses and verifies,
+// scanning path, path.1, ..., path.(keep-1) newest-first. It returns
+// the checkpoint, its generation index, and the rejections encountered
+// on the way there. When every generation is missing the error wraps
+// os.ErrNotExist (the "no checkpoint yet" case supervisors restart from
+// scratch on); when at least one existed but none verified, the error
+// reports the corruption.
+func ReadNewestValid(path string, keep int) (*Checkpoint, int, []GenError, error) {
+	if keep < 1 {
+		keep = 1
+	}
+	var fails []GenError
+	missing := 0
+	for g := 0; g < keep; g++ {
+		p := GenerationPath(path, g)
+		ck, err := ReadFile(p)
+		if err == nil {
+			return ck, g, fails, nil
+		}
+		if errors.Is(err, os.ErrNotExist) {
+			missing++
+			continue
+		}
+		fails = append(fails, GenError{Gen: g, Path: p, Err: err})
+	}
+	if len(fails) == 0 {
+		return nil, -1, nil, fmt.Errorf("ckpt: no checkpoint at %s: %w", path, os.ErrNotExist)
+	}
+	return nil, -1, fails, fmt.Errorf("ckpt: no intact checkpoint generation at %s (%d rejected)", path, len(fails))
 }
 
 // ReadFile loads a checkpoint written by WriteFileAtomic.
@@ -274,15 +454,23 @@ func ReadFile(path string) (*Checkpoint, error) {
 	return Read(f)
 }
 
-// Write serializes the checkpoint (little-endian, versioned; same
-// closure idiom as the dump package's restart format).
+// Write serializes the checkpoint in the current (v2) format
+// (little-endian, versioned; same closure idiom as the dump package's
+// restart format).
 func Write(out io.Writer, ck *Checkpoint) error {
+	return writeVersion(out, ck, ckptVersion)
+}
+
+// writeVersion serializes at an explicit format version (v1 kept for
+// the backward-compatibility tests).
+func writeVersion(out io.Writer, ck *Checkpoint, version uint32) error {
 	bw := bufio.NewWriter(out)
+	cw := &crcWriter{w: bw, sect: crc32.NewIEEE(), file: crc32.NewIEEE()}
 	le := binary.LittleEndian
-	wU32 := func(v uint32) { binary.Write(bw, le, v) }
-	wU64 := func(v uint64) { binary.Write(bw, le, v) }
-	wI64 := func(v int64) { binary.Write(bw, le, v) }
-	wF := func(v float64) { binary.Write(bw, le, v) }
+	wU32 := func(v uint32) { binary.Write(cw, le, v) }
+	wU64 := func(v uint64) { binary.Write(cw, le, v) }
+	wI64 := func(v int64) { binary.Write(cw, le, v) }
+	wF := func(v float64) { binary.Write(cw, le, v) }
 	wV := func(v vec.V3) { wF(v.X); wF(v.Y); wF(v.Z) }
 	wBox := func(b box.Box) {
 		wV(b.Lo)
@@ -295,9 +483,20 @@ func Write(out io.Writer, ck *Checkpoint) error {
 			wU32(p)
 		}
 	}
+	// endSection seals the bytes since the previous seal with their
+	// CRC32. The CRC bytes themselves feed the whole-file hash (the
+	// reader accumulates them identically), then the section hash resets.
+	endSection := func() {
+		if version < 2 {
+			return
+		}
+		sum := cw.sect.Sum32()
+		wU32(sum)
+		cw.sect.Reset()
+	}
 
 	wU32(ckptMagic)
-	wU32(ckptVersion)
+	wU32(version)
 	wI64(ck.Step)
 	wU32(uint32(ck.Ranks))
 	for d := 0; d < 3; d++ {
@@ -306,6 +505,7 @@ func Write(out io.Writer, ck *Checkpoint) error {
 	wBox(ck.Box)
 	wBox(ck.SetupBox)
 	wF(ck.Q2Setup)
+	endSection() // header CRC
 	for r := range ck.PerRank {
 		rk := &ck.PerRank[r]
 		wI64(int64(len(rk.Atoms)))
@@ -367,40 +567,53 @@ func Write(out io.Writer, ck *Checkpoint) error {
 			wI64(h.Partner)
 			wV(h.Shear)
 		}
+		endSection() // rank section CRC
+	}
+	if version >= 2 {
+		// Footer: payload length + whole-file CRC over everything before
+		// it (section CRCs included). A truncated file loses the footer;
+		// a file truncated and then appended to misses the length check.
+		n := cw.n
+		sum := cw.file.Sum32()
+		wU32(ckptFooterMagic)
+		wU64(uint64(n))
+		wU32(sum)
 	}
 	return bw.Flush()
 }
 
-// Read deserializes a checkpoint written by Write.
+// Read deserializes a checkpoint written by Write. v2 files are
+// verified section by section (CRC32) and against the footer; v1 files
+// are read without verification (they carry none).
 func Read(in io.Reader) (*Checkpoint, error) {
-	br := bufio.NewReader(in)
+	cr := &crcReader{r: bufio.NewReader(in), sect: crc32.NewIEEE(), file: crc32.NewIEEE()}
 	le := binary.LittleEndian
 	var err error
 	rU32 := func() uint32 {
 		var v uint32
 		if err == nil {
-			err = binary.Read(br, le, &v)
+			err = binary.Read(cr, le, &v)
 		}
 		return v
 	}
 	rU64 := func() uint64 {
 		var v uint64
 		if err == nil {
-			err = binary.Read(br, le, &v)
+			err = binary.Read(cr, le, &v)
 		}
 		return v
 	}
 	rI64 := func() int64 {
 		var v int64
 		if err == nil {
-			err = binary.Read(br, le, &v)
+			err = binary.Read(cr, le, &v)
 		}
 		return v
 	}
 	rF := func() float64 {
 		var v float64
 		if err == nil {
-			err = binary.Read(br, le, &v)
+			err = binary.Read(cr, le, &v)
 		}
 		return v
 	}
@@ -414,6 +627,22 @@ func Read(in io.Reader) (*Checkpoint, error) {
 		}
 		return b
 	}
+	version := uint32(ckptV1)
+	// endSection checks the stored section CRC against the bytes read
+	// since the previous seal (the computed sum must be captured before
+	// the stored one is consumed).
+	endSection := func(what string) {
+		if version < 2 || err != nil {
+			return
+		}
+		computed := cr.sect.Sum32()
+		stored := rU32()
+		cr.sect.Reset()
+		if err == nil && stored != computed {
+			err = &IntegrityError{Section: what, Detail: fmt.Sprintf(
+				"CRC mismatch (stored %#08x, computed %#08x)", stored, computed)}
+		}
+	}
 
 	if m := rU32(); err != nil || m != ckptMagic {
 		if err == nil {
@@ -421,11 +650,13 @@ func Read(in io.Reader) (*Checkpoint, error) {
 		}
 		return nil, err
 	}
-	if v := rU32(); err != nil || v != ckptVersion {
+	if v := rU32(); err != nil || (v != ckptV1 && v != ckptVersion) {
 		if err == nil {
 			err = fmt.Errorf("ckpt: unsupported version %d", v)
 		}
 		return nil, err
+	} else if err == nil {
+		version = v
 	}
 	ck := &Checkpoint{}
 	ck.Step = rI64()
@@ -436,6 +667,7 @@ func Read(in io.Reader) (*Checkpoint, error) {
 	ck.Box = rBox()
 	ck.SetupBox = rBox()
 	ck.Q2Setup = rF()
+	endSection("header")
 	if err != nil {
 		return nil, err
 	}
@@ -513,8 +745,36 @@ func Read(in io.Reader) (*Checkpoint, error) {
 				Owner: rI64(), Partner: rI64(), Shear: rV(),
 			})
 		}
+		endSection(fmt.Sprintf("rank %d", r))
+	}
+	if version >= 2 && err == nil {
+		// Footer: the payload length and whole-file CRC must match what
+		// was just read. Capture the computed values before consuming the
+		// stored ones (the reads advance the hashes).
+		computedN := cr.n
+		computedSum := cr.file.Sum32()
+		fm := rU32()
+		storedN := rU64()
+		storedSum := rU32()
+		switch {
+		case err != nil:
+			// fall through to the truncation wrap below
+		case fm != ckptFooterMagic:
+			err = &IntegrityError{Section: "footer", Detail: fmt.Sprintf(
+				"bad footer magic %#08x (file truncated or overwritten mid-write)", fm)}
+		case int64(storedN) != computedN:
+			err = &IntegrityError{Section: "footer", Detail: fmt.Sprintf(
+				"payload length %d, footer declares %d", computedN, storedN)}
+		case storedSum != computedSum:
+			err = &IntegrityError{Section: "footer", Detail: fmt.Sprintf(
+				"file CRC mismatch (stored %#08x, computed %#08x)", storedSum, computedSum)}
+		}
 	}
 	if err != nil {
+		var ie *IntegrityError
+		if errors.As(err, &ie) {
+			return nil, err
+		}
 		return nil, fmt.Errorf("ckpt: truncated checkpoint: %w", err)
 	}
 	return ck, nil

@@ -1,0 +1,216 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"gomd/internal/atom"
+	"gomd/internal/box"
+	"gomd/internal/rng"
+	"gomd/internal/vec"
+	"gomd/internal/workload"
+
+	"gomd/internal/core"
+)
+
+// sampleCheckpoint builds a small but fully-populated checkpoint for
+// format-level tests.
+func sampleCheckpoint() *Checkpoint {
+	return &Checkpoint{
+		Step:  64,
+		Ranks: 2,
+		Grid:  [3]int{2, 1, 1},
+		Box: box.Box{
+			Lo: vec.New(0, 0, 0), Hi: vec.New(10, 10, 10),
+			Periodic: [3]bool{true, true, true},
+		},
+		SetupBox: box.Box{
+			Lo: vec.New(0, 0, 0), Hi: vec.New(10, 10, 10),
+			Periodic: [3]bool{true, true, true},
+		},
+		Q2Setup: 1.25,
+		PerRank: []Rank{
+			{
+				Atoms: []atom.Atom{
+					{Tag: 1, Type: 1, Pos: vec.New(1, 2, 3), Vel: vec.New(0.1, -0.2, 0.3)},
+					{Tag: 2, Type: 2, Pos: vec.New(4, 5, 6)},
+				},
+				Force:      []vec.V3{vec.New(0.5, 0, -0.5), {}},
+				LastPE:     -9.75,
+				LastVirial: 3.5,
+				RNG:        rng.New(11).State(),
+			},
+			{
+				Atoms: []atom.Atom{{Tag: 3, Type: 1, Pos: vec.New(7, 8, 9)}},
+				Force: []vec.V3{{}},
+				RNG:   rng.New(12).State(),
+			},
+		},
+	}
+}
+
+// TestCheckpointV1Compat: files written by the pre-CRC v1 format must
+// keep restoring under the v2 reader.
+func TestCheckpointV1Compat(t *testing.T) {
+	ck := sampleCheckpoint()
+	var buf bytes.Buffer
+	if err := writeVersion(&buf, ck, ckptV1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("v2 reader rejected a v1 file: %v", err)
+	}
+	if !reflect.DeepEqual(ck, got) {
+		t.Fatalf("v1 round-trip mismatch:\nwrote %+v\nread  %+v", ck, got)
+	}
+}
+
+// TestCheckpointFlipDetected: a single flipped byte — in the header
+// section and in the footer's stored file CRC — must surface as an
+// IntegrityError, not as silently-corrupt state.
+func TestCheckpointFlipDetected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleCheckpoint()); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	// Offset 8 is inside the header payload (past magic+version: the
+	// step field, so the flip cannot masquerade as a length and balloon
+	// an allocation); the last byte is inside the footer's file CRC.
+	for _, off := range []int{8, len(clean) - 1} {
+		damaged := append([]byte(nil), clean...)
+		damaged[off] ^= 0xff
+		_, err := Read(bytes.NewReader(damaged))
+		var ie *IntegrityError
+		if !errors.As(err, &ie) {
+			t.Errorf("flip at offset %d: err = %v, want *IntegrityError", off, err)
+		}
+	}
+	// The undamaged bytes still read: the flips above were the failures.
+	if _, err := Read(bytes.NewReader(clean)); err != nil {
+		t.Fatalf("clean file rejected: %v", err)
+	}
+}
+
+// TestCheckpointTruncationDetected: cutting bytes off the end — a lot
+// (mid-payload) or a little (inside the footer) — must fail the read.
+func TestCheckpointTruncationDetected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleCheckpoint()); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	for _, keep := range []int{len(clean) / 2, len(clean) - 3} {
+		if _, err := Read(bytes.NewReader(clean[:keep])); err == nil {
+			t.Errorf("truncation to %d of %d bytes read successfully", keep, len(clean))
+		}
+	}
+}
+
+// TestReadNewestValidFallback: generation rotation plus the
+// newest-first verification scan. A corrupted newest generation must
+// fall back to the previous intact one, reporting the rejection; all
+// generations corrupt or missing must fail with the right error shapes.
+func TestReadNewestValidFallback(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+
+	older := sampleCheckpoint()
+	older.Step = 10
+	newer := sampleCheckpoint()
+	newer.Step = 20
+	if err := WriteFileAtomic(path, older); err != nil {
+		t.Fatal(err)
+	}
+	rotate(path, 2)
+	if err := WriteFileAtomic(path, newer); err != nil {
+		t.Fatal(err)
+	}
+
+	ck, gen, rejected, err := ReadNewestValid(path, 2)
+	if err != nil || gen != 0 || ck.Step != 20 || len(rejected) != 0 {
+		t.Fatalf("healthy scan: ck.Step=%v gen=%d rejected=%v err=%v", ck, gen, rejected, err)
+	}
+
+	// Truncate the newest generation: the scan must reject it on CRC and
+	// fall back to generation 1.
+	st, _ := os.Stat(path)
+	if err := os.Truncate(path, st.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	ck, gen, rejected, err = ReadNewestValid(path, 2)
+	if err != nil {
+		t.Fatalf("fallback scan failed: %v", err)
+	}
+	if gen != 1 || ck.Step != 10 {
+		t.Fatalf("fallback chose gen %d step %d, want gen 1 step 10", gen, ck.Step)
+	}
+	if len(rejected) != 1 || rejected[0].Gen != 0 {
+		t.Fatalf("rejections = %+v, want exactly generation 0", rejected)
+	}
+
+	// Corrupt the older generation too: no intact generation remains.
+	p1 := GenerationPath(path, 1)
+	st1, _ := os.Stat(p1)
+	if err := os.Truncate(p1, st1.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	_, _, rejected, err = ReadNewestValid(path, 2)
+	if err == nil || errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("all-corrupt scan: err = %v, want a non-ErrNotExist failure", err)
+	}
+	if len(rejected) != 2 {
+		t.Fatalf("all-corrupt scan rejected %d generations, want 2", len(rejected))
+	}
+
+	// Remove everything: the "no checkpoint yet" case must wrap
+	// os.ErrNotExist so supervisors restart from scratch.
+	os.Remove(path)
+	os.Remove(p1)
+	_, _, _, err = ReadNewestValid(path, 2)
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("all-missing scan: err = %v, want ErrNotExist", err)
+	}
+}
+
+// TestWriterKeepGenerations: a Writer with SetKeep(2) retains the
+// previous checkpoint as path.1 while path tracks the newest, and the
+// corruptor hook sees every completed write.
+func TestWriterKeepGenerations(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "lj.ckpt")
+
+	cfg, st := workload.MustBuild(workload.LJ, workload.Options{Atoms: 400, Seed: 7})
+	cfg.CheckpointEvery = 10
+	w := NewWriter(path, 1)
+	w.SetGrid([3]int{1, 1, 1})
+	w.SetKeep(2)
+	var hookSteps []int64
+	w.SetCorruptor(func(step int64, p string) {
+		if p != path {
+			t.Errorf("corruptor path = %q, want %q", p, path)
+		}
+		hookSteps = append(hookSteps, step)
+	})
+	cfg.CheckpointSink = w.Sink()
+	sim := core.New(cfg, st)
+	defer sim.Close()
+	sim.Run(20)
+
+	newest, err := ReadFile(path)
+	if err != nil || newest.Step != 20 {
+		t.Fatalf("newest generation: step=%v err=%v, want 20", newest, err)
+	}
+	prev, err := ReadFile(GenerationPath(path, 1))
+	if err != nil || prev.Step != 10 {
+		t.Fatalf("retained generation: step=%v err=%v, want 10", prev, err)
+	}
+	if len(hookSteps) != 2 || hookSteps[0] != 10 || hookSteps[1] != 20 {
+		t.Fatalf("corruptor hook saw %v, want [10 20]", hookSteps)
+	}
+}

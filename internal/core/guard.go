@@ -20,10 +20,11 @@ type SimError struct {
 
 // Guardrail failure kinds.
 const (
-	ErrNaNForce  = "nan-force"
-	ErrNaNEnergy = "nan-energy"
-	ErrLostAtom  = "lost-atom"
-	ErrCkptWrite = "checkpoint-write"
+	ErrNaNForce     = "nan-force"
+	ErrNaNEnergy    = "nan-energy"
+	ErrLostAtom     = "lost-atom"
+	ErrCkptWrite    = "checkpoint-write"
+	ErrHangInjected = "hang-injected"
 )
 
 // Error implements error.

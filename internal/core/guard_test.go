@@ -81,3 +81,30 @@ func TestGuardrailKilledRank(t *testing.T) {
 		t.Fatalf("killed rank %d step %d, want rank 0 step 4", k.Rank, k.Step)
 	}
 }
+
+// TestGuardrailInjectedHangSerial: the serial engine has no watchdog to
+// recover a parked rank, so a hang fault must fail fast with a typed
+// SimError instead of deadlocking the process.
+func TestGuardrailInjectedHangSerial(t *testing.T) {
+	cfg, st := workload.MustBuild(workload.LJ, workload.Options{Atoms: 256, Seed: 3})
+	inj, err := fault.Parse("hang:rank=0,step=4", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Fault = inj
+	sim := core.New(cfg, st)
+	runErr := sim.RunChecked(10)
+	var se *core.SimError
+	if !errors.As(runErr, &se) {
+		t.Fatalf("error = %v, want *core.SimError", runErr)
+	}
+	if se.Kind != core.ErrHangInjected {
+		t.Fatalf("kind = %q, want %q", se.Kind, core.ErrHangInjected)
+	}
+	if se.Rank != 0 || se.Step != 4 {
+		t.Fatalf("hang refused at rank %d step %d, want rank 0 step 4", se.Rank, se.Step)
+	}
+	if !strings.Contains(se.Error(), "decomposed") {
+		t.Errorf("error should point at decomposed runs: %v", se)
+	}
+}

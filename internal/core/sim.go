@@ -15,6 +15,7 @@ import (
 	"gomd/internal/compute"
 	"gomd/internal/fault"
 	"gomd/internal/fix"
+	"gomd/internal/health"
 	"gomd/internal/kspace"
 	"gomd/internal/neighbor"
 	"gomd/internal/obs"
@@ -91,6 +92,10 @@ type Config struct {
 	// kill/NaN faults at step granularity (message faults install on the
 	// mpi world separately). Nil costs one pointer check per step.
 	Fault *fault.Injector
+	// Health, when non-nil, receives this rank's heartbeat (step + phase)
+	// at every stage of the timestep loop, feeding the hang watchdog.
+	// Decomposed runs share one Monitor across per-rank configs.
+	Health *health.Monitor
 }
 
 // Backend abstracts the communication substrate: the serial engine uses
@@ -172,6 +177,7 @@ type Simulation struct {
 	span     *obs.Rank
 	stepHist *obs.Histogram
 	commHist *obs.Histogram
+	beat     *health.Beat
 }
 
 // ghostSync adapts the backend to pair.GhostSync.
@@ -254,6 +260,7 @@ func build(cfg Config, st *atom.Store, be Backend, rs *RestoreState) (*Simulatio
 	// traffic and neighbor builds are already visible.
 	rank := be.Rank()
 	s.span = cfg.Trace.Rank(rank)
+	s.beat = cfg.Health.Rank(rank)
 	s.NL.Span = s.span
 	s.pool.SetSpan(s.span)
 	if sc, ok := cfg.Kspace.(obs.SpanCarrier); ok {
@@ -369,9 +376,13 @@ func (s *Simulation) step() {
 	s.span.SetStep(s.Step)
 	if cfg.Fault != nil {
 		cfg.Fault.BeginStep(s.backend.Rank(), s.Step)
+		if cfg.Fault.HangAt(s.backend.Rank(), s.Step) {
+			s.parkHung()
+		}
 	}
 
 	// --- Modify: initial integration (step I/II of Figure 1).
+	s.beat.Mark(health.PhaseIntegrate, s.Step)
 	t0 := time.Now()
 	ctx := s.fixContext()
 	for _, f := range cfg.Fixes {
@@ -402,6 +413,7 @@ func (s *Simulation) step() {
 		s.Times[TaskNeigh] += d
 		s.span.Span(obs.CatTask, TaskNeigh.String(), tN, d)
 	}
+	s.beat.Mark(health.PhaseComm, s.Step)
 	tC := time.Now()
 	if rebuild {
 		s.backend.Rebuild(s)
@@ -413,6 +425,7 @@ func (s *Simulation) step() {
 	s.span.Span(obs.CatTask, TaskComm.String(), tC, d)
 	if rebuild {
 		s.lastRebuild = s.Step
+		s.beat.Mark(health.PhaseNeigh, s.Step)
 		tN := time.Now()
 		s.NL.Build(st)
 		d = time.Since(tN)
@@ -433,6 +446,7 @@ func (s *Simulation) step() {
 	}
 
 	// --- Modify: post-force, final integration, end-of-step.
+	s.beat.Mark(health.PhaseModify, s.Step)
 	tM := time.Now()
 	ctx = s.fixContext()
 	for _, f := range cfg.Fixes {
@@ -454,6 +468,7 @@ func (s *Simulation) step() {
 
 	// --- Output (step VIII).
 	if cfg.ThermoEvery > 0 && s.Step%int64(cfg.ThermoEvery) == 0 {
+		s.beat.Mark(health.PhaseOutput, s.Step)
 		tO := time.Now()
 		s.LastThermo = s.ComputeThermo()
 		s.Counters.ThermoEvals++
@@ -473,6 +488,7 @@ func (s *Simulation) step() {
 	// is post-migration and a restart replays exactly one rebuild.
 	if cfg.CheckpointEvery > 0 && cfg.CheckpointSink != nil &&
 		s.Step%int64(cfg.CheckpointEvery) == 0 {
+		s.beat.Mark(health.PhaseCheckpoint, s.Step)
 		if err := cfg.CheckpointSink(s); err != nil {
 			panic(&SimError{
 				Rank: s.backend.Rank(), Step: s.Step, Kind: ErrCkptWrite,
@@ -488,6 +504,30 @@ func (s *Simulation) step() {
 	}
 }
 
+// hangParker is implemented by backends that can park their rank inside
+// the messaging layer (the domain backend delegates to
+// mpi.Comm.ParkInjectedHang). The serial backend has no messaging layer
+// — and no watchdog-recoverable world — so it cannot honor a hang fault.
+type hangParker interface {
+	ParkHung(s *Simulation)
+}
+
+// parkHung services an injected hang fault: the rank reports PhaseHung
+// and then blocks forever, leaving the health watchdog as the only way
+// the run ends. Serial runs fail fast instead of deadlocking the
+// process.
+func (s *Simulation) parkHung() {
+	s.beat.Mark(health.PhaseHung, s.Step)
+	hp, ok := s.backend.(hangParker)
+	if !ok {
+		panic(&SimError{
+			Rank: s.backend.Rank(), Step: s.Step, Kind: ErrHangInjected,
+			Detail: "hang injection requires a decomposed run (a serial rank parked forever would deadlock the process with no watchdog to recover it)",
+		})
+	}
+	hp.ParkHung(s)
+}
+
 // evaluateForces runs the force pipeline (pair, bonded, k-space, reverse
 // halo accumulation) at the current positions, updating LastPE and
 // LastVirial.
@@ -495,6 +535,7 @@ func (s *Simulation) evaluateForces() {
 	st := s.Store
 	cfg := &s.Cfg
 
+	s.beat.Mark(health.PhaseForce, s.Step)
 	tF := time.Now()
 	st.ZeroForces()
 	d := time.Since(tF)

@@ -51,6 +51,14 @@ type Backend struct {
 	recvCount [3][2]int
 }
 
+// ParkHung implements the core engine's hang-injection hook: the rank
+// parks forever inside the messaging layer (visible to comm-state
+// snapshots as "injected-hang") until the health watchdog aborts the
+// world.
+func (b *Backend) ParkHung(s *core.Simulation) {
+	b.comm.ParkInjectedHang()
+}
+
 // neighborRank returns the rank one step along dim in direction dir
 // (0:+, 1:-), or -1 at a non-periodic boundary.
 func (b *Backend) neighborRank(s *core.Simulation, dim, dir int) int {

@@ -17,6 +17,13 @@
 //     reorder defers the message past the sender's next operation,
 //     exercising the runtime's out-of-order matching. These install
 //     through mpi.World.SetFaultHook.
+//   - hang: park a given rank forever at the top of a given step without
+//     panicking, modeling a livelock/deadlock — the failure mode only the
+//     health watchdog (internal/health) can convert into a recovery.
+//   - truncate-ckpt / flip-ckpt: corrupt the checkpoint file right after
+//     it is written (cut bytes off the end, or XOR one byte), which the
+//     GMCK v2 CRC layer must reject on restore so the supervisor falls
+//     back to an older intact generation.
 //
 // Addressing is deterministic: steps are tracked per rank via BeginStep
 // (called by the core timestep loop), and any unspecified atom/component
@@ -28,6 +35,7 @@ package fault
 import (
 	"fmt"
 	"math"
+	"os"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -81,6 +89,24 @@ type msgSpec struct {
 	fired   atomic.Bool
 }
 
+// hangSpec is one hang:... fault.
+type hangSpec struct {
+	rank  int
+	step  int64
+	fired atomic.Bool
+}
+
+// ckptSpec is one truncate-ckpt:... or flip-ckpt:... fault. step of -1
+// matches the first checkpoint written; offset/bytes of -1 mean a
+// seeded pick (flip) or half the file (truncate).
+type ckptSpec struct {
+	flip   bool
+	step   int64
+	offset int64 // flip: byte offset to XOR, -1 = seeded
+	bytes  int64 // truncate: bytes to cut off the end, -1 = half the file
+	fired  atomic.Bool
+}
+
 // Injector holds a parsed fault plan. One instance is shared by every
 // rank of a run — and by every restart attempt of a supervised run, so
 // one-shot faults stay one-shot across recoveries.
@@ -89,6 +115,8 @@ type Injector struct {
 	kills []*killSpec
 	nans  []*nanSpec
 	msgs  []*msgSpec
+	hangs []*hangSpec
+	ckpts []*ckptSpec
 	steps [maxRanks]atomic.Int64
 }
 
@@ -183,8 +211,26 @@ func Parse(spec string, seed uint64) (*Injector, error) {
 				m.delay = time.Duration(get("ms", 10)) * time.Millisecond
 			}
 			in.msgs = append(in.msgs, m)
+		case "hang":
+			r, err := need("rank")
+			if err != nil {
+				return nil, err
+			}
+			s, err := need("step")
+			if err != nil {
+				return nil, err
+			}
+			in.hangs = append(in.hangs, &hangSpec{rank: int(r), step: s})
+		case "truncate-ckpt":
+			in.ckpts = append(in.ckpts, &ckptSpec{
+				step: get("step", -1), bytes: get("bytes", -1), offset: -1,
+			})
+		case "flip-ckpt":
+			in.ckpts = append(in.ckpts, &ckptSpec{
+				flip: true, step: get("step", -1), offset: get("offset", -1), bytes: -1,
+			})
 		default:
-			return nil, fmt.Errorf("fault: unknown kind %q (want kill, nan, delay, reorder)", kind)
+			return nil, fmt.Errorf("fault: unknown kind %q (want kill, nan, delay, reorder, hang, truncate-ckpt, flip-ckpt)", kind)
 		}
 		for k := range kv {
 			return nil, fmt.Errorf("fault: unknown key %q for %s fault in %q", k, kind, part)
@@ -208,6 +254,70 @@ func (in *Injector) BeginStep(rank int, step int64) {
 		if k.rank == rank && k.step == step && k.fired.CompareAndSwap(false, true) {
 			panic(&Killed{Rank: rank, Step: step})
 		}
+	}
+}
+
+// HangAt reports whether an armed hang fault addresses (rank, step),
+// firing it one-shot. The timestep loop checks it right after
+// BeginStep; on true the rank parks forever in the messaging layer
+// (mpi.Comm.ParkInjectedHang) so only the watchdog can end the run.
+func (in *Injector) HangAt(rank int, step int64) bool {
+	if in == nil {
+		return false
+	}
+	for _, h := range in.hangs {
+		if h.rank == rank && h.step == step && h.fired.CompareAndSwap(false, true) {
+			return true
+		}
+	}
+	return false
+}
+
+// CorruptCheckpoint applies any armed checkpoint fault addressing step
+// (or the first checkpoint, for step -1) to the file at path,
+// one-shot. Installed as the ckpt.Writer's corruptor, it runs after
+// the atomic write completes. Corruption is silent — errors are
+// swallowed and nothing is logged — because the point is to prove the
+// restore-side CRC layer catches damage nobody announced.
+func (in *Injector) CorruptCheckpoint(step int64, path string) {
+	if in == nil {
+		return
+	}
+	for _, c := range in.ckpts {
+		if c.step >= 0 && c.step != step {
+			continue
+		}
+		if !c.fired.CompareAndSwap(false, true) {
+			continue
+		}
+		f, err := os.OpenFile(path, os.O_RDWR, 0)
+		if err != nil {
+			continue
+		}
+		st, err := f.Stat()
+		if err != nil || st.Size() == 0 {
+			f.Close()
+			continue
+		}
+		size := st.Size()
+		if c.flip {
+			off := c.offset
+			if off < 0 || off >= size {
+				off = int64(rng.New(in.seed ^ uint64(step)).Intn(int(size)))
+			}
+			var b [1]byte
+			if _, err := f.ReadAt(b[:], off); err == nil {
+				b[0] ^= 0xff
+				f.WriteAt(b[:], off)
+			}
+		} else {
+			cut := c.bytes
+			if cut <= 0 || cut > size {
+				cut = size / 2
+			}
+			f.Truncate(size - cut)
+		}
+		f.Close()
 	}
 }
 
@@ -279,5 +389,6 @@ func (in *Injector) OnSend(src, dst, tag int) (time.Duration, bool) {
 // Active reports whether the injector has any faults configured (a nil
 // injector is inactive).
 func (in *Injector) Active() bool {
-	return in != nil && (len(in.kills) > 0 || len(in.nans) > 0 || len(in.msgs) > 0)
+	return in != nil && (len(in.kills) > 0 || len(in.nans) > 0 ||
+		len(in.msgs) > 0 || len(in.hangs) > 0 || len(in.ckpts) > 0)
 }

@@ -1,0 +1,155 @@
+package fault
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFaultParseHangAndCkpt: the hang and checkpoint-corruption kinds
+// parse with required/optional keys and reject unknown ones.
+func TestFaultParseHangAndCkpt(t *testing.T) {
+	in, err := Parse("hang:rank=2,step=50;truncate-ckpt:step=30;flip-ckpt:offset=12", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Active() {
+		t.Fatal("injector should be active")
+	}
+	if len(in.hangs) != 1 || in.hangs[0].rank != 2 || in.hangs[0].step != 50 {
+		t.Fatalf("hang spec = %+v", in.hangs)
+	}
+	if len(in.ckpts) != 2 {
+		t.Fatalf("ckpt specs = %+v", in.ckpts)
+	}
+	if in.ckpts[0].flip || in.ckpts[0].step != 30 || in.ckpts[0].bytes != -1 {
+		t.Fatalf("truncate spec = %+v", in.ckpts[0])
+	}
+	if !in.ckpts[1].flip || in.ckpts[1].step != -1 || in.ckpts[1].offset != 12 {
+		t.Fatalf("flip spec = %+v", in.ckpts[1])
+	}
+	for _, bad := range []string{
+		"hang:rank=1",              // missing step
+		"hang:step=1",              // missing rank
+		"truncate-ckpt:rank=1",     // unknown key
+		"flip-ckpt:step=1,bytes=2", // bytes belongs to truncate
+		"truncate-ckpt:offset=3",   // offset belongs to flip
+	} {
+		if _, err := Parse(bad, 1); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+// TestFaultHangAtOneShot: HangAt fires exactly once for its address and
+// never for others — a restarted run must not re-hang.
+func TestFaultHangAtOneShot(t *testing.T) {
+	in, err := Parse("hang:rank=2,step=50", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.HangAt(1, 50) || in.HangAt(2, 49) {
+		t.Fatal("hang fired at the wrong address")
+	}
+	if !in.HangAt(2, 50) {
+		t.Fatal("hang did not fire at its address")
+	}
+	if in.HangAt(2, 50) {
+		t.Fatal("hang fired twice")
+	}
+	var nilIn *Injector
+	if nilIn.HangAt(0, 0) {
+		t.Fatal("nil injector hung")
+	}
+}
+
+// TestFaultCorruptCheckpointTruncate: the truncate action cuts bytes
+// off the addressed checkpoint file, one-shot, and skips other steps.
+func TestFaultCorruptCheckpointTruncate(t *testing.T) {
+	in, err := Parse("truncate-ckpt:step=30", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "x.ckpt")
+	payload := bytes.Repeat([]byte{0xab}, 1000)
+	writeFile := func() {
+		if err := os.WriteFile(path, payload, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	size := func() int64 {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Size()
+	}
+
+	writeFile()
+	in.CorruptCheckpoint(20, path) // wrong step: untouched
+	if size() != 1000 {
+		t.Fatalf("wrong-step corruption changed the file to %d bytes", size())
+	}
+	in.CorruptCheckpoint(30, path)
+	if size() != 500 {
+		t.Fatalf("truncate left %d bytes, want half (500)", size())
+	}
+	writeFile()
+	in.CorruptCheckpoint(30, path) // one-shot: no second firing
+	if size() != 1000 {
+		t.Fatalf("truncate fired twice (size %d)", size())
+	}
+}
+
+// TestFaultCorruptCheckpointFlip: the flip action XORs exactly one byte
+// at the requested offset, and a seeded pick when the offset is
+// omitted; file length never changes.
+func TestFaultCorruptCheckpointFlip(t *testing.T) {
+	in, err := Parse("flip-ckpt:step=10,offset=3;flip-ckpt:step=20", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "x.ckpt")
+	payload := bytes.Repeat([]byte{0x5c}, 64)
+	if err := os.WriteFile(path, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	in.CorruptCheckpoint(10, path)
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 64 {
+		t.Fatalf("flip changed the length to %d", len(got))
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != payload[i] {
+			diff++
+			if i != 3 {
+				t.Errorf("flip touched offset %d, want 3", i)
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("flip changed %d bytes, want exactly 1", diff)
+	}
+
+	// Seeded-offset flip: still exactly one byte, deterministically.
+	if err := os.WriteFile(path, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in.CorruptCheckpoint(20, path)
+	got, _ = os.ReadFile(path)
+	diff = 0
+	for i := range got {
+		if got[i] != payload[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("seeded flip changed %d bytes, want exactly 1", diff)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"gomd/internal/atom"
 	"gomd/internal/core"
@@ -44,13 +45,17 @@ type Options struct {
 	Workers int
 
 	// Fault tolerance (see Supervisor): periodic checkpoints every
-	// CheckpointEvery steps to CheckpointPath, optional resume from
-	// RestartPath, and up to Retries automatic recoveries from rank
-	// failures. All zero values disable the machinery.
+	// CheckpointEvery steps to CheckpointPath (retaining KeepCheckpoints
+	// generations), optional resume from RestartPath, up to Retries
+	// automatic recoveries from rank failures, and — when HangTimeout is
+	// positive — a hang watchdog over every run attempt. All zero values
+	// disable the machinery.
 	CheckpointEvery int
 	CheckpointPath  string
 	RestartPath     string
+	KeepCheckpoints int
 	Retries         int
+	HangTimeout     time.Duration
 
 	// CheckEvery enables the engine's numerical guardrails every that
 	// many steps; Fault installs a deterministic fault injector. Both are
@@ -179,7 +184,10 @@ func (r *Runner) runEngine(spec Spec, nrun int) (*measured, error) {
 			CheckpointEvery: o.CheckpointEvery,
 			CheckpointPath:  o.CheckpointPath,
 			RestartPath:     o.RestartPath,
+			KeepCheckpoints: o.KeepCheckpoints,
 			Retries:         o.Retries,
+			HangTimeout:     o.HangTimeout,
+			Fault:           o.Fault,
 			Metrics:         r.Metrics,
 			Tracer:          r.SpanTrace,
 			Trace:           r.Trace,

@@ -3,13 +3,17 @@ package harness
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"os"
+	"strconv"
 	"time"
 
 	"gomd/internal/atom"
 	"gomd/internal/ckpt"
 	"gomd/internal/core"
 	"gomd/internal/domain"
+	"gomd/internal/fault"
+	"gomd/internal/health"
 	"gomd/internal/mpi"
 	"gomd/internal/obs"
 	"gomd/internal/trace"
@@ -35,38 +39,75 @@ type Supervisor struct {
 	CheckpointPath  string
 	RestartPath     string
 
+	// KeepCheckpoints retains that many checkpoint generations (default
+	// 1): each write rotates path -> path.1 -> ... so a corrupted newest
+	// file still leaves older intact generations to recover from.
+	KeepCheckpoints int
+
+	// HangTimeout, when positive, arms a health watchdog over each run
+	// attempt: ranks heartbeat from their timestep loops, and a rank that
+	// makes no progress within the timeout triggers a diagnosed world
+	// abort that recovers through the same path as a crash.
+	HangTimeout time.Duration
+
+	// Fault, when set alongside checkpointing, installs the injector's
+	// checkpoint corruptor on the writer (truncate-ckpt / flip-ckpt
+	// faults damage the file right after each write).
+	Fault *fault.Injector
+
 	// Retries bounds recovery attempts over the supervisor's lifetime
 	// (0 = fail on the first rank error). Backoff is slept before each
-	// rebuild; default 50ms.
+	// rebuild (default 50ms) plus up to 100% seeded-free jitter, so
+	// co-scheduled supervised runs do not thunder back in lockstep.
 	Retries int
 	Backoff time.Duration
 
 	// Observability: recoveries are counted in Metrics
-	// (recover.attempts, recover.rank_errors{rank=r}), marked on the
-	// failed rank's span timeline, and logged to Trace. All optional.
+	// (recover.attempts, recover.rank_errors{rank=r},
+	// recover.ckpt_rejected), marked on the failed rank's span timeline,
+	// and logged to Trace (recovery, checkpoint-verify,
+	// checkpoint-restore events). All optional.
 	Metrics *obs.Registry
 	Tracer  *obs.Tracer
 	Trace   *trace.Logger
 
 	eng      *domain.Engine
 	writer   *ckpt.Writer
+	monitor  *health.Monitor
 	attempts int
 }
 
-// wrapFactory injects the supervisor's checkpoint sink into the
-// workload configs (no-op without checkpointing).
+// wrapFactory injects the supervisor's checkpoint sink and health
+// monitor into the workload configs (no-op when neither is enabled).
 func (s *Supervisor) wrapFactory() domain.Factory {
-	if s.CheckpointEvery <= 0 || s.CheckpointPath == "" {
+	var sink func(*core.Simulation) error
+	if s.CheckpointEvery > 0 && s.CheckpointPath != "" {
+		if s.writer == nil {
+			s.writer = ckpt.NewWriter(s.CheckpointPath, s.Ranks)
+			if s.KeepCheckpoints > 1 {
+				s.writer.SetKeep(s.KeepCheckpoints)
+			}
+			if s.Fault != nil {
+				s.writer.SetCorruptor(s.Fault.CorruptCheckpoint)
+			}
+		}
+		sink = s.writer.Sink()
+	}
+	if s.HangTimeout > 0 && s.monitor == nil {
+		// One monitor outlives engine rebuilds: recovery attempts keep
+		// beating into the same instance.
+		s.monitor = health.NewMonitor(s.Ranks)
+	}
+	if sink == nil && s.monitor == nil {
 		return s.Factory
 	}
-	if s.writer == nil {
-		s.writer = ckpt.NewWriter(s.CheckpointPath, s.Ranks)
-	}
-	sink := s.writer.Sink()
 	return func() (core.Config, *atom.Store, error) {
 		cfg, st, err := s.Factory()
-		cfg.CheckpointEvery = s.CheckpointEvery
-		cfg.CheckpointSink = sink
+		if sink != nil {
+			cfg.CheckpointEvery = s.CheckpointEvery
+			cfg.CheckpointSink = sink
+		}
+		cfg.Health = s.monitor
 		return cfg, st, err
 	}
 }
@@ -130,7 +171,7 @@ func (s *Supervisor) Run(n int) error {
 		if remaining <= 0 {
 			return nil
 		}
-		err := s.eng.Run(int(remaining))
+		err := s.runOnce(int(remaining))
 		if err == nil {
 			return nil
 		}
@@ -148,6 +189,10 @@ func (s *Supervisor) Run(n int) error {
 		if backoff == 0 {
 			backoff = 50 * time.Millisecond
 		}
+		// Full jitter: co-scheduled supervised runs sharing a failure
+		// cause should not retry in lockstep. Trajectory bits are
+		// unaffected — restarts are bit-exact regardless of when they run.
+		backoff += time.Duration(rand.Int63n(int64(backoff) + 1))
 		time.Sleep(backoff)
 
 		s.eng.Close()
@@ -157,8 +202,27 @@ func (s *Supervisor) Run(n int) error {
 	}
 }
 
-// rebuild constructs a replacement engine from the newest checkpoint,
-// or from scratch when none has been written yet.
+// runOnce advances the current engine n steps with a hang watchdog
+// armed for the duration of the attempt (heartbeats legitimately pause
+// across rebuilds, so each attempt gets a fresh watchdog baseline).
+func (s *Supervisor) runOnce(n int) error {
+	if s.HangTimeout > 0 {
+		wd := &health.Watchdog{
+			Mon:      s.monitor,
+			Deadline: s.HangTimeout,
+			World:    s.eng.World,
+			Metrics:  s.Metrics,
+		}
+		wd.Start()
+		defer wd.Stop()
+	}
+	return s.eng.Run(n)
+}
+
+// rebuild constructs a replacement engine from the newest checkpoint
+// generation that verifies, or from scratch when none exists. Every
+// rejected generation is logged — a silent fallback would hide
+// corruption.
 func (s *Supervisor) rebuild() error {
 	f := s.wrapFactory()
 	if s.writer != nil {
@@ -169,18 +233,42 @@ func (s *Supervisor) rebuild() error {
 		path = s.RestartPath
 	}
 	if path != "" {
-		if ck, err := ckpt.ReadFile(path); err == nil {
+		ck, gen, rejected, err := ckpt.ReadNewestValid(path, s.KeepCheckpoints)
+		for _, ge := range rejected {
+			if s.Metrics != nil {
+				s.Metrics.Counter("recover.ckpt_rejected").Inc()
+			}
+			s.Trace.Log("checkpoint-verify", map[string]any{
+				"generation": ge.Gen,
+				"path":       ge.Path,
+				"ok":         false,
+				"error":      ge.Err.Error(),
+			})
+		}
+		if err == nil {
+			s.Trace.Log("checkpoint-restore", map[string]any{
+				"generation": gen,
+				"path":       ckpt.GenerationPath(path, gen),
+				"step":       ck.Step,
+				"verified":   true,
+			})
 			eng, rerr := domain.Restore(f, ck)
 			if rerr != nil {
 				return rerr
 			}
 			s.eng = eng
 			return nil
-		} else if !errors.Is(err, os.ErrNotExist) {
+		}
+		if !errors.Is(err, os.ErrNotExist) && len(rejected) == 0 {
 			return err
 		}
+		// All generations missing (none written yet) or all rejected:
+		// restarting from step 0 is the only remaining recovery.
 	}
-	// No checkpoint landed before the failure: restart from step 0.
+	s.Trace.Log("checkpoint-restore", map[string]any{
+		"generation": -1,
+		"scratch":    true,
+	})
 	eng, err := domain.New(f, s.Ranks)
 	if err != nil {
 		return err
@@ -200,11 +288,26 @@ func (s *Supervisor) recordRecovery(re *mpi.RankError) {
 		s.Metrics.Counter(obs.RankMetric("recover.rank_errors", re.Rank)).Inc()
 	}
 	s.Tracer.Rank(re.Rank).Span(obs.CatStep, "recover", time.Now(), 0)
-	s.Trace.Log("recovery", map[string]any{
+	payload := map[string]any{
 		"rank":    re.Rank,
 		"attempt": s.attempts,
 		"cause":   fmt.Sprint(re.Cause),
-	})
+	}
+	var he *health.HangError
+	if errors.As(re, &he) {
+		// Hang recoveries carry the watchdog's diagnosis: which ranks
+		// went silent and what primitive each rank was parked in.
+		payload["hang"] = true
+		payload["hang_deadline"] = he.Deadline.String()
+		parked := map[string]string{}
+		for _, rs := range he.Ranks {
+			if rs.Parked != "" {
+				parked[strconv.Itoa(rs.Rank)] = rs.Parked
+			}
+		}
+		payload["parked"] = parked
+	}
+	s.Trace.Log("recovery", payload)
 }
 
 // Attempts returns how many recoveries have been performed.

@@ -1,0 +1,151 @@
+// Package health is the liveness layer of fault-tolerant runs. The
+// failure class PR'd here is the one crashes don't cover: a rank parked
+// forever in a Send/Recv/collective, or a straggler that silently stops
+// making progress, wedging the whole world with no panic to convert
+// into a RankError. Every rank publishes a heartbeat (step counter +
+// current phase) from its timestep loop; a Watchdog scans the
+// heartbeats and, when a rank makes no progress within a configurable
+// deadline, snapshots the communication state of the world (which ranks
+// are parked in which primitive, mailbox depths, goroutine stacks) and
+// fires the world abort with a HangError carrying that diagnosis — so
+// hangs travel the same structured RankError → supervisor-recovery path
+// panics already use.
+package health
+
+import (
+	"sync/atomic"
+
+	"gomd/internal/obs"
+)
+
+// Phase identifies which part of the timestep loop a rank last reported
+// from (the Figure 1 stages, roughly).
+type Phase int32
+
+const (
+	// PhaseInit is the pre-run state (no beat recorded yet).
+	PhaseInit Phase = iota
+	// PhaseIntegrate is the initial integration (fix InitialIntegrate).
+	PhaseIntegrate
+	// PhaseComm is the halo exchange / migration stage.
+	PhaseComm
+	// PhaseNeigh is the neighbor-list rebuild.
+	PhaseNeigh
+	// PhaseForce is the force pipeline (pair/bond/kspace).
+	PhaseForce
+	// PhaseModify is the post-force fix stage.
+	PhaseModify
+	// PhaseOutput is thermo output.
+	PhaseOutput
+	// PhaseCheckpoint is the checkpoint snapshot.
+	PhaseCheckpoint
+	// PhaseHung marks a rank parked by an injected hang fault.
+	PhaseHung
+
+	numPhases
+)
+
+var phaseNames = [numPhases]string{
+	"init", "integrate", "comm", "neigh", "force",
+	"modify", "output", "checkpoint", "hung",
+}
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	if p >= 0 && p < numPhases {
+		return phaseNames[p]
+	}
+	return "?"
+}
+
+// Beat is one rank's heartbeat: the engine marks it at every phase of
+// every timestep; the watchdog reads it from its own goroutine. All
+// methods are nil-safe so unmonitored runs pay one nil check.
+type Beat struct {
+	step  atomic.Int64
+	count atomic.Int64
+	phase atomic.Int32
+}
+
+// Mark records that the rank reached phase p of step s.
+func (b *Beat) Mark(p Phase, step int64) {
+	if b == nil {
+		return
+	}
+	b.phase.Store(int32(p))
+	b.step.Store(step)
+	b.count.Add(1)
+}
+
+// Step returns the last reported step.
+func (b *Beat) Step() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.step.Load()
+}
+
+// Count returns the total number of beats — the progress signal the
+// watchdog watches (a rank whose count stops changing is stalled).
+func (b *Beat) Count() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.count.Load()
+}
+
+// Phase returns the last reported phase.
+func (b *Beat) Phase() Phase {
+	if b == nil {
+		return PhaseInit
+	}
+	return Phase(b.phase.Load())
+}
+
+// Monitor holds the per-rank heartbeats of one run. It outlives engine
+// rebuilds (the rank count is fixed for a supervised run), so recovery
+// attempts keep beating into the same instance.
+type Monitor struct {
+	beats []*Beat
+}
+
+// NewMonitor returns a monitor for a run of the given rank count.
+func NewMonitor(ranks int) *Monitor {
+	m := &Monitor{beats: make([]*Beat, ranks)}
+	for i := range m.beats {
+		m.beats[i] = &Beat{}
+	}
+	return m
+}
+
+// Rank returns rank r's heartbeat. A nil monitor (or out-of-range rank)
+// yields a nil Beat, whose methods no-op — the same optional-wiring
+// convention as obs.Tracer.
+func (m *Monitor) Rank(r int) *Beat {
+	if m == nil || r < 0 || r >= len(m.beats) {
+		return nil
+	}
+	return m.beats[r]
+}
+
+// Ranks returns the monitored rank count (0 for a nil monitor).
+func (m *Monitor) Ranks() int {
+	if m == nil {
+		return 0
+	}
+	return len(m.beats)
+}
+
+// Publish exports the heartbeats as gauges (health.step{rank=r},
+// health.beats{rank=r}, health.phase{rank=r}); the watchdog calls it on
+// every scan so dashboards see liveness without extra wiring.
+func (m *Monitor) Publish(reg *obs.Registry) {
+	if m == nil || reg == nil {
+		return
+	}
+	for r, b := range m.beats {
+		reg.Gauge(obs.RankMetric("health.step", r)).Set(float64(b.Step()))
+		reg.Gauge(obs.RankMetric("health.beats", r)).Set(float64(b.Count()))
+		reg.Gauge(obs.RankMetric("health.phase", r)).Set(float64(b.Phase()))
+	}
+}

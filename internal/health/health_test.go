@@ -1,0 +1,145 @@
+package health_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"gomd/internal/health"
+	"gomd/internal/mpi"
+	"gomd/internal/obs"
+)
+
+// TestBeatNilSafety: the optional-wiring convention — nil monitors and
+// beats absorb every call.
+func TestBeatNilSafety(t *testing.T) {
+	var m *health.Monitor
+	if m.Ranks() != 0 {
+		t.Error("nil monitor has ranks")
+	}
+	b := m.Rank(3)
+	b.Mark(health.PhaseForce, 7) // must not panic
+	if b.Count() != 0 || b.Step() != 0 || b.Phase() != health.PhaseInit {
+		t.Error("nil beat recorded state")
+	}
+	m.Publish(obs.NewRegistry()) // must not panic
+	var w *health.Watchdog
+	w.Start() // nil watchdog: no-op
+	w.Stop()
+}
+
+// TestMonitorPublish: heartbeats export as per-rank gauges.
+func TestMonitorPublish(t *testing.T) {
+	m := health.NewMonitor(2)
+	m.Rank(0).Mark(health.PhaseForce, 41)
+	m.Rank(0).Mark(health.PhaseOutput, 41)
+	m.Rank(1).Mark(health.PhaseComm, 12)
+	reg := obs.NewRegistry()
+	m.Publish(reg)
+	cases := map[string]float64{
+		"health.step{rank=0}":  41,
+		"health.beats{rank=0}": 2,
+		"health.phase{rank=0}": float64(health.PhaseOutput),
+		"health.step{rank=1}":  12,
+		"health.beats{rank=1}": 1,
+	}
+	for name, want := range cases {
+		if got := reg.Gauge(name).Value(); got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+}
+
+// TestWatchdogQuietWhileProgressing: a rank that keeps beating within
+// the deadline never triggers the watchdog.
+func TestWatchdogQuietWhileProgressing(t *testing.T) {
+	m := health.NewMonitor(1)
+	fired := make(chan *health.HangError, 1)
+	wd := &health.Watchdog{
+		Mon:      m,
+		Deadline: 200 * time.Millisecond,
+		OnHang:   func(he *health.HangError) { fired <- he },
+	}
+	wd.Start()
+	defer wd.Stop()
+	for i := 0; i < 10; i++ {
+		m.Rank(0).Mark(health.PhaseForce, int64(i))
+		time.Sleep(30 * time.Millisecond)
+	}
+	select {
+	case he := <-fired:
+		t.Fatalf("watchdog fired on a progressing rank: %v", he)
+	default:
+	}
+}
+
+// TestWatchdogDiagnosesHang: the tentpole scenario in miniature. Rank 1
+// parks in an injected hang; rank 0 beats a few times and then parks in
+// a receive on rank 1. The watchdog must fire a world abort whose
+// RankError blames rank 1 and whose HangError diagnosis names both
+// parked primitives.
+func TestWatchdogDiagnosesHang(t *testing.T) {
+	w := mpi.NewWorldWith(2, mpi.WorldOptions{StragglerGrace: time.Second})
+	m := health.NewMonitor(2)
+	reg := obs.NewRegistry()
+	wd := &health.Watchdog{
+		Mon:      m,
+		Deadline: 300 * time.Millisecond,
+		World:    w,
+		Metrics:  reg,
+	}
+	wd.Start()
+	defer wd.Stop()
+
+	err := w.Parallel(func(c *mpi.Comm) {
+		if c.Rank() == 1 {
+			m.Rank(1).Mark(health.PhaseIntegrate, 0)
+			m.Rank(1).Mark(health.PhaseHung, 1)
+			c.ParkInjectedHang()
+		}
+		for i := int64(0); i < 3; i++ {
+			m.Rank(0).Mark(health.PhaseForce, i)
+			time.Sleep(10 * time.Millisecond)
+		}
+		m.Rank(0).Mark(health.PhaseComm, 3)
+		c.Recv(1, 9) // rank 1 will never send
+	})
+
+	var re *mpi.RankError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want *RankError", err)
+	}
+	if re.Rank != 1 {
+		t.Errorf("culprit rank = %d, want 1 (the injected hang, not its victim)", re.Rank)
+	}
+	var he *health.HangError
+	if !errors.As(err, &he) {
+		t.Fatalf("cause %T does not unwrap to *HangError: %v", re.Cause, err)
+	}
+	if he.Deadline != 300*time.Millisecond {
+		t.Errorf("diagnosis deadline = %v, want 300ms", he.Deadline)
+	}
+	msg := err.Error()
+	for _, want := range []string{"no progress", "injected-hang", "MPI_Wait", "phase hung", "phase comm"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("diagnosis lost %q:\n%s", want, msg)
+		}
+	}
+	if len(he.Stacks) == 0 || len(re.Stack) == 0 {
+		t.Error("diagnosis carries no goroutine stacks")
+	}
+	if got := reg.Counter("health.hangs").Value(); got != 1 {
+		t.Errorf("health.hangs = %v, want 1", got)
+	}
+}
+
+// TestWatchdogStopIdempotent: Stop twice, and Stop after firing, are
+// safe (supervisors stop unconditionally on every exit path).
+func TestWatchdogStopIdempotent(t *testing.T) {
+	m := health.NewMonitor(1)
+	wd := &health.Watchdog{Mon: m, Deadline: time.Hour, OnHang: func(*health.HangError) {}}
+	wd.Start()
+	wd.Stop()
+	wd.Stop()
+}

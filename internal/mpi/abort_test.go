@@ -103,11 +103,7 @@ func TestRankAbortWorldIsDead(t *testing.T) {
 // structured RankError whose message preserves the original stall
 // diagnostic text for greppability.
 func TestRankAbortStallText(t *testing.T) {
-	old := MailboxStallTimeout
-	MailboxStallTimeout = 50 * time.Millisecond
-	defer func() { MailboxStallTimeout = old }()
-
-	w := NewWorld(2)
+	w := NewWorldWith(2, WorldOptions{MailboxStall: 50 * time.Millisecond})
 	err := w.Parallel(func(c *Comm) {
 		if c.Rank() != 0 {
 			// Rank 1 never receives; rank 0 overflows its mailbox and stalls.

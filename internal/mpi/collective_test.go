@@ -223,14 +223,10 @@ func TestNoNegativeFuncStats(t *testing.T) {
 }
 
 // TestMailboxStallPanics: a send into a mailbox nobody drains must
-// panic with diagnostics after MailboxStallTimeout instead of hanging
-// the world forever.
+// panic with diagnostics after the world's MailboxStall bound instead
+// of hanging the world forever.
 func TestMailboxStallPanics(t *testing.T) {
-	saved := mpi.MailboxStallTimeout
-	mpi.MailboxStallTimeout = 50 * time.Millisecond
-	defer func() { mpi.MailboxStallTimeout = saved }()
-
-	w := mpi.NewWorld(2)
+	w := mpi.NewWorldWith(2, mpi.WorldOptions{MailboxStall: 50 * time.Millisecond})
 	c := w.Comm(0)
 	defer func() {
 		r := recover()

@@ -40,6 +40,25 @@ const (
 	tagFoldOffset = 1 << 8   // pre/post fold exchanges within a base
 )
 
+// collectiveForTag classifies a tag into the collective call it belongs
+// to (hang diagnostics: a rank parked on a collective hop should read as
+// parked in that collective, not in a bare send/recv). User tags are
+// non-negative, so any negative tag falls in one base's downward range.
+func collectiveForTag(tag int) (string, bool) {
+	switch {
+	case tag >= 0:
+		return "", false
+	case tag > tagTreeMax: // (tagTreeMax, 0): tree-sum rounds
+		return "MPI_Allreduce", true
+	case tag > tagBarrier: // (tagBarrier, tagTreeMax]: max rounds
+		return "MPI_Allreduce", true
+	case tag > tagButterfly: // (tagButterfly, tagBarrier]: barrier rounds
+		return "MPI_Barrier", true
+	default: // butterfly reduce-scatter + allgather rounds
+		return "MPI_Allreduce", true
+	}
+}
+
 // collStats accumulates one collective call's per-hop instrumentation.
 type collStats struct {
 	sent int64         // payload bytes this rank sent

@@ -1,0 +1,71 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+)
+
+// TestWorldOptionsDefaults: zero options adopt the deprecated package
+// default for mailbox stalls and the 2s straggler grace; explicit and
+// negative values pass through untouched.
+func TestWorldOptionsDefaults(t *testing.T) {
+	o := WorldOptions{}.withDefaults()
+	if o.MailboxStall != MailboxStallTimeout {
+		t.Errorf("MailboxStall default = %v, want package default %v", o.MailboxStall, MailboxStallTimeout)
+	}
+	if o.StragglerGrace != defaultStragglerGrace {
+		t.Errorf("StragglerGrace default = %v, want %v", o.StragglerGrace, defaultStragglerGrace)
+	}
+	if o.RecvStall != 0 {
+		t.Errorf("RecvStall default = %v, want 0 (unbounded)", o.RecvStall)
+	}
+	o = WorldOptions{
+		MailboxStall:   time.Second,
+		RecvStall:      time.Minute,
+		StragglerGrace: -1,
+	}.withDefaults()
+	if o.MailboxStall != time.Second || o.RecvStall != time.Minute || o.StragglerGrace != -1 {
+		t.Errorf("explicit options rewritten: %+v", o)
+	}
+}
+
+// TestDeprecatedGlobalStallDefault: worlds built while the deprecated
+// global is set adopt its value at creation time (the value is read
+// once, so later mutation does not affect live worlds).
+func TestDeprecatedGlobalStallDefault(t *testing.T) {
+	old := MailboxStallTimeout
+	defer func() { MailboxStallTimeout = old }()
+	MailboxStallTimeout = 123 * time.Millisecond
+	w := NewWorld(2)
+	if got := w.opts.MailboxStall; got != 123*time.Millisecond {
+		t.Errorf("world MailboxStall = %v, want the deprecated global's 123ms", got)
+	}
+	MailboxStallTimeout = time.Hour
+	if got := w.opts.MailboxStall; got != 123*time.Millisecond {
+		t.Errorf("mutating the global after creation changed a live world: %v", got)
+	}
+}
+
+// TestParkOpNames: the primitive-name mapping, including the reserved
+// collective tag ranges (a rank parked inside an allreduce round must
+// read "MPI_Allreduce", not a bare send/recv).
+func TestParkOpNames(t *testing.T) {
+	cases := []struct {
+		op   parkOp
+		tag  int
+		want string
+	}{
+		{parkSend, 7, "MPI_Send"},
+		{parkRecv, 7, "MPI_Wait"},
+		{parkHang, 0, "injected-hang"},
+		{parkSend, tagTreeSum, "MPI_Allreduce"},
+		{parkRecv, tagTreeMax, "MPI_Allreduce"},
+		{parkRecv, tagBarrier, "MPI_Barrier"},
+		{parkSend, tagButterfly, "MPI_Allreduce"},
+	}
+	for _, c := range cases {
+		if got := parkOpName(c.op, c.tag); got != c.want {
+			t.Errorf("parkOpName(%d, %d) = %q, want %q", c.op, c.tag, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package mpi_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"gomd/internal/mpi"
+)
+
+// TestRecvStallDeadline: with a RecvStall bound set, a blocking receive
+// nobody will ever satisfy unparks itself with a structured RankError
+// whose text carries the park diagnosis, instead of wedging the world.
+func TestRecvStallDeadline(t *testing.T) {
+	w := mpi.NewWorldWith(2, mpi.WorldOptions{RecvStall: 50 * time.Millisecond})
+	err := w.Parallel(func(c *mpi.Comm) {
+		if c.Rank() == 0 {
+			c.Recv(1, 42) // never sent
+		}
+	})
+	var re *mpi.RankError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want *RankError", err)
+	}
+	if re.Rank != 0 {
+		t.Fatalf("stalled rank = %d, want 0", re.Rank)
+	}
+	for _, want := range []string{"stalled", "blocking receive", "tag 42"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("receive-stall text lost %q: %v", want, err)
+		}
+	}
+}
+
+// TestSnapshotCommParkDiagnosis: while one rank sits in an injected hang
+// and the other is parked in a receive on it, SnapshotComm (taken from
+// outside the world, as the watchdog does) must name both primitives and
+// the receive's peer/tag.
+func TestSnapshotCommParkDiagnosis(t *testing.T) {
+	w := mpi.NewWorldWith(2, mpi.WorldOptions{StragglerGrace: time.Second})
+	done := make(chan error, 1)
+	go func() {
+		done <- w.Parallel(func(c *mpi.Comm) {
+			if c.Rank() == 0 {
+				c.Recv(1, 7) // rank 1 hangs instead of sending
+				return
+			}
+			c.ParkInjectedHang()
+		})
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	var snap []mpi.CommState
+	for {
+		snap = w.SnapshotComm()
+		if snap[0].Parked != nil && snap[1].Parked != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ranks never parked: %+v", snap)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := snap[0].Parked; got.Op != "MPI_Wait" || got.Peer != 1 || got.Tag != 7 {
+		t.Errorf("rank 0 park = %+v, want MPI_Wait on peer 1 tag 7", got)
+	}
+	if got := snap[1].Parked.Op; got != "injected-hang" {
+		t.Errorf("rank 1 park = %q, want injected-hang", got)
+	}
+
+	// Abort the world (as the watchdog would) so both ranks unwind.
+	w.Abort(&mpi.RankError{Rank: 1, Cause: errors.New("test abort")})
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("aborted Parallel returned nil")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Parallel did not unwind after abort")
+	}
+}
+
+// TestStragglerGraceBoundsAbortWait: a rank stuck in pure compute (no
+// abort-aware primitive) must not hold Parallel hostage after another
+// rank fails — the grace bound returns the failure and leaks the
+// straggler's goroutine instead.
+func TestStragglerGraceBoundsAbortWait(t *testing.T) {
+	w := mpi.NewWorldWith(2, mpi.WorldOptions{StragglerGrace: 100 * time.Millisecond})
+	hold := make(chan struct{}) // never closed: rank 1 is a pure-compute straggler
+	start := time.Now()
+	err := w.Parallel(func(c *mpi.Comm) {
+		if c.Rank() == 0 {
+			panic("rank 0 dies")
+		}
+		<-hold
+	})
+	elapsed := time.Since(start)
+	var re *mpi.RankError
+	if !errors.As(err, &re) || re.Rank != 0 {
+		t.Fatalf("err = %v, want RankError from rank 0", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("Parallel held %v by a pure-compute straggler; grace was 100ms", elapsed)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gomd/internal/obs"
@@ -126,6 +127,10 @@ type World struct {
 	// deterministic fault injection (internal/fault). Nil costs one
 	// pointer check per send.
 	fault FaultHook
+
+	// opts holds the liveness bounds resolved at world creation (see
+	// WorldOptions in liveness.go).
+	opts WorldOptions
 }
 
 // RankError is the structured form of a rank failure: the root-cause
@@ -171,8 +176,11 @@ type FaultHook interface {
 // sections only.
 func (w *World) SetFaultHook(h FaultHook) { w.fault = h }
 
-// NewWorld creates a world of n ranks.
-func NewWorld(n int) *World {
+// NewWorld creates a world of n ranks with default liveness bounds.
+func NewWorld(n int) *World { return NewWorldWith(n, WorldOptions{}) }
+
+// NewWorldWith creates a world of n ranks with explicit liveness bounds.
+func NewWorldWith(n int, opts WorldOptions) *World {
 	if n < 1 {
 		panic("mpi: world size must be >= 1")
 	}
@@ -182,6 +190,7 @@ func NewWorld(n int) *World {
 		pend:  make([][]message, n),
 		comms: make([]*Comm, n),
 		abort: make(chan struct{}),
+		opts:  opts.withDefaults(),
 	}
 	for i := range w.inbox {
 		w.inbox[i] = make(chan message, 64*n)
@@ -221,6 +230,13 @@ func (w *World) Aborted() *RankError {
 // Send/Wait/Allreduce), and is returned once every rank has unwound.
 // On an already-aborted world Parallel returns the recorded failure
 // without running body.
+//
+// After an abort, ranks unwind at their next abort-aware primitive; a
+// rank hung in pure compute never reaches one, so the wait for
+// stragglers is bounded by WorldOptions.StragglerGrace — past it the
+// failure is returned anyway and the stuck goroutine is leaked (the
+// world is permanently dead either way; supervisors rebuild a fresh
+// one).
 func (w *World) Parallel(body func(c *Comm)) error {
 	if err := w.Aborted(); err != nil {
 		return err
@@ -244,7 +260,27 @@ func (w *World) Parallel(body func(c *Comm)) error {
 			body(c)
 		}(w.comms[r])
 	}
-	wg.Wait()
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-w.abort:
+		if grace := w.opts.StragglerGrace; grace < 0 {
+			<-done
+		} else {
+			timer := time.NewTimer(grace)
+			defer timer.Stop()
+			select {
+			case <-done:
+			case <-timer.C:
+				// A straggler is stuck outside the messaging layer and will
+				// never see the abort; its goroutine is leaked.
+			}
+		}
+	}
 	if err := w.Aborted(); err != nil {
 		return err
 	}
@@ -264,6 +300,15 @@ type Comm struct {
 	// by this rank's next point-to-point operation. Only the owning rank
 	// goroutine touches it.
 	held []heldMessage
+
+	// Park state (liveness.go): which blocking section this rank is
+	// inside, readable from a watchdog goroutine while the rank runs.
+	parkOp    atomic.Int32
+	parkPeer  atomic.Int32
+	parkTag   atomic.Int64
+	parkSince atomic.Int64 // unix nanos
+	// unmatched mirrors len(world.pend[rank]) for lock-free snapshots.
+	unmatched atomic.Int64
 }
 
 // heldMessage is one reorder-deferred in-flight message.
@@ -315,17 +360,18 @@ func mustPayloadBytes(data any) int {
 	return b
 }
 
-// MailboxStallTimeout bounds how long a send may block on a full inbox
-// before the runtime panics with diagnostics. Mailboxes hold 64*nranks
-// messages; a full one means the destination stopped draining (a
-// collective ordering bug or tag mismatch), and without the guard the
-// whole world hangs silently. Tests shorten it.
+// MailboxStallTimeout is the package default for WorldOptions.
+// MailboxStall, read once at world creation.
+//
+// Deprecated: pass WorldOptions{MailboxStall: d} to NewWorldWith
+// instead of mutating this global — concurrent worlds (tests under
+// -shuffle=on) race on it.
 var MailboxStallTimeout = 30 * time.Second
 
 // deliver enqueues m into dst's mailbox, panicking with rank/tag/queue
-// diagnostics if the mailbox stays full for MailboxStallTimeout. A
-// world abort unblocks the send and unwinds with the abort sentinel, so
-// a dead destination cannot wedge its peers.
+// diagnostics if the mailbox stays full for the world's MailboxStall
+// bound. A world abort unblocks the send and unwinds with the abort
+// sentinel, so a dead destination cannot wedge its peers.
 func (c *Comm) deliver(dst int, m message) {
 	w := c.world
 	select {
@@ -333,16 +379,19 @@ func (c *Comm) deliver(dst int, m message) {
 		return
 	default:
 	}
-	timer := time.NewTimer(MailboxStallTimeout)
+	stall := w.opts.MailboxStall
+	timer := time.NewTimer(stall)
 	defer timer.Stop()
+	c.parkEnter(parkSend, dst, m.tag)
 	select {
 	case w.inbox[dst] <- m:
+		c.parkExit()
 	case <-w.abort:
 		panic(abortPanic{w.abortErr})
 	case <-timer.C:
 		panic(fmt.Sprintf(
 			"mpi: rank %d -> rank %d (tag %d, %d bytes) stalled %v on a full mailbox: dst inbox %d/%d queued, %d unmatched messages pending on rank %d — likely a collective ordering or tag-matching deadlock",
-			c.rank, dst, m.tag, m.bytes, MailboxStallTimeout,
+			c.rank, dst, m.tag, m.bytes, stall,
 			len(w.inbox[dst]), cap(w.inbox[dst]), len(w.pend[c.rank]), c.rank))
 	}
 }
@@ -420,18 +469,32 @@ func (c *Comm) recvMatch(src, tag int) (any, int) {
 	for i, m := range pend {
 		if m.src == src && m.tag == tag {
 			c.world.pend[c.rank] = append(pend[:i], pend[i+1:]...)
+			c.unmatched.Add(-1)
 			return m.data, m.bytes
 		}
 	}
+	// Blocking path: publish the park state and, when the world bounds
+	// receive stalls, arm the deadline.
+	var stallC <-chan time.Time
+	if d := c.world.opts.RecvStall; d > 0 {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		stallC = timer.C
+	}
+	c.parkEnter(parkRecv, src, tag)
 	for {
 		select {
 		case m := <-c.world.inbox[c.rank]:
 			if m.src == src && m.tag == tag {
+				c.parkExit()
 				return m.data, m.bytes
 			}
 			c.world.pend[c.rank] = append(c.world.pend[c.rank], m)
+			c.unmatched.Add(1)
 		case <-c.world.abort:
 			panic(abortPanic{c.world.abortErr})
+		case <-stallC:
+			panic(c.recvStallPanic(src, tag, c.world.opts.RecvStall))
 		}
 	}
 }
