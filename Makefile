@@ -2,7 +2,7 @@
 # the race detector (the observability layer's multi-rank tests record
 # spans from every rank goroutine, so the race run is part of the bar),
 # then an end-to-end mdbench smoke campaign.
-.PHONY: all build vet test race bench bench-smoke faults soak check
+.PHONY: all build vet test race bench bench-smoke bench-gate faults soak check
 
 all: check
 
@@ -35,6 +35,18 @@ bench-smoke:
 	@test -s BENCH_kernels.json || \
 		{ echo "bench-smoke: empty BENCH_kernels.json" >&2; exit 1; }
 
+# Kernel regression gate: regenerate BENCH_kernels.json with the
+# baseline's arguments and compare against the committed
+# results/BENCH_kernels.baseline.json. Arithmetic intensity is pinned
+# tightly (it is model+workload determined); wall times only fail on
+# order-of-magnitude blowups (host variance allowance). Regenerate the
+# baseline with the same kbench arguments when a kernel or cost model
+# intentionally changes.
+bench-gate:
+	go run ./cmd/kbench -atoms 8000 -iters 3 -out BENCH_kernels.json > /dev/null
+	go run ./cmd/benchgate -baseline results/BENCH_kernels.baseline.json \
+		-current BENCH_kernels.json
+
 # Fault-tolerance suite under the race detector: abort protocol, fault
 # injector, guardrails, checkpoint bit-exactness, and supervised
 # recovery (including the 4-rank rhodopsin kill-and-resume scenario).
@@ -49,4 +61,4 @@ faults:
 soak:
 	go test -race -run TestSoak ./internal/harness/
 
-check: build vet test race bench-smoke faults soak
+check: build vet test race bench-smoke bench-gate faults soak

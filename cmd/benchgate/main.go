@@ -1,0 +1,127 @@
+// Command benchgate compares a fresh kbench report against the
+// committed baseline (results/BENCH_kernels.baseline.json) and fails
+// when a kernel regresses. Two bars, matched to what each column
+// actually depends on:
+//
+//   - arithmetic_intensity is a pure function of the cost models and the
+//     deterministic workload, so it is pinned tightly (-ai-tol relative
+//     difference): a drift means someone changed a kernel's work or its
+//     cost model without regenerating the baseline.
+//   - ns_per_op is host-dependent, so only order-of-magnitude blowups
+//     fail (-max-slowdown ratio): the gate catches accidental
+//     serialization or quadratic slips, not machine variance.
+//
+// A kernel present in the baseline but missing from the current report
+// also fails — silently dropping a kernel from the sweep is itself a
+// regression.
+//
+// Usage (see `make bench-gate`):
+//
+//	benchgate -baseline results/BENCH_kernels.baseline.json -current BENCH_kernels.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+)
+
+type kernelResult struct {
+	Kernel  string  `json:"kernel"`
+	Workers int     `json:"workers"`
+	NsPerOp int64   `json:"ns_per_op"`
+	AI      float64 `json:"arithmetic_intensity"`
+}
+
+type report struct {
+	Atoms   int            `json:"atoms"`
+	Kernels []kernelResult `json:"kernels"`
+}
+
+func load(path string) (*report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r report
+	if err := json.NewDecoder(f).Decode(&r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+type key struct {
+	kernel  string
+	workers int
+}
+
+func index(r *report) map[key]kernelResult {
+	out := make(map[key]kernelResult, len(r.Kernels))
+	for _, k := range r.Kernels {
+		out[key{k.Kernel, k.Workers}] = k
+	}
+	return out
+}
+
+func main() {
+	var (
+		basePath    = flag.String("baseline", "results/BENCH_kernels.baseline.json", "committed baseline report")
+		curPath     = flag.String("current", "BENCH_kernels.json", "freshly generated report")
+		aiTol       = flag.Float64("ai-tol", 0.25, "max relative arithmetic-intensity drift vs baseline")
+		maxSlowdown = flag.Float64("max-slowdown", 25, "max ns_per_op ratio vs baseline (host variance allowance)")
+	)
+	flag.Parse()
+
+	base, err := load(*basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+	cur, err := load(*curPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+	if base.Atoms != cur.Atoms {
+		fmt.Fprintf(os.Stderr, "benchgate: baseline ran %d atoms, current %d — regenerate one of them with matching -atoms\n",
+			base.Atoms, cur.Atoms)
+		os.Exit(1)
+	}
+
+	curIdx := index(cur)
+	failures := 0
+	fail := func(format string, args ...any) {
+		failures++
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL "+format+"\n", args...)
+	}
+	for _, b := range base.Kernels {
+		c, ok := curIdx[key{b.Kernel, b.Workers}]
+		if !ok {
+			fail("%s workers=%d: missing from current report", b.Kernel, b.Workers)
+			continue
+		}
+		if b.AI > 0 {
+			drift := math.Abs(c.AI-b.AI) / b.AI
+			if drift > *aiTol {
+				fail("%s workers=%d: arithmetic intensity drifted %.1f%% (baseline %.3f, current %.3f; cost model or kernel work changed — regenerate the baseline if intended)",
+					b.Kernel, b.Workers, 100*drift, b.AI, c.AI)
+			}
+		}
+		if b.NsPerOp > 0 {
+			ratio := float64(c.NsPerOp) / float64(b.NsPerOp)
+			if ratio > *maxSlowdown {
+				fail("%s workers=%d: %.1fx slower than baseline (%d ns vs %d ns)",
+					b.Kernel, b.Workers, ratio, c.NsPerOp, b.NsPerOp)
+			}
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d failure(s)\n", failures)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d kernel rows within tolerance (ai-tol %.0f%%, max-slowdown %.0fx)\n",
+		len(base.Kernels), 100**aiTol, *maxSlowdown)
+}

@@ -1,14 +1,24 @@
 // Command kbench micro-benchmarks the engine's threadable kernels — the
-// pair force loop and the neighbor-list build — on the host machine at a
-// sweep of intra-rank worker counts, and writes the results as JSON
+// pair force loops (lj/cut, eam, lj/charmm/coul/long), the neighbor-list
+// build, and the PPPM k-space solve — on the host machine at a sweep of
+// intra-rank worker counts, and writes the results as JSON
 // (BENCH_kernels.json in CI's bench-smoke target). Unlike mdbench, which
 // prices measured operation counts on the paper's platform models, this
 // reports real host wall times, so it is the tool for validating that
 // the worker pool actually scales on the machine at hand.
 //
+// Each kernel row also carries its modeled arithmetic cost — total
+// FLOPs, main-memory bytes, and their ratio (arithmetic intensity) per
+// invocation, priced through internal/flops from the kernel's measured
+// operation counts. Intensity depends only on the cost models and the
+// deterministic workload, not the host, so `make bench-gate` pins it
+// tightly against the committed baseline while allowing generous slack
+// on wall times.
+//
 // Usage:
 //
 //	kbench -atoms 32000 -workers 1,4 -out BENCH_kernels.json
+//	kbench -atoms 8000 -metrics-addr :9100   # live gauges while sweeping
 package main
 
 import (
@@ -22,7 +32,9 @@ import (
 	"time"
 
 	"gomd/internal/core"
+	"gomd/internal/flops"
 	"gomd/internal/health"
+	"gomd/internal/obs"
 	"gomd/internal/pair"
 	"gomd/internal/trace"
 	"gomd/internal/workload"
@@ -34,10 +46,17 @@ type kernelResult struct {
 	Iters      int     `json:"iters"`
 	NsPerOp    int64   `json:"ns_per_op"`
 	SpeedupVs1 float64 `json:"speedup_vs_1"`
+	// Modeled arithmetic cost of one kernel invocation (internal/flops
+	// priced over the measured operation counts).
+	Flops float64 `json:"flops"`
+	Bytes float64 `json:"bytes"`
+	AI    float64 `json:"arithmetic_intensity"`
+	// Gflops is the achieved rate Flops/NsPerOp (host-dependent).
+	Gflops float64 `json:"gflops"`
 }
 
 type report struct {
-	Workload  string         `json:"workload"`
+	Workloads []string       `json:"workloads"`
 	Atoms     int            `json:"atoms"`
 	GoVersion string         `json:"go_version"`
 	NumCPU    int            `json:"num_cpu"`
@@ -73,14 +92,92 @@ func timeKernel(iters int, fn func()) int64 {
 	return best
 }
 
+// measured is one kernel's timing plus its modeled per-invocation cost.
+type measured struct {
+	name string
+	ns   int64
+	cost flops.Cost
+}
+
+// wlBench describes one workload's kernel set.
+type wlBench struct {
+	wl     workload.Name
+	prec   pair.Precision
+	pairK  string // pair-kernel row name
+	neigh  bool   // also time neigh_build (one representative workload)
+	kspace bool   // also time the PPPM solve
+}
+
+var benches = []wlBench{
+	{wl: workload.LJ, prec: pair.Mixed, pairK: "pair_lj", neigh: true},
+	{wl: workload.EAM, prec: pair.Double, pairK: "pair_eam"},
+	{wl: workload.Rhodo, prec: pair.Double, pairK: "pair_charmm", kspace: true},
+}
+
+// runBench measures one workload's kernels at one worker count.
+func runBench(b wlBench, atoms, iters, w int, beat *health.Beat) []measured {
+	cfg, st := workload.MustBuild(b.wl, workload.Options{
+		Atoms: atoms, Precision: b.prec, Seed: 2022,
+	})
+	cfg.Workers = w
+	sim := core.New(cfg, st)
+	defer sim.Close()
+	sim.Prime() // build ghosts + neighbor list + first forces
+	fmt.Fprintf(os.Stderr, "# %s %d atoms, workers=%d\n", b.wl, sim.Store.N, w)
+
+	var out []measured
+	ctx := sim.PairContext()
+
+	// Operation counts first (deterministic per invocation), then timing.
+	sim.Store.ZeroForces()
+	pres := sim.Cfg.Pair.Compute(ctx)
+	pairCost := flops.Pair(sim.Cfg.Pair.Name()).Scale(float64(pres.Pairs))
+	pairNs := timeKernel(iters, func() {
+		beat.Mark(health.PhaseForce, int64(w))
+		sim.Store.ZeroForces()
+		sim.Cfg.Pair.Compute(ctx)
+	})
+	out = append(out, measured{b.pairK, pairNs, pairCost})
+
+	if b.neigh {
+		checks0 := sim.NL.Stats.DistanceChecks
+		sim.NL.Build(sim.Store)
+		neighCost := flops.NeighCheck().Scale(float64(sim.NL.Stats.DistanceChecks - checks0))
+		neighNs := timeKernel(iters, func() {
+			beat.Mark(health.PhaseNeigh, int64(w))
+			sim.NL.Build(sim.Store)
+		})
+		out = append(out, measured{"neigh_build", neighNs, neighCost})
+	}
+
+	if b.kspace && sim.Cfg.Kspace != nil {
+		red := sim.KspaceReducer()
+		kres := sim.Cfg.Kspace.Compute(sim.Store, sim.Box, red)
+		kCost := flops.Kspace(flops.KspaceOps{
+			SpreadOps: kres.SpreadOps,
+			InterpOps: kres.InterpOps,
+			MapOps:    kres.MapOps,
+			FFTOps:    kres.FFTOps,
+			GridOps:   kres.GridOps,
+		})
+		kNs := timeKernel(iters, func() {
+			beat.Mark(health.PhaseForce, int64(w))
+			sim.Cfg.Kspace.Compute(sim.Store, sim.Box, red)
+		})
+		out = append(out, measured{"pppm", kNs, kCost})
+	}
+	return out
+}
+
 func main() {
 	var (
-		atoms   = flag.Int("atoms", 32000, "LJ system size")
-		iters   = flag.Int("iters", 5, "timed iterations per kernel (best-of)")
-		workers = flag.String("workers", "1,4", "comma-separated worker counts to sweep")
-		out     = flag.String("out", "BENCH_kernels.json", "output JSON path")
-		logPath = flag.String("log", "", "write a JSONL data log of kernel timings")
-		hangTO  = flag.Duration("hang-timeout", 0, "exit(2) with a diagnosis if no kernel iteration completes for this long (no checkpoints here — a hung sweep just dies; 0 = off)")
+		atoms    = flag.Int("atoms", 32000, "system size per workload")
+		iters    = flag.Int("iters", 5, "timed iterations per kernel (best-of)")
+		workers  = flag.String("workers", "1,4", "comma-separated worker counts to sweep")
+		out      = flag.String("out", "BENCH_kernels.json", "output JSON path")
+		logPath  = flag.String("log", "", "write a JSONL data log of kernel timings")
+		metrAddr = flag.String("metrics-addr", "", "serve live OpenMetrics on this address while sweeping (e.g. :9100)")
+		hangTO   = flag.Duration("hang-timeout", 0, "exit(2) with a diagnosis if no kernel iteration completes for this long (no checkpoints here — a hung sweep just dies; 0 = off)")
 	)
 	flag.Parse()
 	ws := parseWorkers(*workers)
@@ -118,60 +215,60 @@ func main() {
 		dlog = trace.New(lf)
 	}
 
+	var metrics *obs.Registry
+	if *metrAddr != "" {
+		metrics = obs.NewRegistry()
+		ms, err := obs.Serve(*metrAddr, metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer ms.Close()
+		fmt.Fprintf(os.Stderr, "# metrics listening on http://%s/metrics\n", ms.Addr())
+	}
+
 	rep := report{
-		Workload:  "lj",
 		Atoms:     *atoms,
 		GoVersion: runtime.Version(),
 		NumCPU:    runtime.NumCPU(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 	}
+	for _, b := range benches {
+		rep.Workloads = append(rep.Workloads, string(b.wl))
+	}
 
-	base := map[string]int64{} // kernel -> ns at workers=1 (first entry)
+	base := map[string]int64{} // kernel -> ns at the first worker count
 	for _, w := range ws {
-		cfg, st := workload.MustBuild(workload.LJ, workload.Options{
-			Atoms: *atoms, Precision: pair.Mixed, Seed: 2022,
-		})
-		cfg.Workers = w
-		sim := core.New(cfg, st)
-		sim.Prime() // build ghosts + neighbor list + first forces
-		fmt.Fprintf(os.Stderr, "# lj %d atoms, workers=%d\n", sim.Store.N, w)
-
-		ctx := &pair.Context{
-			Store: sim.Store,
-			List:  sim.NL,
-			QQr2E: sim.Cfg.Units.QQr2E,
-			Dt:    sim.Cfg.Dt,
-			Pool:  sim.NL.Pool,
-		}
-		pairNs := timeKernel(*iters, func() {
-			beat.Mark(health.PhaseForce, int64(w))
-			sim.Store.ZeroForces()
-			sim.Cfg.Pair.Compute(ctx)
-		})
-		neighNs := timeKernel(*iters, func() {
-			beat.Mark(health.PhaseNeigh, int64(w))
-			sim.NL.Build(sim.Store)
-		})
-		sim.Close()
-
-		for _, k := range []struct {
-			name string
-			ns   int64
-		}{{"pair_lj", pairNs}, {"neigh_build", neighNs}} {
-			if _, ok := base[k.name]; !ok {
-				base[k.name] = k.ns
+		for _, b := range benches {
+			for _, m := range runBench(b, *atoms, *iters, w, beat) {
+				if _, ok := base[m.name]; !ok {
+					base[m.name] = m.ns
+				}
+				kr := kernelResult{
+					Kernel:     m.name,
+					Workers:    w,
+					Iters:      *iters,
+					NsPerOp:    m.ns,
+					SpeedupVs1: float64(base[m.name]) / float64(m.ns),
+					Flops:      m.cost.Flops,
+					Bytes:      m.cost.Bytes,
+					AI:         m.cost.Intensity(),
+					Gflops:     m.cost.Flops / float64(m.ns),
+				}
+				rep.Kernels = append(rep.Kernels, kr)
+				dlog.Log("kernel", map[string]any{
+					"kernel": m.name, "workers": w, "ns_per_op": m.ns,
+					"flops": m.cost.Flops, "bytes": m.cost.Bytes,
+					"arithmetic_intensity": m.cost.Intensity(),
+				})
+				if metrics != nil {
+					metrics.Gauge(obs.KernelMetric("kbench.ns_per_op", 0, m.name)).Set(float64(m.ns))
+					metrics.Gauge(obs.KernelMetric("roofline.flops", 0, m.name)).Set(m.cost.Flops)
+					metrics.Gauge(obs.KernelMetric("roofline.bytes", 0, m.name)).Set(m.cost.Bytes)
+					metrics.Gauge(obs.KernelMetric("roofline.intensity", 0, m.name)).Set(m.cost.Intensity())
+				}
 			}
-			rep.Kernels = append(rep.Kernels, kernelResult{
-				Kernel:     k.name,
-				Workers:    w,
-				Iters:      *iters,
-				NsPerOp:    k.ns,
-				SpeedupVs1: float64(base[k.name]) / float64(k.ns),
-			})
-			dlog.Log("kernel", map[string]any{
-				"kernel": k.name, "workers": w, "ns_per_op": k.ns,
-			})
 		}
 	}
 
@@ -195,7 +292,7 @@ func main() {
 		os.Exit(1)
 	}
 	for _, k := range rep.Kernels {
-		fmt.Printf("%-12s workers=%d  %10.3f ms/op  speedup %.2fx\n",
-			k.Kernel, k.Workers, float64(k.NsPerOp)/1e6, k.SpeedupVs1)
+		fmt.Printf("%-12s workers=%d  %10.3f ms/op  speedup %.2fx  AI %.2f  %.2f GFLOP/s\n",
+			k.Kernel, k.Workers, float64(k.NsPerOp)/1e6, k.SpeedupVs1, k.AI, k.Gflops)
 	}
 }

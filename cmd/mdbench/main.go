@@ -69,6 +69,7 @@ func main() {
 
 		traceOut   = flag.String("trace", "", "write a per-rank Chrome trace-event timeline (Perfetto) to this file")
 		metrOut    = flag.String("metrics", "", "write an engine metrics JSON dump to this file")
+		metrAddr   = flag.String("metrics-addr", "", "serve live OpenMetrics on this address (e.g. :9100)")
 		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. :6060)")
 		cpuprofile = flag.String("cpuprofile", "", "write a Go CPU profile of the campaign to this file")
 		memprofile = flag.String("memprofile", "", "write a Go heap profile at campaign end to this file")
@@ -139,8 +140,17 @@ func main() {
 	if *traceOut != "" {
 		runner.SpanTrace = obs.NewTracer(0) // rank handles grow on demand
 	}
-	if *metrOut != "" {
+	if *metrOut != "" || *metrAddr != "" {
 		runner.Metrics = obs.NewRegistry()
+	}
+	if *metrAddr != "" {
+		ms, err := obs.Serve(*metrAddr, runner.Metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer ms.Close()
+		fmt.Fprintf(os.Stderr, "# metrics listening on http://%s/metrics\n", ms.Addr())
 	}
 	if *logPath != "" {
 		lf, err := os.Create(*logPath)

@@ -39,6 +39,7 @@ func main() {
 		logPath   = flag.String("log", "", "write a JSONL data log of engine measurements")
 		traceOut  = flag.String("trace", "", "write a per-rank Chrome trace-event timeline (Perfetto) to this file")
 		metrOut   = flag.String("metrics", "", "write an engine metrics JSON dump to this file")
+		metrAddr  = flag.String("metrics-addr", "", "serve live OpenMetrics on this address (e.g. :9100)")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
@@ -74,8 +75,17 @@ func main() {
 	if *traceOut != "" {
 		runner.SpanTrace = obs.NewTracer(ranksEff)
 	}
-	if *metrOut != "" {
+	if *metrOut != "" || *metrAddr != "" {
 		runner.Metrics = obs.NewRegistry()
+	}
+	if *metrAddr != "" {
+		ms, err := obs.Serve(*metrAddr, runner.Metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdprof: %v\n", err)
+			os.Exit(1)
+		}
+		defer ms.Close()
+		fmt.Fprintf(os.Stderr, "# metrics listening on http://%s/metrics\n", ms.Addr())
 	}
 	m, err := runner.Measure(harness.Spec{
 		Workload: name, AtomsK: *size, Ranks: ranksEff, KspaceAcc: *kacc,

@@ -40,6 +40,7 @@ import (
 	"gomd/internal/core"
 	"gomd/internal/fault"
 	"gomd/internal/harness"
+	"gomd/internal/health"
 	"gomd/internal/obs"
 	"gomd/internal/pair"
 	"gomd/internal/script"
@@ -70,6 +71,9 @@ func main() {
 		logPath   = flag.String("log", "", "write a JSONL data log (run summary, recoveries)")
 		traceOut  = flag.String("trace", "", "write a per-rank Chrome trace-event timeline (Perfetto) to this file")
 		metrOut   = flag.String("metrics", "", "write an engine metrics JSON dump to this file")
+		metrAddr  = flag.String("metrics-addr", "", "serve live OpenMetrics on this address (e.g. :9100; /metrics and /metrics.json)")
+		flight    = flag.String("flight", "", "arm the crash flight recorder; rank failures/hangs/guardrail trips dump the last steps as JSONL to this path")
+		flightN   = flag.Int("flight-depth", 0, "flight-recorder steps retained per rank (0 = 256)")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
@@ -87,8 +91,17 @@ func main() {
 		tracer = obs.NewTracer(*ranks)
 	}
 	var metrics *obs.Registry
-	if *metrOut != "" {
+	if *metrOut != "" || *metrAddr != "" {
 		metrics = obs.NewRegistry()
+	}
+	if *metrAddr != "" {
+		ms, err := obs.Serve(*metrAddr, metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdrun: %v\n", err)
+			os.Exit(1)
+		}
+		defer ms.Close()
+		fmt.Fprintf(os.Stderr, "# metrics listening on http://%s/metrics\n", ms.Addr())
 	}
 	var dlog *trace.Logger // nil-safe: methods no-op when unset
 	if *logPath != "" {
@@ -175,6 +188,15 @@ func main() {
 		cfg.Workers = *workers
 		cfg.CheckEvery = *chkEvery
 		cfg.Fault = inj
+		if metrics != nil {
+			// Live scrapes expect heartbeat gauges even without a watchdog.
+			cfg.Health = health.NewMonitor(1)
+		}
+		var fl *obs.Flight
+		if *flight != "" {
+			fl = obs.NewFlight(1, *flightN)
+			cfg.Flight = fl
+		}
 		if *ckptEvery > 0 {
 			w := ckpt.NewWriter(*ckptPath, 1)
 			w.SetGrid([3]int{1, 1, 1})
@@ -205,7 +227,11 @@ func main() {
 		fmt.Printf("# %s: %d atoms, serial, dt=%g (%s units)\n",
 			name, sim.Store.N, cfg.Dt, cfg.Units.Style)
 		if err := sim.RunChecked(*steps); err != nil {
-			fmt.Fprintf(os.Stderr, "mdrun: %v\n", err)
+			if p := dumpFlight(fl, *flight); p != "" {
+				fmt.Fprintf(os.Stderr, "mdrun: %v (flight dump: %s)\n", err, p)
+			} else {
+				fmt.Fprintf(os.Stderr, "mdrun: %v\n", err)
+			}
 			os.Exit(1)
 		}
 		sim.PublishObs(metrics)
@@ -239,6 +265,8 @@ func main() {
 		Metrics:         metrics,
 		Tracer:          tracer,
 		Trace:           dlog,
+		FlightPath:      *flight,
+		FlightDepth:     *flightN,
 	}
 	if err := sup.Start(); err != nil {
 		fmt.Fprintf(os.Stderr, "mdrun: %v\n", err)
@@ -279,6 +307,23 @@ func main() {
 	writeObs()
 	fmt.Printf("# wall %.3fs  %.2f TS/s (host-machine rate, not the modeled platform)\n",
 		wall.Seconds(), float64(*steps)/wall.Seconds())
+}
+
+// dumpFlight writes the serial run's flight-recorder tail, returning
+// the path on success ("" when disabled or the write failed).
+func dumpFlight(fl *obs.Flight, path string) string {
+	if fl == nil || path == "" {
+		return ""
+	}
+	fh, err := os.Create(path)
+	if err != nil {
+		return ""
+	}
+	defer fh.Close()
+	if fl.WriteJSONL(fh) != nil {
+		return ""
+	}
+	return path
 }
 
 func report(sim *core.Simulation, wall time.Duration, steps int) {

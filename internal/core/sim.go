@@ -96,6 +96,12 @@ type Config struct {
 	// at every stage of the timestep loop, feeding the hang watchdog.
 	// Decomposed runs share one Monitor across per-rank configs.
 	Health *health.Monitor
+	// Flight, when non-nil, receives one flight-recorder record per
+	// completed step (per-task durations, work-counter deltas, heartbeat
+	// phase) into this rank's ring buffer; the retained tail is dumped on
+	// rank failures, hang diagnoses, and guardrail trips. Decomposed runs
+	// share one Flight across per-rank configs.
+	Flight *obs.Flight
 }
 
 // Backend abstracts the communication substrate: the serial engine uses
@@ -178,6 +184,16 @@ type Simulation struct {
 	stepHist *obs.Histogram
 	commHist *obs.Histogram
 	beat     *health.Beat
+	flight   *obs.FlightRing
+	live     *liveObs
+
+	// prevTimes/prev* snapshot the cumulative task times and counters at
+	// the previous step boundary, so the flight recorder logs per-step
+	// deltas.
+	prevTimes     TaskTimes
+	prevPairs     int64
+	prevCommBytes int64
+	prevFFTOps    int64
 }
 
 // ghostSync adapts the backend to pair.GhostSync.
@@ -266,10 +282,12 @@ func build(cfg Config, st *atom.Store, be Backend, rs *RestoreState) (*Simulatio
 	if sc, ok := cfg.Kspace.(obs.SpanCarrier); ok {
 		sc.SetSpan(s.span)
 	}
+	s.flight = cfg.Flight.Rank(rank)
 	if cfg.Metrics != nil {
 		s.stepHist = cfg.Metrics.Histogram(obs.RankMetric("step.seconds", rank), obs.StepSecondsBounds)
 		s.commHist = cfg.Metrics.Histogram(obs.RankMetric("comm.msg_bytes", rank), obs.MsgBytesBounds)
 		s.NL.Rebuilds = cfg.Metrics.Counter(obs.RankMetric("neigh.rebuilds", rank))
+		s.initLive(cfg.Metrics, rank)
 	}
 	if _, isCharmm := cfg.Pair.(*pair.CharmmCoulLong); isCharmm {
 		// coul/long keeps special pairs in the list (LJ weight 0, k-space
@@ -497,11 +515,13 @@ func (s *Simulation) step() {
 		}
 	}
 
-	if s.span != nil || s.stepHist != nil {
+	if s.span != nil || s.stepHist != nil || s.flight != nil {
 		stepD := time.Since(t0)
 		s.span.Span(obs.CatStep, "step", t0, stepD)
 		s.stepHist.Observe(stepD.Seconds())
+		s.recordFlight(stepD, rebuild)
 	}
+	s.publishLive()
 }
 
 // hangParker is implemented by backends that can park their rank inside
@@ -600,6 +620,28 @@ func (s *Simulation) evaluateForces() {
 
 	s.LastPE = pe
 	s.LastVirial = vir
+}
+
+// PairContext returns a force-kernel context wired to this simulation's
+// store, neighbor list, halo sync, and worker pool — the hook kernel
+// micro-benchmarks (cmd/kbench) use to drive pair Compute calls outside
+// the step loop. Styles with ghost-synced per-atom state (EAM) work
+// because the context carries the real backend sync.
+func (s *Simulation) PairContext() *pair.Context {
+	return &pair.Context{
+		Store: s.Store,
+		List:  s.NL,
+		Sync:  ghostSync{s},
+		QQr2E: s.Cfg.Units.QQr2E,
+		Dt:    s.Cfg.Dt,
+		Pool:  s.pool,
+	}
+}
+
+// KspaceReducer exposes the backend's mesh reducer (nil in serial runs)
+// for driving kspace solves outside the step loop.
+func (s *Simulation) KspaceReducer() func([]float64) {
+	return s.backend.GridReducer(s)
 }
 
 // Prime evaluates forces at the current positions without advancing time

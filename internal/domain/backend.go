@@ -6,6 +6,7 @@ import (
 	"gomd/internal/atom"
 	"gomd/internal/core"
 	"gomd/internal/mpi"
+	"gomd/internal/obs"
 	"gomd/internal/vec"
 )
 
@@ -49,6 +50,10 @@ type Backend struct {
 	sendShift [3][2]vec.V3
 	recvStart [3][2]int
 	recvCount [3][2]int
+
+	// liveComm caches gauge handles for PublishLiveComm, indexed by
+	// mpi.Func; touched only by the rank goroutine.
+	liveComm []*liveCommGauges
 }
 
 // ParkHung implements the core engine's hang-injection hook: the rank
@@ -438,3 +443,52 @@ func (b *Backend) Size() int { return b.comm.Size() }
 
 // Rank implements core.Backend.
 func (b *Backend) Rank() int { return b.comm.Rank() }
+
+// liveCommGauges caches one MPI function's live-gauge handles.
+type liveCommGauges struct {
+	calls, bytes, hops, wait *obs.Gauge
+}
+
+// PublishLiveComm exports this rank's cumulative MPI profile as live
+// gauges (mpi.live_calls / mpi.live_bytes / mpi.live_hops /
+// mpi.live_wait_ns under {func,rank} labels). It implements the core
+// engine's optional live-telemetry hook and must run on the rank
+// goroutine: Comm.Stats is plain state written by that goroutine's
+// primitives, and only the gauge stores cross into the scraper. Gauge
+// handles are cached after the first call; a function's series appears
+// once it has been called at least once.
+func (b *Backend) PublishLiveComm(reg *obs.Registry, rank int) {
+	if reg == nil {
+		return
+	}
+	if b.liveComm == nil {
+		b.liveComm = make([]*liveCommGauges, mpi.NumFuncs)
+	}
+	for f := mpi.Func(0); f < mpi.NumFuncs; f++ {
+		fs := &b.comm.Stats.Funcs[f]
+		if fs.Calls == 0 {
+			continue
+		}
+		lg := b.liveComm[f]
+		if lg == nil {
+			fn := f.String()
+			lg = &liveCommGauges{
+				calls: reg.Gauge(commMetric("mpi.live_calls", fn, rank)),
+				bytes: reg.Gauge(commMetric("mpi.live_bytes", fn, rank)),
+				hops:  reg.Gauge(commMetric("mpi.live_hops", fn, rank)),
+				wait:  reg.Gauge(commMetric("mpi.live_wait_ns", fn, rank)),
+			}
+			b.liveComm[f] = lg
+		}
+		lg.calls.Set(float64(fs.Calls))
+		lg.bytes.Set(float64(fs.Bytes))
+		lg.hops.Set(float64(fs.Hops))
+		lg.wait.Set(float64(fs.WaitTime.Nanoseconds()))
+	}
+}
+
+// commMetric names one per-function, per-rank MPI live metric using the
+// registry's embedded-label convention.
+func commMetric(metric, fn string, rank int) string {
+	return fmt.Sprintf("%s{func=%s,rank=%d}", metric, fn, rank)
+}

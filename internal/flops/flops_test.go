@@ -1,0 +1,93 @@
+package flops_test
+
+import (
+	"testing"
+
+	"gomd/internal/core"
+	"gomd/internal/flops"
+	"gomd/internal/pair"
+	"gomd/internal/workload"
+)
+
+func TestIntensityOrdering(t *testing.T) {
+	lj := flops.Pair("lj/cut")
+	ch := flops.Pair("lj/charmm/coul/long")
+	eam := flops.Pair("eam")
+	if ch.Intensity() <= lj.Intensity() {
+		t.Errorf("charmm intensity %v should exceed lj %v", ch.Intensity(), lj.Intensity())
+	}
+	if eam.Flops <= 0 || eam.Bytes <= 0 {
+		t.Errorf("eam cost degenerate: %+v", eam)
+	}
+	// Unknown styles fall back to the lj baseline instead of zeroing out.
+	if got := flops.Pair("nonexistent/style"); got != lj {
+		t.Errorf("unknown style cost %+v, want lj baseline %+v", got, lj)
+	}
+}
+
+func TestScaleAndAdd(t *testing.T) {
+	c := flops.Cost{Flops: 3, Bytes: 6}.Scale(10)
+	if c.Flops != 30 || c.Bytes != 60 {
+		t.Fatalf("Scale: %+v", c)
+	}
+	if c.Intensity() != 0.5 {
+		t.Fatalf("Intensity: %v", c.Intensity())
+	}
+	s := c.Add(flops.Cost{Flops: 10, Bytes: 40})
+	if s.Flops != 40 || s.Bytes != 100 {
+		t.Fatalf("Add: %+v", s)
+	}
+	if (flops.Cost{Flops: 1}).Intensity() != 0 {
+		t.Fatal("zero-byte intensity must be 0, not Inf")
+	}
+}
+
+func TestKspaceCompose(t *testing.T) {
+	ops := flops.KspaceOps{SpreadOps: 100, InterpOps: 100, MapOps: 10, FFTOps: 1000, GridOps: 50}
+	c := flops.Kspace(ops)
+	want := flops.KspaceSpread().Scale(100).
+		Add(flops.KspaceInterp().Scale(100)).
+		Add(flops.KspaceMap().Scale(10)).
+		Add(flops.KspaceFFT().Scale(1000)).
+		Add(flops.KspaceGrid().Scale(50))
+	if c != want {
+		t.Fatalf("Kspace compose %+v != %+v", c, want)
+	}
+	if c.Flops <= 0 || c.Intensity() <= 0 {
+		t.Fatalf("degenerate kspace cost %+v", c)
+	}
+}
+
+// TestCounterHookValidation runs a real (small) LJ step and prices the
+// measured operation counters through the static models — the counter
+// hook the kbench roofline columns rely on. The resulting intensities
+// must land in the memory-bound band the paper's arithmetic-intensity
+// argument (and MD-Bench's measurements) put MD kernels in.
+func TestCounterHookValidation(t *testing.T) {
+	cfg, st := workload.MustBuild(workload.LJ, workload.Options{
+		Atoms: 1000, Precision: pair.Double, Seed: 7,
+	})
+	sim := core.New(cfg, st)
+	defer sim.Close()
+	sim.Run(5)
+
+	c := sim.Counters
+	if c.PairOps == 0 || c.NeighChecks == 0 {
+		t.Fatalf("no measured ops: %+v", c)
+	}
+	pairTotal := flops.Pair("lj/cut").Scale(float64(c.PairOps))
+	neighTotal := flops.NeighCheck().Scale(float64(c.NeighChecks))
+	for name, tot := range map[string]flops.Cost{"pair": pairTotal, "neigh": neighTotal} {
+		ai := tot.Intensity()
+		if ai <= 0.05 || ai >= 5 {
+			t.Errorf("%s intensity %v outside the plausible MD band (0.05, 5)", name, ai)
+		}
+		if tot.Flops < float64(c.Steps) { // far more than one flop per step
+			t.Errorf("%s flops %v implausibly small", name, tot.Flops)
+		}
+	}
+	// Per-op intensity is scale-invariant: totals keep the static ratio.
+	if got, want := pairTotal.Intensity(), flops.Pair("lj/cut").Intensity(); got != want {
+		t.Errorf("scaling changed intensity: %v != %v", got, want)
+	}
+}

@@ -71,9 +71,19 @@ type Supervisor struct {
 	Tracer  *obs.Tracer
 	Trace   *trace.Logger
 
+	// FlightPath, when set, arms the crash flight recorder: every rank
+	// ring-buffers its last FlightDepth step records
+	// (obs.DefaultFlightDepth when 0), and the retained tail is dumped as
+	// JSONL — to FlightPath.attemptN on each recovery, and to FlightPath
+	// itself when the run finally fails — so post-mortems show what every
+	// rank was doing in the steps leading up to the death.
+	FlightPath  string
+	FlightDepth int
+
 	eng      *domain.Engine
 	writer   *ckpt.Writer
 	monitor  *health.Monitor
+	flight   *obs.Flight
 	attempts int
 }
 
@@ -93,12 +103,19 @@ func (s *Supervisor) wrapFactory() domain.Factory {
 		}
 		sink = s.writer.Sink()
 	}
-	if s.HangTimeout > 0 && s.monitor == nil {
+	if (s.HangTimeout > 0 || s.Metrics != nil) && s.monitor == nil {
 		// One monitor outlives engine rebuilds: recovery attempts keep
-		// beating into the same instance.
+		// beating into the same instance. A metrics registry alone also
+		// warrants one — the engine mirrors heartbeats into live gauges, so
+		// scrapes see per-rank liveness even without a hang watchdog.
 		s.monitor = health.NewMonitor(s.Ranks)
 	}
-	if sink == nil && s.monitor == nil {
+	if s.FlightPath != "" && s.flight == nil {
+		// Like the monitor, one flight recorder outlives rebuilds so the
+		// retained tail spans recovery attempts.
+		s.flight = obs.NewFlight(s.Ranks, s.FlightDepth)
+	}
+	if sink == nil && s.monitor == nil && s.flight == nil {
 		return s.Factory
 	}
 	return func() (core.Config, *atom.Store, error) {
@@ -108,6 +125,7 @@ func (s *Supervisor) wrapFactory() domain.Factory {
 			cfg.CheckpointSink = sink
 		}
 		cfg.Health = s.monitor
+		cfg.Flight = s.flight
 		return cfg, st, err
 	}
 }
@@ -177,9 +195,16 @@ func (s *Supervisor) Run(n int) error {
 		}
 		var re *mpi.RankError
 		if !errors.As(err, &re) {
+			if p := s.dumpFlight(s.FlightPath); p != "" {
+				return fmt.Errorf("harness: %w (flight dump: %s)", err, p)
+			}
 			return err
 		}
 		if s.attempts >= s.Retries {
+			if p := s.dumpFlight(s.FlightPath); p != "" {
+				return fmt.Errorf("harness: retry budget (%d) exhausted (flight dump: %s): %w",
+					s.Retries, p, err)
+			}
 			return fmt.Errorf("harness: retry budget (%d) exhausted: %w", s.Retries, err)
 		}
 		s.attempts++
@@ -293,6 +318,15 @@ func (s *Supervisor) recordRecovery(re *mpi.RankError) {
 		"attempt": s.attempts,
 		"cause":   fmt.Sprint(re.Cause),
 	}
+	if s.flight != nil {
+		// Attach the flight-recorder tail: each recovery gets its own dump
+		// file (the final failure reuses the bare FlightPath), plus the
+		// where-was-everyone summary inline in the log entry.
+		payload["last_steps"] = s.flight.LastSteps()
+		if p := s.dumpFlight(fmt.Sprintf("%s.attempt%d", s.FlightPath, s.attempts)); p != "" {
+			payload["flight_dump"] = p
+		}
+	}
 	var he *health.HangError
 	if errors.As(re, &he) {
 		// Hang recoveries carry the watchdog's diagnosis: which ranks
@@ -312,3 +346,30 @@ func (s *Supervisor) recordRecovery(re *mpi.RankError) {
 
 // Attempts returns how many recoveries have been performed.
 func (s *Supervisor) Attempts() int { return s.attempts }
+
+// Flight exposes the run's flight recorder (nil unless FlightPath is
+// set and an engine was built).
+func (s *Supervisor) Flight() *obs.Flight { return s.flight }
+
+// dumpFlight writes the flight recorder's retained records to path,
+// returning the path on success and "" when there is nothing to dump or
+// the write failed (a post-mortem artifact must never mask the primary
+// error; failures are logged instead).
+func (s *Supervisor) dumpFlight(path string) string {
+	if s.flight == nil || path == "" {
+		return ""
+	}
+	fh, err := os.Create(path)
+	if err == nil {
+		err = s.flight.WriteJSONL(fh)
+		if cerr := fh.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		s.Trace.Log("flight-dump", map[string]any{"path": path, "error": err.Error()})
+		return ""
+	}
+	s.Trace.Log("flight-dump", map[string]any{"path": path, "last_steps": s.flight.LastSteps()})
+	return path
+}

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file renders the registry in the OpenMetrics / Prometheus text
+// exposition format, the wire format behind the /metrics endpoint. The
+// registry's internal naming convention embeds labels in the metric name
+// ("step.seconds{rank=0,kernel=pair}"); exposition parses them back
+// out, sanitizes the base name ("gomd_step_seconds"), sorts label keys,
+// and emits families and series in sorted order — so the output is
+// byte-deterministic for a given snapshot and golden-file testable.
+
+// Label is one parsed key=value metric label.
+type Label struct {
+	Key, Value string
+}
+
+// ParseName splits a registry metric name of the form
+// "base{k1=v1,k2=v2}" into its base name and its labels sorted by key.
+// Names without a label block parse to (name, nil). A malformed label
+// block is kept verbatim in the base name rather than dropped — a
+// misrendered metric should stay visible, not vanish.
+func ParseName(name string) (string, []Label) {
+	open := strings.IndexByte(name, '{')
+	if open < 0 || !strings.HasSuffix(name, "}") {
+		return name, nil
+	}
+	base := name[:open]
+	body := name[open+1 : len(name)-1]
+	if body == "" {
+		return base, nil
+	}
+	parts := strings.Split(body, ",")
+	labels := make([]Label, 0, len(parts))
+	for _, p := range parts {
+		eq := strings.IndexByte(p, '=')
+		if eq <= 0 {
+			return name, nil // malformed: keep the raw name
+		}
+		labels = append(labels, Label{Key: p[:eq], Value: p[eq+1:]})
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i].Key < labels[j].Key })
+	return base, labels
+}
+
+// sanitizeMetricName maps an internal dotted name onto the OpenMetrics
+// charset [a-zA-Z0-9_:] with the exporter prefix.
+func sanitizeMetricName(base string) string {
+	var b strings.Builder
+	b.WriteString("gomd_")
+	for i := 0; i < len(base); i++ {
+		c := base[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':',
+			c >= '0' && c <= '9':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabelValue applies the OpenMetrics label-value escaping.
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// renderLabels renders a sorted label set as {k="v",...}, with extra
+// appended last (the histogram "le" label). Empty sets with no extra
+// render as "".
+func renderLabels(labels []Label, extra ...Label) string {
+	if len(labels) == 0 && len(extra) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range append(append([]Label(nil), labels...), extra...) {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, l.Key, escapeLabelValue(l.Value))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatFloat renders a sample value deterministically.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// series is one rendered sample line's sortable parts.
+type series struct {
+	labels string // rendered, sorted-key label block
+	lines  []string
+}
+
+// family groups the series of one exposition metric family.
+type family struct {
+	name string // sanitized exposition name
+	typ  string // counter | gauge | histogram
+	ser  []series
+}
+
+// WriteOpenMetrics writes the snapshot in OpenMetrics text exposition
+// format: families sorted by name (kind breaks ties), series sorted by
+// label block, label keys sorted within each series, terminated by the
+// required "# EOF" marker. Byte-for-byte deterministic for a given
+// snapshot.
+func WriteOpenMetrics(w io.Writer, s Snapshot) error {
+	fams := map[string]*family{}
+	get := func(base, typ string) *family {
+		name := sanitizeMetricName(base)
+		key := name + "\x00" + typ
+		f := fams[key]
+		if f == nil {
+			f = &family{name: name, typ: typ}
+			fams[key] = f
+		}
+		return f
+	}
+
+	for name, v := range s.Counters {
+		base, labels := ParseName(name)
+		f := get(base, "counter")
+		f.ser = append(f.ser, series{
+			labels: renderLabels(labels),
+			lines:  []string{fmt.Sprintf("%s_total%s %d", f.name, renderLabels(labels), v)},
+		})
+	}
+	for name, v := range s.Gauges {
+		base, labels := ParseName(name)
+		f := get(base, "gauge")
+		f.ser = append(f.ser, series{
+			labels: renderLabels(labels),
+			lines:  []string{fmt.Sprintf("%s%s %s", f.name, renderLabels(labels), formatFloat(v))},
+		})
+	}
+	for name, h := range s.Histograms {
+		base, labels := ParseName(name)
+		f := get(base, "histogram")
+		var lines []string
+		var cum int64
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = formatFloat(h.Bounds[i])
+			}
+			lines = append(lines, fmt.Sprintf("%s_bucket%s %d",
+				f.name, renderLabels(labels, Label{Key: "le", Value: le}), cum))
+		}
+		lines = append(lines,
+			fmt.Sprintf("%s_sum%s %s", f.name, renderLabels(labels), formatFloat(h.Sum)),
+			fmt.Sprintf("%s_count%s %d", f.name, renderLabels(labels), h.Count))
+		f.ser = append(f.ser, series{labels: renderLabels(labels), lines: lines})
+	}
+
+	keys := make([]string, 0, len(fams))
+	for k := range fams {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		f := fams[k]
+		sort.Slice(f.ser, func(i, j int) bool { return f.ser[i].labels < f.ser[j].labels })
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		for _, sr := range f.ser {
+			for _, line := range sr.lines {
+				if _, err := io.WriteString(w, line+"\n"); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
+// WriteOpenMetrics renders the registry's current state (nil registries
+// render an empty, still-terminated exposition).
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	return WriteOpenMetrics(w, r.Snapshot())
+}

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestParseName covers the registry's embedded-label name convention.
+func TestParseName(t *testing.T) {
+	cases := []struct {
+		in     string
+		base   string
+		labels []Label
+	}{
+		{"step.seconds", "step.seconds", nil},
+		{"health.step{rank=3}", "health.step", []Label{{"rank", "3"}}},
+		{"par.util{rank=0,kernel=pair_phase1}", "par.util",
+			[]Label{{"kernel", "pair_phase1"}, {"rank", "0"}}}, // sorted by key
+		{"x{}", "x", nil},
+		{"x{=v}", "x{=v}", nil},           // malformed: kept verbatim
+		{"x{novalue}", "x{novalue}", nil}, // malformed: kept verbatim
+	}
+	for _, c := range cases {
+		base, labels := ParseName(c.in)
+		if base != c.base {
+			t.Errorf("ParseName(%q) base = %q, want %q", c.in, base, c.base)
+		}
+		if len(labels) != len(c.labels) {
+			t.Errorf("ParseName(%q) labels = %v, want %v", c.in, labels, c.labels)
+			continue
+		}
+		for i := range labels {
+			if labels[i] != c.labels[i] {
+				t.Errorf("ParseName(%q) label %d = %v, want %v", c.in, i, labels[i], c.labels[i])
+			}
+		}
+	}
+}
+
+// TestWriteOpenMetricsGolden pins the full exposition of a small
+// registry byte for byte: families sorted, series sorted by label
+// block, counters suffixed _total, histograms exported as cumulative
+// buckets + _sum/_count, terminated by # EOF.
+func TestWriteOpenMetricsGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(RankMetric("neigh.rebuilds", 1)).Add(7)
+	reg.Counter(RankMetric("neigh.rebuilds", 0)).Add(4)
+	reg.Gauge("load.imbalance_pct").Set(12.5)
+	reg.Gauge(KernelMetric("par.util", 0, "pair")).Set(0.75)
+	h := reg.Histogram(RankMetric("step.seconds", 0), []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.002)
+	h.Observe(5) // overflow bucket
+
+	want := `# TYPE gomd_load_imbalance_pct gauge
+gomd_load_imbalance_pct 12.5
+# TYPE gomd_neigh_rebuilds counter
+gomd_neigh_rebuilds_total{rank="0"} 4
+gomd_neigh_rebuilds_total{rank="1"} 7
+# TYPE gomd_par_util gauge
+gomd_par_util{kernel="pair",rank="0"} 0.75
+# TYPE gomd_step_seconds histogram
+gomd_step_seconds_bucket{rank="0",le="0.001"} 1
+gomd_step_seconds_bucket{rank="0",le="0.01"} 2
+gomd_step_seconds_bucket{rank="0",le="+Inf"} 3
+gomd_step_seconds_sum{rank="0"} 5.0025
+gomd_step_seconds_count{rank="0"} 3
+# EOF
+`
+	var b strings.Builder
+	if err := reg.WriteOpenMetrics(&b); err != nil {
+		t.Fatalf("WriteOpenMetrics: %v", err)
+	}
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+
+	// Determinism: a second render of the same state is byte-identical.
+	var b2 strings.Builder
+	if err := reg.WriteOpenMetrics(&b2); err != nil {
+		t.Fatalf("WriteOpenMetrics: %v", err)
+	}
+	if b.String() != b2.String() {
+		t.Error("two renders of the same registry differ")
+	}
+}
+
+// TestWriteOpenMetricsNil checks the empty/nil paths still terminate.
+func TestWriteOpenMetricsNil(t *testing.T) {
+	var reg *Registry
+	var b strings.Builder
+	if err := reg.WriteOpenMetrics(&b); err != nil {
+		t.Fatalf("nil registry: %v", err)
+	}
+	if b.String() != "# EOF\n" {
+		t.Errorf("nil registry exposition = %q, want %q", b.String(), "# EOF\n")
+	}
+}
+
+// TestServe round-trips a scrape over real HTTP.
+func TestServe(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(RankMetric("neigh.rebuilds", 2)).Add(3)
+	ms, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer ms.Close()
+
+	resp, err := http.Get("http://" + ms.Addr() + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("reading body: %v", err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/openmetrics-text") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if want := `gomd_neigh_rebuilds_total{rank="2"} 3`; !strings.Contains(string(body), want) {
+		t.Errorf("scrape missing %q:\n%s", want, body)
+	}
+	if !strings.HasSuffix(string(body), "# EOF\n") {
+		t.Errorf("scrape not EOF-terminated:\n%s", body)
+	}
+
+	// JSON endpoint parses back into a snapshot.
+	resp, err = http.Get("http://" + ms.Addr() + "/metrics.json")
+	if err != nil {
+		t.Fatalf("GET /metrics.json: %v", err)
+	}
+	snap, err := ReadSnapshot(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if snap.Counters[RankMetric("neigh.rebuilds", 2)] != 3 {
+		t.Errorf("json snapshot counters = %v", snap.Counters)
+	}
+}
+
+// TestHistogramQuantile covers the bucket-interpolation estimator.
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 10} {
+		h.Observe(v)
+	}
+	// counts: [1,2,1,1]; total 5.
+	if q := h.Quantile(0.5); q < 1 || q > 2 {
+		t.Errorf("p50 = %g, want within (1,2]", q)
+	}
+	// p90 -> rank 5 -> overflow bucket -> last finite edge.
+	if q := h.Quantile(0.9); q != 4 {
+		t.Errorf("p90 = %g, want 4 (last finite edge)", q)
+	}
+	if q := h.Quantile(0.1); q > 1 {
+		t.Errorf("p10 = %g, want <= 1", q)
+	}
+
+	if !math.IsNaN(NewHistogram([]float64{1}).Quantile(0.5)) {
+		t.Error("empty histogram quantile should be NaN")
+	}
+	if !math.IsNaN(h.Quantile(1.5)) || !math.IsNaN(h.Quantile(-0.1)) {
+		t.Error("out-of-range p should be NaN")
+	}
+	var nilH *Histogram
+	if !math.IsNaN(nilH.Quantile(0.5)) {
+		t.Error("nil histogram quantile should be NaN")
+	}
+	if nilH.Bounds() != nil {
+		t.Error("nil histogram Bounds should be nil")
+	}
+}

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Flight is the crash flight recorder: a fixed-size per-rank ring buffer
+// of recent step records, appended by each rank's step loop and dumped
+// when a run dies (rank panic, hang diagnosis, guardrail trip) so
+// post-mortems show what the world was doing in its last ~256 steps —
+// the context a bare RankError stack lacks.
+//
+// Rings are mutex-guarded: the owning rank appends while a watchdog or
+// supervisor may dump concurrently (a hang dump races the still-running
+// healthy ranks by design). The per-step cost is one uncontended lock
+// and a struct copy. All methods are nil-safe, matching the rest of the
+// obs wiring conventions.
+type Flight struct {
+	rings []*FlightRing
+}
+
+// DefaultFlightDepth is the per-rank ring capacity used when depth <= 0.
+const DefaultFlightDepth = 256
+
+// NewFlight returns a recorder for the given rank count; each rank ring
+// holds the last depth step records (DefaultFlightDepth when <= 0).
+func NewFlight(ranks, depth int) *Flight {
+	if depth <= 0 {
+		depth = DefaultFlightDepth
+	}
+	f := &Flight{rings: make([]*FlightRing, ranks)}
+	for r := range f.rings {
+		f.rings[r] = &FlightRing{rank: r, buf: make([]FlightRecord, depth)}
+	}
+	return f
+}
+
+// Rank returns rank r's ring; nil (no-op) for a nil recorder or an
+// out-of-range rank.
+func (f *Flight) Rank(r int) *FlightRing {
+	if f == nil || r < 0 || r >= len(f.rings) {
+		return nil
+	}
+	return f.rings[r]
+}
+
+// Ranks returns the recorded rank count (0 on nil).
+func (f *Flight) Ranks() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.rings)
+}
+
+// FlightRecord is one completed timestep as seen by one rank: the
+// per-task wall-time split of the step, the work counters it advanced,
+// and the heartbeat phase it last reported (PhaseHung for a rank parked
+// by an injected hang; normally the end-of-step phase).
+type FlightRecord struct {
+	Step   int64 `json:"step"`
+	WallNs int64 `json:"wall_ns"`
+
+	// Per-task durations of this step (the Table 1 taxonomy).
+	PairNs   int64 `json:"pair_ns"`
+	BondNs   int64 `json:"bond_ns,omitempty"`
+	KspaceNs int64 `json:"kspace_ns,omitempty"`
+	NeighNs  int64 `json:"neigh_ns"`
+	CommNs   int64 `json:"comm_ns"`
+	ModifyNs int64 `json:"modify_ns"`
+	OutputNs int64 `json:"output_ns,omitempty"`
+	OtherNs  int64 `json:"other_ns,omitempty"`
+
+	// Step work counters (deltas for this step).
+	Rebuild      bool  `json:"rebuild,omitempty"`
+	Pairs        int64 `json:"pairs,omitempty"`
+	CommBytes    int64 `json:"comm_bytes,omitempty"`
+	KspaceFFTOps int64 `json:"kspace_fft_ops,omitempty"`
+
+	// Phase is the heartbeat phase at record time.
+	Phase string `json:"phase,omitempty"`
+}
+
+// FlightRing is one rank's ring buffer.
+type FlightRing struct {
+	mu   sync.Mutex
+	rank int
+	buf  []FlightRecord
+	next uint64 // total records ever appended
+}
+
+// Record appends one step record, overwriting the oldest once full.
+func (r *FlightRing) Record(rec FlightRecord) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next%uint64(len(r.buf))] = rec
+	r.next++
+	r.mu.Unlock()
+}
+
+// Dump returns the retained records oldest-first (nil ring: none).
+func (r *FlightRing) Dump() []FlightRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	depth := uint64(len(r.buf))
+	count := n
+	if count > depth {
+		count = depth
+	}
+	out := make([]FlightRecord, 0, count)
+	for i := n - count; i < n; i++ {
+		out = append(out, r.buf[i%depth])
+	}
+	return out
+}
+
+// LastStep returns the most recently recorded step, or -1 when empty.
+func (r *FlightRing) LastStep() int64 {
+	if r == nil {
+		return -1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.next == 0 {
+		return -1
+	}
+	return r.buf[(r.next-1)%uint64(len(r.buf))].Step
+}
+
+// LastSteps reports each rank's most recently recorded step (-1 when a
+// rank recorded nothing) — the "who was where" summary attached to
+// recovery-log entries.
+func (f *Flight) LastSteps() map[int]int64 {
+	if f == nil {
+		return nil
+	}
+	out := make(map[int]int64, len(f.rings))
+	for r, ring := range f.rings {
+		out[r] = ring.LastStep()
+	}
+	return out
+}
+
+// flightLine is one JSONL dump line: a record tagged with its rank.
+type flightLine struct {
+	Rank int `json:"rank"`
+	FlightRecord
+}
+
+// WriteJSONL dumps every rank's retained records as JSON lines, ranks
+// in order, each rank's records oldest-first. Nil-safe (writes nothing).
+func (f *Flight) WriteJSONL(w io.Writer) error {
+	if f == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	for r, ring := range f.rings {
+		for _, rec := range ring.Dump() {
+			if err := enc.Encode(flightLine{Rank: r, FlightRecord: rec}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReadFlightDump parses a WriteJSONL dump back into per-rank records
+// (tests, post-mortem tooling).
+func ReadFlightDump(rd io.Reader) (map[int][]FlightRecord, error) {
+	dec := json.NewDecoder(rd)
+	out := map[int][]FlightRecord{}
+	for dec.More() {
+		var line flightLine
+		if err := dec.Decode(&line); err != nil {
+			return out, err
+		}
+		out[line.Rank] = append(out[line.Rank], line.FlightRecord)
+	}
+	return out, nil
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFlightWraparound fills a ring past its depth and checks the dump
+// retains exactly the newest records, oldest-first.
+func TestFlightWraparound(t *testing.T) {
+	f := NewFlight(1, 256)
+	ring := f.Rank(0)
+	for s := int64(0); s < 300; s++ {
+		ring.Record(FlightRecord{Step: s, WallNs: s * 10})
+	}
+	recs := ring.Dump()
+	if len(recs) != 256 {
+		t.Fatalf("dump retained %d records, want 256", len(recs))
+	}
+	for i, r := range recs {
+		if want := int64(44 + i); r.Step != want {
+			t.Fatalf("record %d step = %d, want %d", i, r.Step, want)
+		}
+	}
+	if ring.LastStep() != 299 {
+		t.Errorf("LastStep = %d, want 299", ring.LastStep())
+	}
+}
+
+// TestFlightNilSafety: nil recorder and rings no-op like the rest of obs.
+func TestFlightNilSafety(t *testing.T) {
+	var f *Flight
+	if f.Rank(0) != nil || f.Ranks() != 0 || f.LastSteps() != nil {
+		t.Error("nil Flight accessors should return zero values")
+	}
+	var ring *FlightRing
+	ring.Record(FlightRecord{Step: 1}) // must not panic
+	if ring.Dump() != nil {
+		t.Error("nil ring Dump should be nil")
+	}
+	if ring.LastStep() != -1 {
+		t.Errorf("nil ring LastStep = %d, want -1", ring.LastStep())
+	}
+	if err := f.WriteJSONL(&bytes.Buffer{}); err != nil {
+		t.Errorf("nil Flight WriteJSONL: %v", err)
+	}
+	if NewFlight(2, 0).Rank(0).LastStep() != -1 {
+		t.Error("empty ring LastStep should be -1")
+	}
+	if NewFlight(1, 8).Rank(5) != nil {
+		t.Error("out-of-range rank should be nil")
+	}
+}
+
+// TestFlightDumpRoundTrip writes a multi-rank dump and reads it back.
+func TestFlightDumpRoundTrip(t *testing.T) {
+	f := NewFlight(3, 4)
+	f.Rank(0).Record(FlightRecord{Step: 10, PairNs: 100, Rebuild: true, Phase: "force"})
+	f.Rank(2).Record(FlightRecord{Step: 11, CommBytes: 4096})
+	f.Rank(2).Record(FlightRecord{Step: 12, KspaceFFTOps: 7})
+
+	last := f.LastSteps()
+	if last[0] != 10 || last[1] != -1 || last[2] != 12 {
+		t.Errorf("LastSteps = %v", last)
+	}
+
+	var buf bytes.Buffer
+	if err := f.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	got, err := ReadFlightDump(&buf)
+	if err != nil {
+		t.Fatalf("ReadFlightDump: %v", err)
+	}
+	if len(got[0]) != 1 || len(got[1]) != 0 || len(got[2]) != 2 {
+		t.Fatalf("dump shape: %v", got)
+	}
+	if r := got[0][0]; r.Step != 10 || r.PairNs != 100 || !r.Rebuild || r.Phase != "force" {
+		t.Errorf("rank 0 record = %+v", r)
+	}
+	if got[2][0].Step != 11 || got[2][1].KspaceFFTOps != 7 {
+		t.Errorf("rank 2 records = %+v", got[2])
+	}
+}

@@ -131,6 +131,73 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// Quantile estimates the p-quantile (p in [0,1]) from the bucket
+// counts by linear interpolation inside the covering bucket, the same
+// estimator Prometheus' histogram_quantile uses. The first bucket
+// interpolates from 0 (or from its upper edge when that edge is <= 0);
+// observations in the overflow bucket report the last finite edge.
+// Returns NaN on a nil or empty histogram or for p outside [0,1].
+func (h *Histogram) Quantile(p float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	counts := make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return HistSnapshot{Bounds: h.bounds, Counts: counts}.Quantile(p)
+}
+
+// Quantile is the snapshot-side estimator backing Histogram.Quantile;
+// exported so dumps read back with ReadSnapshot can be summarized.
+func (s HistSnapshot) Quantile(p float64) float64 {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return math.NaN()
+	}
+	var total int64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	// rank is the smallest cumulative count that covers the quantile.
+	rank := int64(math.Ceil(p * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range s.Counts {
+		cum += c
+		if cum < rank {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			// Overflow bucket: the last finite edge is the best bound.
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		hi := s.Bounds[i]
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		if lo > hi || hi <= 0 && i == 0 {
+			return hi
+		}
+		frac := float64(rank-(cum-c)) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	return math.NaN()
+}
+
+// Bounds returns the bucket upper edges (nil on a nil histogram).
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return append([]float64(nil), h.bounds...)
+}
+
 // Count returns the number of observations (0 on nil).
 func (h *Histogram) Count() int64 {
 	if h == nil {

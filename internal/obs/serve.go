@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// MetricsServer is a live /metrics endpoint over one registry. Scrapes
+// read only the registry's atomics (Snapshot), so they are safe while
+// rank goroutines record — the engine pushes its live gauges (pool
+// busy/wall, MPI bytes/hops, heartbeats) from the owning goroutines and
+// the scraper never touches non-atomic engine state.
+type MetricsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts an HTTP server on addr (host:port; port 0 picks a free
+// one) exposing:
+//
+//	/metrics       OpenMetrics text exposition (Prometheus-scrapeable)
+//	/metrics.json  the registry's JSON snapshot dump
+//
+// The exposition output is deterministically ordered, so two scrapes of
+// an idle registry are byte-identical. Returns once the listener is
+// bound; Close shuts the server down.
+func Serve(addr string, reg *Registry) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type",
+			"application/openmetrics-text; version=1.0.0; charset=utf-8")
+		// Snapshot first: a partially-written exposition after a midway
+		// error would not be valid OpenMetrics anyway, and snapshotting is
+		// the only part that touches shared state.
+		_ = WriteOpenMetrics(w, reg.Snapshot())
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	})
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	ms := &MetricsServer{ln: ln, srv: srv}
+	go func() { _ = srv.Serve(ln) }()
+	return ms, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (m *MetricsServer) Addr() string {
+	if m == nil {
+		return ""
+	}
+	return m.ln.Addr().String()
+}
+
+// Close stops the server. Nil-safe.
+func (m *MetricsServer) Close() error {
+	if m == nil {
+		return nil
+	}
+	return m.srv.Close()
+}

@@ -66,6 +66,10 @@ type Pool struct {
 
 	mu      sync.Mutex
 	kernels map[string]*KernelStats
+
+	// live caches gauge handles for PublishLive; touched only by the
+	// pool's driving goroutine.
+	live map[string]*liveGauges
 }
 
 // NewPool creates a pool with the given worker count. Counts below 2
@@ -212,6 +216,52 @@ func (p *Pool) Publish(reg *obs.Registry, rank int) {
 	}
 	if len(names) > 0 {
 		reg.Gauge(obs.RankMetric("par.workers", rank)).Set(float64(p.w))
+	}
+}
+
+// liveGauges caches one kernel's live-gauge handles so per-step
+// publishing costs atomic stores, not registry map lookups.
+type liveGauges struct {
+	runs, busy, wall, util *obs.Gauge
+}
+
+// PublishLive exports the current per-kernel accounting as gauges
+// (par.live_runs / par.live_busy_ns / par.live_wall_ns / par.util under
+// {rank,kernel} labels, plus par.workers{rank}) — the scrape-time view
+// of the same accounting Publish exports as counters at end of run.
+// Must be called from the goroutine that drives Run (the rank
+// goroutine): the stats are written without atomics by Run itself, and
+// only gauge stores cross into the scraper. Nil-safe.
+func (p *Pool) PublishLive(reg *obs.Registry, rank int) {
+	if p == nil || reg == nil || p.w <= 1 {
+		return
+	}
+	if p.live == nil {
+		p.live = map[string]*liveGauges{}
+		reg.Gauge(obs.RankMetric("par.workers", rank)).Set(float64(p.w))
+	}
+	p.mu.Lock()
+	names := make([]string, 0, len(p.kernels))
+	for name := range p.kernels {
+		names = append(names, name)
+	}
+	p.mu.Unlock()
+	for _, name := range names {
+		lg := p.live[name]
+		if lg == nil {
+			lg = &liveGauges{
+				runs: reg.Gauge(obs.KernelMetric("par.live_runs", rank, name)),
+				busy: reg.Gauge(obs.KernelMetric("par.live_busy_ns", rank, name)),
+				wall: reg.Gauge(obs.KernelMetric("par.live_wall_ns", rank, name)),
+				util: reg.Gauge(obs.KernelMetric("par.util", rank, name)),
+			}
+			p.live[name] = lg
+		}
+		ks := p.kernels[name]
+		lg.runs.Set(float64(ks.Runs))
+		lg.busy.Set(float64(ks.BusyNs))
+		lg.wall.Set(float64(ks.WallNs))
+		lg.util.Set(ks.Util(p.w))
 	}
 }
 

@@ -1,6 +1,9 @@
 package perfmodel
 
-import "gomd/internal/core"
+import (
+	"gomd/internal/core"
+	"gomd/internal/flops"
+)
 
 // Roofline places a workload on the classic roofline of an instance:
 // arithmetic intensity (flops per byte of main-memory traffic) against
@@ -37,56 +40,20 @@ type TaskIntensity struct {
 	MemoryBound bool
 }
 
-// flopWeights estimates floating-point operations per counted engine
-// operation, per task (kernel arithmetic inventories of the style
-// implementations).
-type flopWeights struct {
-	pairFlops, pairBytes     float64
-	neighFlops, neighBytes   float64
-	kspaceFlops, kspaceBytes float64
-	modifyFlops, modifyBytes float64
-}
-
-// weightsFor returns per-op flop/byte estimates for a pair style.
-func weightsFor(style string) flopWeights {
-	w := flopWeights{
-		// A pair evaluation: distance (8 flops), kernel polynomial
-		// (~15-40), force accumulation (6); touches two atoms' positions
-		// and one force (pos reused from cache within a bin: charge ~half
-		// a cache line effective).
-		pairFlops: 30, pairBytes: 40,
-		// A neighbor candidate check: distance + compare; streams the
-		// bin's positions.
-		neighFlops: 10, neighBytes: 28,
-		// A k-space butterfly: complex mul+add (10 flops, 32 bytes).
-		kspaceFlops: 10, kspaceBytes: 32,
-		// A fix op: a handful of FMAs over one atom's state.
-		modifyFlops: 12, modifyBytes: 96,
-	}
-	switch style {
-	case "lj/charmm/coul/long":
-		w.pairFlops = 55 // erfc + switching on top of LJ
-	case "eam":
-		w.pairFlops = 24 // per pass
-	case "gran/hooke/history":
-		w.pairFlops = 45
-		w.pairBytes = 90 // history map traffic
-	}
-	return w
-}
-
 // Analyze converts per-step counters (summed over ranks) into roofline
-// placements for the compute-heavy tasks.
+// placements for the compute-heavy tasks. The per-op cost models live in
+// internal/flops — the same models kbench's BENCH_kernels.json columns
+// and the live roofline.* gauges use — so predicted and measured
+// intensity are directly comparable.
 func (r Roofline) Analyze(style string, c core.Counters) []TaskIntensity {
 	steps := float64(c.Steps)
 	if steps == 0 {
 		steps = 1
 	}
-	w := weightsFor(style)
-	mk := func(task core.Task, ops, flopsPer, bytesPer float64) TaskIntensity {
+	mk := func(task core.Task, ops float64, per flops.Cost) TaskIntensity {
 		t := TaskIntensity{Task: task}
-		t.Flops = ops / steps * flopsPer
-		t.Bytes = ops / steps * bytesPer
+		t.Flops = ops / steps * per.Flops
+		t.Bytes = ops / steps * per.Bytes
 		if t.Bytes > 0 {
 			t.Intensity = t.Flops / t.Bytes
 		}
@@ -98,14 +65,14 @@ func (r Roofline) Analyze(style string, c core.Counters) []TaskIntensity {
 		return t
 	}
 	out := []TaskIntensity{
-		mk(core.TaskPair, float64(c.PairOps), w.pairFlops, w.pairBytes),
-		mk(core.TaskNeigh, float64(c.NeighChecks), w.neighFlops, w.neighBytes),
+		mk(core.TaskPair, float64(c.PairOps), flops.Pair(style)),
+		mk(core.TaskNeigh, float64(c.NeighChecks), flops.NeighCheck()),
 	}
 	if c.KspaceFFTOps > 0 {
-		out = append(out, mk(core.TaskKspace, float64(c.KspaceFFTOps), w.kspaceFlops, w.kspaceBytes))
+		out = append(out, mk(core.TaskKspace, float64(c.KspaceFFTOps), flops.KspaceFFT()))
 	}
 	if c.ModifyOps > 0 {
-		out = append(out, mk(core.TaskModify, float64(c.ModifyOps), w.modifyFlops, w.modifyBytes))
+		out = append(out, mk(core.TaskModify, float64(c.ModifyOps), flops.Modify()))
 	}
 	return out
 }
