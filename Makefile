@@ -2,7 +2,7 @@
 # the race detector (the observability layer's multi-rank tests record
 # spans from every rank goroutine, so the race run is part of the bar),
 # then an end-to-end mdbench smoke campaign.
-.PHONY: all build vet test race bench bench-smoke bench-gate faults soak check
+.PHONY: all build vet test race bench bench-smoke bench-gate sweep-smoke faults soak check
 
 all: check
 
@@ -35,17 +35,34 @@ bench-smoke:
 	@test -s BENCH_kernels.json || \
 		{ echo "bench-smoke: empty BENCH_kernels.json" >&2; exit 1; }
 
-# Kernel regression gate: regenerate BENCH_kernels.json with the
-# baseline's arguments and compare against the committed
-# results/BENCH_kernels.baseline.json. Arithmetic intensity is pinned
-# tightly (it is model+workload determined); wall times only fail on
-# order-of-magnitude blowups (host variance allowance). Regenerate the
-# baseline with the same kbench arguments when a kernel or cost model
-# intentionally changes.
+# Kernel regression gate, trajectory-aware: regenerate
+# BENCH_kernels.json with the baseline's arguments, then gate against the
+# newest comparable entry in the append-only store
+# (results/trajectory.jsonl) — falling back to the committed
+# results/BENCH_kernels.baseline.json the first time a host runs. Each
+# passing run appends a new trajectory point, so later runs compare
+# against the most recent healthy state on this host instead of a
+# hand-regenerated file. Arithmetic intensity is pinned tightly (it is
+# model+workload determined); wall times only fail on order-of-magnitude
+# blowups (host variance allowance). Regenerate the baseline with the
+# same kbench arguments when a kernel or cost model intentionally
+# changes.
 bench-gate:
 	go run ./cmd/kbench -atoms 8000 -iters 3 -out BENCH_kernels.json > /dev/null
 	go run ./cmd/benchgate -baseline results/BENCH_kernels.baseline.json \
-		-current BENCH_kernels.json
+		-current BENCH_kernels.json -trajectory results/trajectory.jsonl
+
+# Campaign-runner smoke: a quick 2x2 grid (two workloads, two rank
+# counts, guardrails on, strict data log) through cmd/mdsweep. Fails on
+# any lost CSV/JSONL/manifest write or incomplete data log.
+sweep-smoke:
+	go run ./cmd/mdsweep -workloads lj,rhodo -atoms 32 -ranks 1,4 -quick \
+		-csv /tmp/gomd-sweep-smoke.csv -jsonl /tmp/gomd-sweep-smoke.jsonl \
+		-manifest /tmp/gomd-sweep-smoke.json > /dev/null
+	@test -s /tmp/gomd-sweep-smoke.csv || \
+		{ echo "sweep-smoke: empty sweep CSV" >&2; exit 1; }
+	@test -s /tmp/gomd-sweep-smoke.json || \
+		{ echo "sweep-smoke: empty campaign manifest" >&2; exit 1; }
 
 # Fault-tolerance suite under the race detector: abort protocol, fault
 # injector, guardrails, checkpoint bit-exactness, and supervised
@@ -61,4 +78,4 @@ faults:
 soak:
 	go test -race -run TestSoak ./internal/harness/
 
-check: build vet test race bench-smoke bench-gate faults soak
+check: build vet test race bench-smoke bench-gate sweep-smoke faults soak

@@ -1,7 +1,6 @@
-// Command benchgate compares a fresh kbench report against the
-// committed baseline (results/BENCH_kernels.baseline.json) and fails
-// when a kernel regresses. Two bars, matched to what each column
-// actually depends on:
+// Command benchgate is the perf-regression gate. It compares a fresh
+// performance report against a baseline and fails when anything
+// regressed. Two bars, matched to what each column actually depends on:
 //
 //   - arithmetic_intensity is a pure function of the cost models and the
 //     deterministic workload, so it is pinned tightly (-ai-tol relative
@@ -11,117 +10,143 @@
 //     fail (-max-slowdown ratio): the gate catches accidental
 //     serialization or quadratic slips, not machine variance.
 //
-// A kernel present in the baseline but missing from the current report
-// also fails — silently dropping a kernel from the sweep is itself a
-// regression.
+// Rows missing from either side fail: a kernel dropped from the sweep is
+// a regression, and a kernel present only in the current report would
+// otherwise ride ungated until someone remembered to regenerate the
+// baseline.
+//
+// Two baseline sources:
+//
+//   - File mode (no -trajectory): compare -current against the committed
+//     -baseline file. The original single-baseline gate.
+//   - Trajectory mode (-trajectory results/trajectory.jsonl): compare
+//     against the newest stored entry from the same tool, host, and
+//     configuration — whatever commit wrote it — and append the current
+//     report to the trajectory when the gate passes, so every `make
+//     check` extends the per-commit history. The committed -baseline
+//     file seeds the comparison while the trajectory is still empty.
+//     With -tool mdsweep (no -current), the gate instead compares the
+//     two newest stored campaign entries, gating mdsweep's persisted
+//     results the same way.
 //
 // Usage (see `make bench-gate`):
 //
-//	benchgate -baseline results/BENCH_kernels.baseline.json -current BENCH_kernels.json
+//	benchgate -baseline results/BENCH_kernels.baseline.json -current BENCH_kernels.json \
+//	          -trajectory results/trajectory.jsonl
+//	benchgate -trajectory results/trajectory.jsonl -tool mdsweep
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
-	"math"
+	"io"
 	"os"
+
+	"gomd/internal/results"
 )
 
-type kernelResult struct {
-	Kernel  string  `json:"kernel"`
-	Workers int     `json:"workers"`
-	NsPerOp int64   `json:"ns_per_op"`
-	AI      float64 `json:"arithmetic_intensity"`
-}
-
-type report struct {
-	Atoms   int            `json:"atoms"`
-	Kernels []kernelResult `json:"kernels"`
-}
-
-func load(path string) (*report, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	var r report
-	if err := json.NewDecoder(f).Decode(&r); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	return &r, nil
-}
-
-type key struct {
-	kernel  string
-	workers int
-}
-
-func index(r *report) map[key]kernelResult {
-	out := make(map[key]kernelResult, len(r.Kernels))
-	for _, k := range r.Kernels {
-		out[key{k.Kernel, k.Workers}] = k
-	}
-	return out
-}
-
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		basePath    = flag.String("baseline", "results/BENCH_kernels.baseline.json", "committed baseline report")
-		curPath     = flag.String("current", "BENCH_kernels.json", "freshly generated report")
-		aiTol       = flag.Float64("ai-tol", 0.25, "max relative arithmetic-intensity drift vs baseline")
-		maxSlowdown = flag.Float64("max-slowdown", 25, "max ns_per_op ratio vs baseline (host variance allowance)")
+		basePath    = fs.String("baseline", "results/BENCH_kernels.baseline.json", "committed baseline report (seed when the trajectory is empty)")
+		curPath     = fs.String("current", "BENCH_kernels.json", "freshly generated report")
+		aiTol       = fs.Float64("ai-tol", 0.25, "max relative arithmetic-intensity drift vs baseline")
+		maxSlowdown = fs.Float64("max-slowdown", 25, "max ns_per_op ratio vs baseline (host variance allowance)")
+		trajPath    = fs.String("trajectory", "", "append-only results store (JSONL); enables trajectory-aware comparison")
+		tool        = fs.String("tool", "kbench", "which tool's entries to gate: kbench (compare -current against the store) or mdsweep (compare the two newest stored campaign entries)")
+		record      = fs.Bool("record", true, "append the current report to the trajectory when the gate passes (kbench mode)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	tol := results.Tolerances{AITol: *aiTol, MaxSlowdown: *maxSlowdown}
 
-	base, err := load(*basePath)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
-		os.Exit(1)
-	}
-	cur, err := load(*curPath)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
-		os.Exit(1)
-	}
-	if base.Atoms != cur.Atoms {
-		fmt.Fprintf(os.Stderr, "benchgate: baseline ran %d atoms, current %d — regenerate one of them with matching -atoms\n",
-			base.Atoms, cur.Atoms)
-		os.Exit(1)
-	}
+	var base, cur results.Entry
+	baseSrc := *basePath
+	store := results.Open(*trajPath)
+	recordAfter := false
 
-	curIdx := index(cur)
-	failures := 0
-	fail := func(format string, args ...any) {
-		failures++
-		fmt.Fprintf(os.Stderr, "benchgate: FAIL "+format+"\n", args...)
-	}
-	for _, b := range base.Kernels {
-		c, ok := curIdx[key{b.Kernel, b.Workers}]
-		if !ok {
-			fail("%s workers=%d: missing from current report", b.Kernel, b.Workers)
-			continue
+	switch {
+	case *trajPath != "" && *tool != "kbench":
+		// Gate a campaign tool purely from its stored trajectory: newest
+		// entry vs the newest prior entry with the same key.
+		entries, err := store.Entries()
+		if err != nil {
+			fmt.Fprintf(stderr, "benchgate: %v\n", err)
+			return 1
 		}
-		if b.AI > 0 {
-			drift := math.Abs(c.AI-b.AI) / b.AI
-			if drift > *aiTol {
-				fail("%s workers=%d: arithmetic intensity drifted %.1f%% (baseline %.3f, current %.3f; cost model or kernel work changed — regenerate the baseline if intended)",
-					b.Kernel, b.Workers, 100*drift, b.AI, c.AI)
+		var mine []results.Entry
+		for _, e := range entries {
+			if e.Tool == *tool {
+				mine = append(mine, e)
 			}
 		}
-		if b.NsPerOp > 0 {
-			ratio := float64(c.NsPerOp) / float64(b.NsPerOp)
-			if ratio > *maxSlowdown {
-				fail("%s workers=%d: %.1fx slower than baseline (%d ns vs %d ns)",
-					b.Kernel, b.Workers, ratio, c.NsPerOp, b.NsPerOp)
+		if len(mine) == 0 {
+			fmt.Fprintf(stdout, "benchgate: no %s entries in %s yet — nothing to gate\n", *tool, *trajPath)
+			return 0
+		}
+		cur = mine[len(mine)-1]
+		prior := results.Match(mine[:len(mine)-1], cur.Key())
+		if len(prior) == 0 {
+			fmt.Fprintf(stdout, "benchgate: first %s trajectory entry (%s) — gate passes, next run compares against it\n", *tool, cur.GitSHA)
+			return 0
+		}
+		base = prior[len(prior)-1]
+		baseSrc = fmt.Sprintf("%s (entry %s)", *trajPath, base.GitSHA)
+
+	default:
+		rep, err := results.ReadKernelReport(*curPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchgate: %v\n", err)
+			return 1
+		}
+		cur = rep.Entry("kbench", results.GitSHA("."))
+		if *trajPath != "" {
+			b, err := store.Baseline(cur)
+			if err != nil {
+				fmt.Fprintf(stderr, "benchgate: %v\n", err)
+				return 1
 			}
+			if b != nil {
+				base = *b
+				baseSrc = fmt.Sprintf("%s (entry %s)", *trajPath, base.GitSHA)
+			}
+			recordAfter = *record
+		}
+		if base.Rows == nil {
+			brep, err := results.ReadKernelReport(*basePath)
+			if err != nil {
+				fmt.Fprintf(stderr, "benchgate: %v\n", err)
+				return 1
+			}
+			// Adopt the current host for the file baseline: the committed
+			// file is the portable seed, compared wherever the gate runs.
+			base = brep.Entry("kbench", "baseline-file")
+			base.Host = cur.Host
+			base.ConfigHash = cur.ConfigHash
 		}
 	}
-	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "benchgate: %d failure(s)\n", failures)
-		os.Exit(1)
+
+	fails := results.Compare(base, cur, tol)
+	if len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintf(stderr, "benchgate: FAIL %s\n", f)
+		}
+		fmt.Fprintf(stderr, "benchgate: %d failure(s) vs %s\n", len(fails), baseSrc)
+		return 1
 	}
-	fmt.Printf("benchgate: %d kernel rows within tolerance (ai-tol %.0f%%, max-slowdown %.0fx)\n",
-		len(base.Kernels), 100**aiTol, *maxSlowdown)
+	if recordAfter {
+		if err := store.Append(cur); err != nil {
+			fmt.Fprintf(stderr, "benchgate: %v\n", err)
+			return 1
+		}
+	}
+	fmt.Fprintf(stdout, "benchgate: %d rows within tolerance vs %s (ai-tol %.0f%%, max-slowdown %.0fx)\n",
+		len(base.Rows), baseSrc, 100*tol.AITol, tol.MaxSlowdown)
+	return 0
 }

@@ -1,0 +1,278 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gomd/internal/results"
+)
+
+func writeReport(t *testing.T, dir, name string, rep *results.KernelReport) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := results.WriteKernelReport(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func report(atoms int, rows ...results.KernelRow) *results.KernelReport {
+	return &results.KernelReport{
+		Atoms: atoms, Workloads: []string{"lj"}, Host: results.Fingerprint(),
+		Kernels: rows,
+	}
+}
+
+func krow(kernel string, workers int, ns int64, ai float64) results.KernelRow {
+	return results.KernelRow{Kernel: kernel, Workers: workers, NsPerOp: ns, AI: ai}
+}
+
+// gate runs benchgate with the given args, returning exit code and the
+// combined output.
+func gate(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String() + errb.String()
+}
+
+// TestFileModeTable: the decision surface of the classic
+// baseline-file-vs-current comparison, including both missing-row
+// directions, zero-valued rows, drift either side of -ai-tol, and the
+// atom-count mismatch.
+func TestFileModeTable(t *testing.T) {
+	cases := []struct {
+		name      string
+		base, cur *results.KernelReport
+		wantCode  int
+		wantIn    string
+	}{
+		{
+			name:     "identical reports pass",
+			base:     report(8000, krow("pair_lj", 1, 100, 1.0)),
+			cur:      report(8000, krow("pair_lj", 1, 100, 1.0)),
+			wantCode: 0,
+			wantIn:   "within tolerance",
+		},
+		{
+			name:     "kernel missing from current fails",
+			base:     report(8000, krow("pair_lj", 1, 100, 1.0), krow("pppm", 1, 100, 1.0)),
+			cur:      report(8000, krow("pair_lj", 1, 100, 1.0)),
+			wantCode: 1,
+			wantIn:   "pppm workers=1: missing from current",
+		},
+		{
+			name:     "kernel present only in current fails with regenerate hint",
+			base:     report(8000, krow("pair_lj", 1, 100, 1.0)),
+			cur:      report(8000, krow("pair_lj", 1, 100, 1.0), krow("pair_tersoff", 1, 100, 1.0)),
+			wantCode: 1,
+			wantIn:   "regenerate the baseline",
+		},
+		{
+			name:     "zero ns and zero AI baseline rows disable their bars",
+			base:     report(8000, krow("pair_lj", 1, 0, 0)),
+			cur:      report(8000, krow("pair_lj", 1, 1<<40, 9.9)),
+			wantCode: 0,
+		},
+		{
+			name:     "AI drift just inside tolerance passes",
+			base:     report(8000, krow("pair_lj", 1, 100, 1.0)),
+			cur:      report(8000, krow("pair_lj", 1, 100, 1.24)),
+			wantCode: 0,
+		},
+		{
+			name:     "AI drift outside tolerance fails",
+			base:     report(8000, krow("pair_lj", 1, 100, 1.0)),
+			cur:      report(8000, krow("pair_lj", 1, 100, 1.26)),
+			wantCode: 1,
+			wantIn:   "arithmetic intensity drifted",
+		},
+		{
+			name:     "slowdown beyond the ceiling fails",
+			base:     report(8000, krow("pair_lj", 1, 100, 1.0)),
+			cur:      report(8000, krow("pair_lj", 1, 2600, 1.0)),
+			wantCode: 1,
+			wantIn:   "slower than baseline",
+		},
+		{
+			name:     "atom-count mismatch fails",
+			base:     report(8000, krow("pair_lj", 1, 100, 1.0)),
+			cur:      report(4000, krow("pair_lj", 1, 100, 1.0)),
+			wantCode: 1,
+			wantIn:   "matching -atoms",
+		},
+		{
+			name:     "worker counts are distinct rows",
+			base:     report(8000, krow("pair_lj", 1, 100, 1.0), krow("pair_lj", 4, 40, 1.0)),
+			cur:      report(8000, krow("pair_lj", 1, 100, 1.0)),
+			wantCode: 1,
+			wantIn:   "pair_lj workers=4: missing from current",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			dir := t.TempDir()
+			bp := writeReport(t, dir, "baseline.json", c.base)
+			cp := writeReport(t, dir, "current.json", c.cur)
+			code, out := gate(t, "-baseline", bp, "-current", cp)
+			if code != c.wantCode {
+				t.Fatalf("exit = %d, want %d\n%s", code, c.wantCode, out)
+			}
+			if c.wantIn != "" && !strings.Contains(out, c.wantIn) {
+				t.Errorf("output missing %q:\n%s", c.wantIn, out)
+			}
+		})
+	}
+}
+
+// TestMissingFiles: unreadable reports exit 1, not 0.
+func TestMissingFiles(t *testing.T) {
+	dir := t.TempDir()
+	bp := writeReport(t, dir, "baseline.json", report(8000, krow("pair_lj", 1, 100, 1.0)))
+	if code, _ := gate(t, "-baseline", bp, "-current", filepath.Join(dir, "nope.json")); code != 1 {
+		t.Errorf("missing current: exit %d, want 1", code)
+	}
+	cp := writeReport(t, dir, "current.json", report(8000, krow("pair_lj", 1, 100, 1.0)))
+	if code, _ := gate(t, "-baseline", filepath.Join(dir, "nope.json"), "-current", cp); code != 1 {
+		t.Errorf("missing baseline: exit %d, want 1", code)
+	}
+}
+
+// TestTrajectoryMode: the committed file seeds an empty trajectory, a
+// passing gate appends the current entry, and subsequent runs compare
+// against the stored entry instead of the file.
+func TestTrajectoryMode(t *testing.T) {
+	dir := t.TempDir()
+	traj := filepath.Join(dir, "trajectory.jsonl")
+	bp := writeReport(t, dir, "baseline.json", report(8000, krow("pair_lj", 1, 100, 1.0)))
+	cp := writeReport(t, dir, "current.json", report(8000, krow("pair_lj", 1, 120, 1.0)))
+
+	// First run: empty trajectory, file baseline, pass, record.
+	code, out := gate(t, "-baseline", bp, "-current", cp, "-trajectory", traj)
+	if code != 0 {
+		t.Fatalf("first run exit %d:\n%s", code, out)
+	}
+	entries, err := results.Open(traj).Entries()
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("trajectory after first pass: %d entries, err %v", len(entries), err)
+	}
+
+	// Second run: the stored entry is now the baseline.
+	cp2 := writeReport(t, dir, "current2.json", report(8000, krow("pair_lj", 1, 130, 1.0)))
+	code, out = gate(t, "-baseline", bp, "-current", cp2, "-trajectory", traj)
+	if code != 0 {
+		t.Fatalf("second run exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "trajectory.jsonl") {
+		t.Errorf("second run should name the trajectory as baseline source:\n%s", out)
+	}
+	entries, _ = results.Open(traj).Entries()
+	if len(entries) != 2 {
+		t.Fatalf("trajectory after second pass: %d entries, want 2", len(entries))
+	}
+
+	// A regression vs the stored entry fails and is NOT recorded.
+	cpBad := writeReport(t, dir, "bad.json", report(8000, krow("pair_lj", 1, 130*26, 1.0)))
+	code, out = gate(t, "-baseline", bp, "-current", cpBad, "-trajectory", traj)
+	if code != 1 || !strings.Contains(out, "slower than baseline") {
+		t.Fatalf("regression run exit %d:\n%s", code, out)
+	}
+	entries, _ = results.Open(traj).Entries()
+	if len(entries) != 2 {
+		t.Errorf("failed gate must not extend the trajectory: %d entries", len(entries))
+	}
+
+	// -record=false passes without appending.
+	code, _ = gate(t, "-baseline", bp, "-current", cp2, "-trajectory", traj, "-record=false")
+	if code != 0 {
+		t.Fatalf("norecord run exit %d", code)
+	}
+	entries, _ = results.Open(traj).Entries()
+	if len(entries) != 2 {
+		t.Errorf("-record=false appended: %d entries", len(entries))
+	}
+}
+
+// TestTrajectoryToolMode: -tool mdsweep gates the two newest stored
+// campaign entries; a doctored ns_per_op regression fails the gate.
+func TestTrajectoryToolMode(t *testing.T) {
+	dir := t.TempDir()
+	traj := filepath.Join(dir, "trajectory.jsonl")
+
+	// No entries at all: nothing to gate, pass.
+	code, out := gate(t, "-trajectory", traj, "-tool", "mdsweep")
+	if code != 0 || !strings.Contains(out, "no mdsweep entries") {
+		t.Fatalf("empty store: exit %d\n%s", code, out)
+	}
+
+	store := results.Open(traj)
+	e := results.Entry{
+		Tool: "mdsweep", GitSHA: "one", Host: "h", ConfigHash: "c",
+		Rows: []results.Row{{Name: "exp:table1", NsPerOp: 5_000_000}},
+	}
+	if err := store.Append(e); err != nil {
+		t.Fatal(err)
+	}
+
+	// One entry: first point, pass.
+	code, out = gate(t, "-trajectory", traj, "-tool", "mdsweep")
+	if code != 0 || !strings.Contains(out, "first mdsweep trajectory entry") {
+		t.Fatalf("single entry: exit %d\n%s", code, out)
+	}
+
+	// Two comparable entries: pass.
+	e2 := e
+	e2.GitSHA = "two"
+	e2.Rows = []results.Row{{Name: "exp:table1", NsPerOp: 6_000_000}}
+	if err := store.Append(e2); err != nil {
+		t.Fatal(err)
+	}
+	code, out = gate(t, "-trajectory", traj, "-tool", "mdsweep")
+	if code != 0 {
+		t.Fatalf("two entries: exit %d\n%s", code, out)
+	}
+
+	// Doctor the newest entry's wall time: the gate must go red.
+	bad := e
+	bad.GitSHA = "three"
+	bad.Rows = []results.Row{{Name: "exp:table1", NsPerOp: 5_000_000 * 1000}}
+	if err := store.Append(bad); err != nil {
+		t.Fatal(err)
+	}
+	code, out = gate(t, "-trajectory", traj, "-tool", "mdsweep")
+	if code != 1 || !strings.Contains(out, "slower than baseline") {
+		t.Fatalf("doctored entry: exit %d\n%s", code, out)
+	}
+}
+
+// TestTrajectoryCorruptStore: a damaged trajectory is a hard error.
+func TestTrajectoryCorruptStore(t *testing.T) {
+	dir := t.TempDir()
+	traj := filepath.Join(dir, "trajectory.jsonl")
+	if err := os.WriteFile(traj, []byte("garbage\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := gate(t, "-trajectory", traj, "-tool", "mdsweep"); code != 1 {
+		t.Errorf("corrupt store: exit %d, want 1", code)
+	}
+}
+
+// TestBaselineFileStillValid: the committed baseline file parses under
+// the shared schema (guards against schema drift breaking the gate).
+func TestBaselineFileStillValid(t *testing.T) {
+	rep, err := results.ReadKernelReport(filepath.Join("..", "..", "results", "BENCH_kernels.baseline.json"))
+	if err != nil {
+		t.Fatalf("committed baseline unreadable: %v", err)
+	}
+	if len(rep.Kernels) == 0 {
+		t.Fatal("committed baseline has no kernel rows")
+	}
+	b, _ := json.Marshal(rep.Kernels[0])
+	if !strings.Contains(string(b), "ns_per_op") {
+		t.Errorf("schema drift: %s", b)
+	}
+}

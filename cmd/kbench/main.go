@@ -22,7 +22,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,34 +35,10 @@ import (
 	"gomd/internal/health"
 	"gomd/internal/obs"
 	"gomd/internal/pair"
+	"gomd/internal/results"
 	"gomd/internal/trace"
 	"gomd/internal/workload"
 )
-
-type kernelResult struct {
-	Kernel     string  `json:"kernel"`
-	Workers    int     `json:"workers"`
-	Iters      int     `json:"iters"`
-	NsPerOp    int64   `json:"ns_per_op"`
-	SpeedupVs1 float64 `json:"speedup_vs_1"`
-	// Modeled arithmetic cost of one kernel invocation (internal/flops
-	// priced over the measured operation counts).
-	Flops float64 `json:"flops"`
-	Bytes float64 `json:"bytes"`
-	AI    float64 `json:"arithmetic_intensity"`
-	// Gflops is the achieved rate Flops/NsPerOp (host-dependent).
-	Gflops float64 `json:"gflops"`
-}
-
-type report struct {
-	Workloads []string       `json:"workloads"`
-	Atoms     int            `json:"atoms"`
-	GoVersion string         `json:"go_version"`
-	NumCPU    int            `json:"num_cpu"`
-	GOOS      string         `json:"goos"`
-	GOARCH    string         `json:"goarch"`
-	Kernels   []kernelResult `json:"kernels"`
-}
 
 func parseWorkers(s string) []int {
 	var out []int
@@ -227,12 +202,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "# metrics listening on http://%s/metrics\n", ms.Addr())
 	}
 
-	rep := report{
+	rep := results.KernelReport{
 		Atoms:     *atoms,
 		GoVersion: runtime.Version(),
 		NumCPU:    runtime.NumCPU(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
+		Host:      results.Fingerprint(),
 	}
 	for _, b := range benches {
 		rep.Workloads = append(rep.Workloads, string(b.wl))
@@ -245,7 +221,7 @@ func main() {
 				if _, ok := base[m.name]; !ok {
 					base[m.name] = m.ns
 				}
-				kr := kernelResult{
+				kr := results.KernelRow{
 					Kernel:     m.name,
 					Workers:    w,
 					Iters:      *iters,
@@ -272,18 +248,7 @@ func main() {
 		}
 	}
 
-	f, err := os.Create(*out)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "kbench: %v\n", err)
-		os.Exit(1)
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(&rep); err != nil {
-		fmt.Fprintf(os.Stderr, "kbench: %v\n", err)
-		os.Exit(1)
-	}
-	if err := f.Close(); err != nil {
+	if err := results.WriteKernelReport(*out, &rep); err != nil {
 		fmt.Fprintf(os.Stderr, "kbench: %v\n", err)
 		os.Exit(1)
 	}

@@ -152,13 +152,14 @@ func main() {
 		defer ms.Close()
 		fmt.Fprintf(os.Stderr, "# metrics listening on http://%s/metrics\n", ms.Addr())
 	}
+	var logFile *os.File
 	if *logPath != "" {
 		lf, err := os.Create(*logPath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mdbench: %v\n", err)
 			os.Exit(1)
 		}
-		defer lf.Close()
+		logFile = lf
 		runner.Trace = trace.New(lf)
 	}
 	params := harness.Params{
@@ -181,14 +182,18 @@ func main() {
 		}
 	}
 
+	// CSV write and close errors are fatal: a full disk or bad path must
+	// not leave a silently truncated CSV behind an exit code of 0.
+	csvFail := func(err error) {
+		fmt.Fprintf(os.Stderr, "mdbench: csv %s: %v\n", *csvPath, err)
+		os.Exit(1)
+	}
 	var csv *os.File
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mdbench: %v\n", err)
-			os.Exit(1)
+			csvFail(err)
 		}
-		defer f.Close()
 		csv = f
 	}
 
@@ -205,9 +210,18 @@ func main() {
 				tables[i].Render(os.Stdout)
 			}
 			if csv != nil {
-				fmt.Fprintf(csv, "# %s\n", tables[i].Title)
-				tables[i].WriteCSV(csv)
+				if _, err := fmt.Fprintf(csv, "# %s\n", tables[i].Title); err != nil {
+					csvFail(err)
+				}
+				if err := tables[i].WriteCSV(csv); err != nil {
+					csvFail(err)
+				}
 			}
+		}
+	}
+	if csv != nil {
+		if err := csv.Close(); err != nil {
+			csvFail(err)
 		}
 	}
 
@@ -218,11 +232,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mdbench: %v\n", err)
 		os.Exit(1)
 	}
-	if err := runner.Trace.Err(); err != nil {
+	logErr := runner.Trace.Err()
+	if logErr == nil && logFile != nil {
+		logErr = logFile.Close()
+	}
+	if logErr != nil {
 		if *strict {
-			fmt.Fprintf(os.Stderr, "mdbench: data log incomplete: %v\n", err)
+			fmt.Fprintf(os.Stderr, "mdbench: data log incomplete: %v\n", logErr)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "mdbench: warning: data log incomplete: %v\n", err)
+		fmt.Fprintf(os.Stderr, "mdbench: warning: data log incomplete: %v\n", logErr)
 	}
 }

@@ -1,0 +1,579 @@
+// Command mdsweep is the campaign runner: one invocation sweeps
+// comma-grids of workload × atoms × ranks × workers × precision × PPPM
+// tolerance through the characterization harness — numerical guardrails
+// on, data log strict — and emits CSV + JSONL per cell plus a
+// machine-readable campaign manifest. The paper's evaluation (Tables
+// 1–3, Figs 3–16) is exactly such a grid; mdbench regenerates individual
+// figures, mdsweep runs grids and keeps the receipts.
+//
+// With -exp, mdsweep instead regenerates paper experiments end-to-end
+// through the same experiment registry mdbench uses (internal/harness —
+// shared package, not a copy), timing each one.
+//
+// Either mode can persist its results into the append-only trajectory
+// store (-trajectory results/trajectory.jsonl): one entry per run, keyed
+// by (git SHA, host, config hash), which `benchgate -trajectory` then
+// gates against the newest comparable prior entry. That closes the loop
+// the paper leaves manual — every commit gets a reproducible
+// before/after story.
+//
+// Usage:
+//
+//	mdsweep -workloads lj,rhodo -atoms 32,256 -ranks 1,4,16 -trials 3
+//	mdsweep -exp fig10 -quick -trajectory results/trajectory.jsonl
+//	mdsweep -exp table1 -quick           # paper table, end to end
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"gomd/internal/harness"
+	"gomd/internal/pair"
+	"gomd/internal/results"
+	"gomd/internal/trace"
+	"gomd/internal/workload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// parseInts parses a comma grid of integers ("1, 2,4"; empty tokens
+// ignored, so "1,,4" is [1 4]).
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer list %q: %v", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float list %q: %v", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseWorkloads(s string) ([]workload.Name, error) {
+	var out []workload.Name
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		found := false
+		for _, n := range workload.All() {
+			if string(n) == part {
+				out = append(out, n)
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown workload %q (have %v)", part, workload.All())
+		}
+	}
+	return out, nil
+}
+
+func parsePrecisions(s string) ([]pair.Precision, error) {
+	var out []pair.Precision
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		switch part {
+		case "mixed":
+			out = append(out, pair.Mixed)
+		case "double":
+			out = append(out, pair.Double)
+		case "single":
+			out = append(out, pair.Single)
+		default:
+			return nil, fmt.Errorf("unknown precision %q (mixed, double, single)", part)
+		}
+	}
+	return out, nil
+}
+
+// manifest is the machine-readable record of one campaign: what ran,
+// from which commit and host, with which fidelity, and what came out.
+// Rerunning the manifest's grid on the manifest's commit reproduces the
+// campaign.
+type manifest struct {
+	Tool       string `json:"tool"`
+	Mode       string `json:"mode"` // "grid" or "exp"
+	GitSHA     string `json:"git_sha"`
+	Host       string `json:"host"`
+	ConfigHash string `json:"config_hash"`
+
+	Grid        *gridConfig `json:"grid,omitempty"`
+	Experiments []string    `json:"experiments,omitempty"`
+	Fidelity    fidelity    `json:"fidelity"`
+
+	CSV        string `json:"csv,omitempty"`
+	JSONL      string `json:"jsonl,omitempty"`
+	Trajectory string `json:"trajectory,omitempty"`
+
+	Cells       []manifestCell `json:"cells"`
+	TotalWallMS int64          `json:"total_wall_ms"`
+}
+
+type gridConfig struct {
+	Workloads  []string  `json:"workloads"`
+	SizesK     []int     `json:"sizes_k"`
+	Ranks      []int     `json:"ranks"`
+	Workers    []int     `json:"workers"`
+	Precisions []string  `json:"precisions"`
+	KspaceAccs []float64 `json:"kspace_accs"`
+	Trials     int       `json:"trials"`
+}
+
+type fidelity struct {
+	MeasureCap int    `json:"measure_cap"`
+	Steps      int    `json:"steps"`
+	Warmup     int    `json:"warmup"`
+	CheckEvery int    `json:"check_every"`
+	Seed       uint64 `json:"seed"`
+}
+
+type manifestCell struct {
+	Label  string `json:"label"`
+	Status string `json:"status"`
+	WallMS int64  `json:"wall_ms"`
+}
+
+// cellRecord is the JSONL-per-cell document (the full structured data;
+// the CSV carries the compact summary).
+type cellRecord struct {
+	Workload  string             `json:"workload"`
+	AtomsK    int                `json:"atoms_k"`
+	Ranks     int                `json:"ranks"`
+	Workers   int                `json:"workers"`
+	Precision string             `json:"precision"`
+	KspaceAcc float64            `json:"kspace_acc,omitempty"`
+	Trial     int                `json:"trial"`
+	NMeasured int                `json:"n_measured"`
+	NTarget   int                `json:"n_target"`
+	Steps     int                `json:"steps"`
+	TSps      float64            `json:"ts_per_s"`
+	EnergyEff float64            `json:"ts_per_s_per_w"`
+	MPIPct    float64            `json:"mpi_pct"`
+	ImbalPct  float64            `json:"mpi_imbalance_pct"`
+	TaskPct   map[string]float64 `json:"task_pct"`
+	GridDims  []int              `json:"pppm_mesh,omitempty"`
+	WallMS    int64              `json:"wall_ms"`
+}
+
+// errWriter accumulates the first write error so every emit path checks
+// writes without if-err noise at each call site; the campaign fails at
+// (or before) close if anything was lost.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mdsweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		workloads = fs.String("workloads", "", "comma grid of workloads (default all: rhodo,lj,chain,eam,chute)")
+		atoms     = fs.String("atoms", "", "comma grid of system sizes in k atoms (default 32,256,864,2048)")
+		ranks     = fs.String("ranks", "", "comma grid of CPU rank counts (default 1,2,4,8,16,32,64)")
+		workers   = fs.String("workers", "1", "comma grid of intra-rank worker-pool widths")
+		precs     = fs.String("precisions", "mixed", "comma grid of pairwise precisions (mixed,double,single)")
+		accs      = fs.String("kspace-acc", "", "comma grid of PPPM relative-error thresholds (default workload default; ignored by non-PPPM workloads)")
+		trials    = fs.Int("trials", 1, "repeat trials per cell (trial-varied seeds)")
+
+		cap_     = fs.Int("measure-cap", 0, "max atoms actually simulated per measurement")
+		steps    = fs.Int("steps", 0, "measured steps per configuration")
+		warmup   = fs.Int("warmup", 0, "warmup steps excluded from counters")
+		seed     = fs.Uint64("seed", 0, "base RNG seed (0 = harness default; trial t adds t)")
+		chkEvery = fs.Int("check-every", 2, "run numerical guardrails every N steps during measurements (0 = off; campaigns keep them on)")
+		quick    = fs.Bool("quick", false, "reduced fidelity (cap 6000 atoms, 6 steps)")
+
+		expFlag = fs.String("exp", "", "experiment mode: regenerate these paper experiments (table1..3, fig3..fig16, headline, ablations, all) instead of sweeping a grid")
+		list    = fs.Bool("list", false, "list experiments and exit")
+		gpus    = fs.String("gpus", "", "comma grid of GPU device counts for -exp experiments that price the GPU instance")
+
+		csvPath  = fs.String("csv", "sweep.csv", "write per-cell results as CSV to this file (empty = off)")
+		jsonl    = fs.String("jsonl", "sweep.jsonl", "write per-cell results as JSON Lines to this file (empty = off)")
+		maniPath = fs.String("manifest", "sweep_manifest.json", "write the machine-readable campaign manifest to this file (empty = off)")
+		trajPath = fs.String("trajectory", "", "append this campaign to the append-only results store (JSONL), e.g. results/trajectory.jsonl")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "mdsweep: "+format+"\n", args...)
+		return 1
+	}
+
+	if *list {
+		fmt.Fprintln(stdout, "experiments:")
+		for _, e := range harness.FullRegistry() {
+			fmt.Fprintf(stdout, "  %-13s %s\n", e.ID, e.Title)
+		}
+		return 0
+	}
+
+	wls, err := parseWorkloads(*workloads)
+	if err != nil {
+		return fail("%v", err)
+	}
+	sizes, err := parseInts(*atoms)
+	if err != nil {
+		return fail("%v", err)
+	}
+	rankList, err := parseInts(*ranks)
+	if err != nil {
+		return fail("%v", err)
+	}
+	workerList, err := parseInts(*workers)
+	if err != nil {
+		return fail("%v", err)
+	}
+	precList, err := parsePrecisions(*precs)
+	if err != nil {
+		return fail("%v", err)
+	}
+	accList, err := parseFloats(*accs)
+	if err != nil {
+		return fail("%v", err)
+	}
+	gpuList, err := parseInts(*gpus)
+	if err != nil {
+		return fail("%v", err)
+	}
+
+	opts := harness.Options{
+		MeasureCap: *cap_, Steps: *steps, Warmup: *warmup,
+		Seed: *seed, CheckEvery: *chkEvery,
+	}
+	if *quick {
+		if opts.MeasureCap == 0 {
+			opts.MeasureCap = 6000
+		}
+		if opts.Steps == 0 {
+			opts.Steps = 6
+		}
+	}
+
+	mode := "grid"
+	if *expFlag != "" {
+		mode = "exp"
+	}
+	man := &manifest{
+		Tool:   "mdsweep",
+		Mode:   mode,
+		GitSHA: results.GitSHA("."),
+		Host:   results.Fingerprint(),
+		Fidelity: fidelity{
+			MeasureCap: opts.MeasureCap, Steps: opts.Steps, Warmup: opts.Warmup,
+			CheckEvery: opts.CheckEvery, Seed: opts.Seed,
+		},
+		CSV: *csvPath, JSONL: *jsonl, Trajectory: *trajPath,
+	}
+
+	// The data log doubles as the strict verifier of campaign
+	// completeness: every engine measurement logs a record, and a lost
+	// write (full disk, closed pipe) fails the run. Campaigns are always
+	// strict — there is no -strict-log opt-in to forget.
+	var dataLog *trace.Logger
+	var logSink *countingWriter
+	if *jsonl != "" {
+		lf, err := os.Create(*jsonl)
+		if err != nil {
+			return fail("%v", err)
+		}
+		logSink = &countingWriter{w: lf, closer: lf}
+		dataLog = trace.New(logSink)
+	}
+
+	var csvFile *os.File
+	var csvw *errWriter
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return fail("%v", err)
+		}
+		csvFile = f
+		csvw = &errWriter{w: f}
+	}
+
+	t0 := time.Now()
+	var trajRows []results.Row
+	var exitErr error
+
+	if mode == "grid" {
+		spec := harness.CampaignSpec{
+			Workloads: wls, SizesK: sizes, Ranks: rankList,
+			Workers: workerList, Precisions: precList,
+			KspaceAccs: accList, Trials: *trials,
+		}
+		man.Grid = &gridConfig{
+			Trials: *trials, SizesK: sizes, Ranks: rankList, Workers: workerList,
+			KspaceAccs: accList,
+		}
+		for _, w := range wls {
+			man.Grid.Workloads = append(man.Grid.Workloads, string(w))
+		}
+		for _, p := range precList {
+			man.Grid.Precisions = append(man.Grid.Precisions, p.String())
+		}
+		man.ConfigHash = results.ConfigHash(struct {
+			Grid     *gridConfig `json:"grid"`
+			Fidelity fidelity    `json:"fidelity"`
+		}{man.Grid, man.Fidelity})
+
+		if csvw != nil {
+			cols := []string{"workload", "atoms_k", "ranks", "workers", "precision",
+				"kspace_acc", "trial", "n_measured", "n_target", "steps",
+				"ts_per_s", "ts_per_s_per_w", "mpi_pct", "mpi_imbalance_pct"}
+			for _, t := range harness.TaskNames() {
+				cols = append(cols, strings.ToLower(t)+"_pct")
+			}
+			cols = append(cols, "wall_ms")
+			csvw.printf("%s\n", strings.Join(cols, ","))
+		}
+
+		exitErr = harness.RunCampaign(spec, opts, dataLog, func(r harness.CellResult) error {
+			rec := cellRecord{
+				Workload:  string(r.Spec.Workload),
+				AtomsK:    r.Spec.AtomsK,
+				Ranks:     r.Spec.Ranks,
+				Workers:   r.Workers,
+				Precision: r.Spec.Precision.String(),
+				KspaceAcc: r.Spec.KspaceAcc,
+				Trial:     r.Trial,
+				NMeasured: r.NMeasured,
+				NTarget:   r.NTarget,
+				Steps:     r.Steps,
+				TSps:      r.TSps,
+				EnergyEff: r.EnergyEff,
+				MPIPct:    r.MPIPct,
+				ImbalPct:  r.ImbalancePct,
+				TaskPct:   map[string]float64{},
+				WallMS:    r.Wall.Milliseconds(),
+			}
+			for i, name := range harness.TaskNames() {
+				rec.TaskPct[name] = r.TaskPct[i]
+			}
+			if r.GridDims != [3]int{} {
+				rec.GridDims = []int{r.GridDims[0], r.GridDims[1], r.GridDims[2]}
+			}
+			dataLog.Log("cell", map[string]any{"label": r.Label(), "record": rec})
+			if csvw != nil {
+				vals := []string{
+					rec.Workload, itoa(rec.AtomsK), itoa(rec.Ranks), itoa(rec.Workers),
+					rec.Precision, ftoa(rec.KspaceAcc), itoa(rec.Trial),
+					itoa(rec.NMeasured), itoa(rec.NTarget), itoa(rec.Steps),
+					fmt.Sprintf("%.4f", rec.TSps), fmt.Sprintf("%.5f", rec.EnergyEff),
+					fmt.Sprintf("%.2f", rec.MPIPct), fmt.Sprintf("%.2f", rec.ImbalPct),
+				}
+				for _, v := range r.TaskPct {
+					vals = append(vals, fmt.Sprintf("%.2f", v))
+				}
+				vals = append(vals, fmt.Sprintf("%d", rec.WallMS))
+				csvw.printf("%s\n", strings.Join(vals, ","))
+				if csvw.err != nil {
+					return csvw.err
+				}
+			}
+			man.Cells = append(man.Cells, manifestCell{
+				Label: r.Label(), Status: "ok", WallMS: rec.WallMS,
+			})
+			trajRows = append(trajRows, results.Row{
+				Name:    cellRowName(r.Cell),
+				Workers: r.Workers,
+				NsPerOp: r.Wall.Nanoseconds(),
+			})
+			fmt.Fprintf(stdout, "%-40s %10.3f TS/s  %6d ms\n", r.Label(), r.TSps, rec.WallMS)
+			return nil
+		})
+	} else {
+		var selected []harness.Experiment
+		if *expFlag == "all" {
+			selected = harness.FullRegistry()
+		} else {
+			for _, id := range strings.Split(*expFlag, ",") {
+				e, ok := harness.Get(strings.TrimSpace(id))
+				if !ok {
+					return fail("unknown experiment %q (try -list)", id)
+				}
+				selected = append(selected, e)
+			}
+		}
+		for _, e := range selected {
+			man.Experiments = append(man.Experiments, e.ID)
+		}
+		man.ConfigHash = results.ConfigHash(struct {
+			Experiments []string `json:"experiments"`
+			Fidelity    fidelity `json:"fidelity"`
+			Sizes       []int    `json:"sizes"`
+			Ranks       []int    `json:"ranks"`
+			GPUs        []int    `json:"gpus"`
+		}{man.Experiments, man.Fidelity, sizes, rankList, gpuList})
+
+		params := harness.Params{Sizes: sizes, CPURanks: rankList, GPUDevices: gpuList}
+		runner := harness.NewRunner(opts)
+		runner.Trace = dataLog
+
+		for _, e := range selected {
+			et0 := time.Now()
+			tables, err := e.Run(runner, params)
+			if err != nil {
+				exitErr = fmt.Errorf("%s: %w", e.ID, err)
+				break
+			}
+			for i := range tables {
+				tables[i].Render(stdout)
+				if csvw != nil {
+					csvw.printf("# %s\n", tables[i].Title)
+					if csvw.err == nil {
+						csvw.err = tables[i].WriteCSV(csvw.w)
+					}
+					if csvw.err != nil {
+						exitErr = csvw.err
+						break
+					}
+				}
+				dataLog.Log("table", map[string]any{
+					"experiment": e.ID, "title": tables[i].Title, "rows": len(tables[i].Rows),
+				})
+			}
+			if exitErr != nil {
+				break
+			}
+			wall := time.Since(et0)
+			man.Cells = append(man.Cells, manifestCell{
+				Label: "exp:" + e.ID, Status: "ok", WallMS: wall.Milliseconds(),
+			})
+			trajRows = append(trajRows, results.Row{
+				Name:    "exp:" + e.ID,
+				NsPerOp: wall.Nanoseconds(),
+			})
+			fmt.Fprintf(stdout, "# %s done in %d ms\n", e.ID, wall.Milliseconds())
+		}
+	}
+
+	man.TotalWallMS = time.Since(t0).Milliseconds()
+
+	if exitErr != nil {
+		return fail("%v", exitErr)
+	}
+
+	// Close every writer, loudly. A campaign whose outputs were silently
+	// truncated is worse than a failed campaign.
+	if csvw != nil {
+		if csvw.err != nil {
+			return fail("csv %s: %v", *csvPath, csvw.err)
+		}
+		if err := csvFile.Close(); err != nil {
+			return fail("csv %s: %v", *csvPath, err)
+		}
+	}
+	if dataLog != nil {
+		if err := dataLog.Err(); err != nil {
+			return fail("data log incomplete: %v", err)
+		}
+		if err := logSink.Close(); err != nil {
+			return fail("jsonl %s: %v", *jsonl, err)
+		}
+	}
+	if *maniPath != "" {
+		if err := writeJSON(*maniPath, man); err != nil {
+			return fail("manifest: %v", err)
+		}
+	}
+	if *trajPath != "" {
+		entry := results.Entry{
+			Time:       time.Now().UTC(),
+			Tool:       "mdsweep",
+			GitSHA:     man.GitSHA,
+			Host:       man.Host,
+			ConfigHash: man.ConfigHash,
+			Rows:       trajRows,
+		}
+		if err := results.Open(*trajPath).Append(entry); err != nil {
+			return fail("%v", err)
+		}
+		fmt.Fprintf(stdout, "# trajectory: appended %d rows to %s (config %s)\n",
+			len(trajRows), *trajPath, man.ConfigHash)
+	}
+	fmt.Fprintf(stdout, "# campaign complete: %d cells in %d ms\n", len(man.Cells), man.TotalWallMS)
+	return 0
+}
+
+// cellRowName is the trajectory row key for a grid cell: the label minus
+// the trial suffix plus an explicit trial, kept stable across runs.
+func cellRowName(c harness.Cell) string { return c.Label() }
+
+func itoa(v int) string { return strconv.Itoa(v) }
+
+func ftoa(v float64) string {
+	if v == 0 {
+		return "0"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// writeJSON writes v as indented JSON with checked write+close.
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+// countingWriter wraps the JSONL sink so close errors surface (the
+// trace.Logger only reports write errors).
+type countingWriter struct {
+	w      io.Writer
+	closer io.Closer
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) { return c.w.Write(p) }
+func (c *countingWriter) Close() error                { return c.closer.Close() }

@@ -1,0 +1,233 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"gomd/internal/results"
+)
+
+// sweep runs the CLI with args and returns (exit code, stdout, stderr).
+func sweep(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestGridMode: a small real grid runs end to end and every artifact —
+// CSV, JSONL, manifest — is written, parseable, and row-complete.
+func TestGridMode(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "sweep.csv")
+	jsonlPath := filepath.Join(dir, "sweep.jsonl")
+	maniPath := filepath.Join(dir, "manifest.json")
+
+	code, stdout, stderr := sweep(t,
+		"-workloads", "lj", "-atoms", "32", "-ranks", "1,2",
+		"-precisions", "mixed,double", "-trials", "2",
+		"-measure-cap", "2000", "-steps", "3", "-warmup", "2",
+		"-csv", csvPath, "-jsonl", jsonlPath, "-manifest", maniPath)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	const wantCells = 1 * 1 * 2 * 2 * 2 // lj × 32k × {1,2} ranks × {mixed,double} × 2 trials
+
+	// CSV: header + one row per cell, constant column count.
+	csvData, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(csvData)), "\n")
+	if len(lines) != 1+wantCells {
+		t.Fatalf("csv has %d lines, want header + %d cells:\n%s", len(lines), wantCells, csvData)
+	}
+	ncol := len(strings.Split(lines[0], ","))
+	if !strings.HasPrefix(lines[0], "workload,atoms_k,ranks,workers,precision") {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	for i, l := range lines[1:] {
+		if got := len(strings.Split(l, ",")); got != ncol {
+			t.Errorf("csv row %d has %d columns, want %d: %q", i, got, ncol, l)
+		}
+	}
+
+	// JSONL: every line parses; exactly one "cell" record per cell, each
+	// carrying the full structured result.
+	jsonlData, err := os.ReadFile(jsonlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := 0
+	for n, line := range strings.Split(strings.TrimSpace(string(jsonlData)), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("jsonl line %d: %v: %q", n+1, err, line)
+		}
+		if rec["kind"] == "cell" {
+			cells++
+		}
+	}
+	if cells != wantCells {
+		t.Errorf("jsonl has %d cell records, want %d", cells, wantCells)
+	}
+
+	// Manifest: parseable, complete, and self-describing.
+	var man manifest
+	maniData, err := os.ReadFile(maniPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(maniData, &man); err != nil {
+		t.Fatal(err)
+	}
+	if man.Tool != "mdsweep" || man.Mode != "grid" {
+		t.Errorf("manifest tool/mode = %q/%q", man.Tool, man.Mode)
+	}
+	if len(man.Cells) != wantCells {
+		t.Errorf("manifest has %d cells, want %d", len(man.Cells), wantCells)
+	}
+	for _, c := range man.Cells {
+		if c.Status != "ok" {
+			t.Errorf("cell %s status %q", c.Label, c.Status)
+		}
+	}
+	if man.ConfigHash == "" || man.Host == "" {
+		t.Errorf("manifest missing provenance: %+v", man)
+	}
+	if man.Fidelity.CheckEvery == 0 {
+		t.Error("numerical guardrails were off — campaigns must default them on")
+	}
+}
+
+// TestExpModeAcceptance is the PR's acceptance flow: `mdsweep -exp
+// table1 -quick` regenerates a paper table end to end, persists a
+// trajectory entry, and a second run produces an entry the gate's
+// comparison accepts — while a doctored ns_per_op regression fails it.
+// (cmd/benchgate's own tests drive the same store through the CLI.)
+func TestExpModeAcceptance(t *testing.T) {
+	dir := t.TempDir()
+	traj := filepath.Join(dir, "trajectory.jsonl")
+
+	for i := 0; i < 2; i++ {
+		code, stdout, stderr := sweep(t,
+			"-exp", "table1", "-quick",
+			"-csv", filepath.Join(dir, "exp.csv"),
+			"-jsonl", filepath.Join(dir, "exp.jsonl"),
+			"-manifest", filepath.Join(dir, "exp_manifest.json"),
+			"-trajectory", traj)
+		if code != 0 {
+			t.Fatalf("run %d: exit %d\nstdout:\n%s\nstderr:\n%s", i, code, stdout, stderr)
+		}
+		if !strings.Contains(stdout, "Table 1") {
+			t.Fatalf("run %d did not render the paper table:\n%s", i, stdout)
+		}
+	}
+
+	entries, err := results.Open(traj).Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("trajectory holds %d entries, want 2", len(entries))
+	}
+	// The two runs are comparable: same tool, host, config.
+	if entries[0].Key() != entries[1].Key() {
+		t.Fatalf("keys differ: %+v vs %+v", entries[0].Key(), entries[1].Key())
+	}
+	if entries[0].Tool != "mdsweep" {
+		t.Errorf("tool = %q", entries[0].Tool)
+	}
+	// The healthy pair passes the gate's comparison.
+	if fails := results.Compare(entries[0], entries[1], results.Tolerances{}); len(fails) != 0 {
+		t.Errorf("healthy back-to-back runs failed the gate: %v", fails)
+	}
+
+	// A doctored entry — wall time inflated 1000x — must fail the gate.
+	doctored := entries[1]
+	doctored.Rows = append([]results.Row(nil), entries[1].Rows...)
+	for i := range doctored.Rows {
+		doctored.Rows[i].NsPerOp *= 1000
+	}
+	doctored.Time = doctored.Time.Add(time.Second)
+	if err := results.Open(traj).Append(doctored); err != nil {
+		t.Fatal(err)
+	}
+	entries, err = results.Open(traj).Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails := results.Compare(entries[len(entries)-2], entries[len(entries)-1], results.Tolerances{})
+	if len(fails) == 0 {
+		t.Fatal("1000x wall-time regression passed the gate comparison")
+	}
+}
+
+// TestExpModeCSV: experiment tables land in the CSV with comment
+// delimiters, mirroring mdbench's layout.
+func TestExpModeCSV(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "exp.csv")
+	code, _, stderr := sweep(t,
+		"-exp", "table2", "-quick",
+		"-csv", csvPath, "-jsonl", "", "-manifest", "")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr)
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "# Table 2") {
+		t.Errorf("csv missing table delimiter:\n%s", data)
+	}
+}
+
+// TestListMode enumerates the shared registry.
+func TestListMode(t *testing.T) {
+	code, stdout, _ := sweep(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, id := range []string{"table1", "fig10", "headline"} {
+		if !strings.Contains(stdout, id) {
+			t.Errorf("-list missing %q:\n%s", id, stdout)
+		}
+	}
+}
+
+// TestBadFlags: every malformed grid or unknown name is a usage error,
+// not a crash or a silent default.
+func TestBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-workloads", "nope"},
+		{"-atoms", "32,many"},
+		{"-precisions", "half"},
+		{"-kspace-acc", "1e-4,tight"},
+		{"-exp", "fig99"},
+	}
+	for _, args := range cases {
+		if code, _, _ := sweep(t, args...); code == 0 {
+			t.Errorf("args %v exited 0, want nonzero", args)
+		}
+	}
+}
+
+// TestCSVWriteFailure: an unwritable CSV path exits nonzero (satellite:
+// output errors must never yield exit 0 with truncated artifacts).
+func TestCSVWriteFailure(t *testing.T) {
+	dir := t.TempDir()
+	code, _, stderr := sweep(t,
+		"-workloads", "lj", "-atoms", "32", "-ranks", "1",
+		"-measure-cap", "1000", "-steps", "2", "-warmup", "1",
+		"-csv", filepath.Join(dir, "no", "such", "dir", "out.csv"),
+		"-jsonl", "", "-manifest", "")
+	if code == 0 {
+		t.Fatalf("unwritable csv path exited 0; stderr:\n%s", stderr)
+	}
+}

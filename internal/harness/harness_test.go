@@ -14,6 +14,11 @@ func quickRunner() *harness.Runner {
 	return harness.NewRunner(harness.Options{MeasureCap: 2500, Steps: 4, Warmup: 2})
 }
 
+// failWriter rejects every write, standing in for a full disk.
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, fmt.Errorf("disk full") }
+
 func TestMeasureScalesToTarget(t *testing.T) {
 	r := quickRunner()
 	m32, err := r.Measure(harness.Spec{Workload: workload.LJ, AtomsK: 32, Ranks: 4})
@@ -114,9 +119,15 @@ func TestTableRendering(t *testing.T) {
 		}
 	}
 	var csv strings.Builder
-	tab.WriteCSV(&csv)
+	if err := tab.WriteCSV(&csv); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
 	if !strings.HasPrefix(csv.String(), "a,bb\n") {
 		t.Errorf("csv header: %q", csv.String())
+	}
+	// Write errors must surface, not vanish into a truncated file.
+	if err := tab.WriteCSV(failWriter{}); err == nil {
+		t.Error("WriteCSV on a failing writer returned nil")
 	}
 }
 

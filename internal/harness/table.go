@@ -87,10 +87,17 @@ func (t *Table) Render(w io.Writer) {
 	}
 }
 
-// WriteCSV emits the table as CSV.
-func (t *Table) WriteCSV(w io.Writer) {
-	fmt.Fprintln(w, strings.Join(t.Header, ","))
-	for _, row := range t.Rows {
-		fmt.Fprintln(w, strings.Join(row, ","))
+// WriteCSV emits the table as CSV. Write errors are returned so callers
+// can fail loudly: a full disk must not yield a silently truncated CSV
+// with exit code 0.
+func (t *Table) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, strings.Join(t.Header, ",")); err != nil {
+		return err
 	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
 }

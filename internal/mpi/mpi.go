@@ -361,12 +361,36 @@ func mustPayloadBytes(data any) int {
 }
 
 // MailboxStallTimeout is the package default for WorldOptions.
-// MailboxStall, read once at world creation.
+// MailboxStall, read once at world creation. Reads and writes go through
+// atomic Get/Set, so a caller adjusting the default while another
+// goroutine creates a World is safe (each world still snapshots the
+// value it saw at creation).
 //
 // Deprecated: pass WorldOptions{MailboxStall: d} to NewWorldWith
-// instead of mutating this global — concurrent worlds (tests under
-// -shuffle=on) race on it.
-var MailboxStallTimeout = 30 * time.Second
+// instead of mutating the package default.
+var MailboxStallTimeout StallDefault
+
+// defaultMailboxStall is the historical 30s bound, adopted whenever the
+// default has not been Set (including after Set(0) restores it).
+const defaultMailboxStall = 30 * time.Second
+
+// StallDefault is an atomically readable and writable duration default.
+// The zero value reads as the historical 30s package default.
+type StallDefault struct {
+	ns atomic.Int64
+}
+
+// Get returns the current default.
+func (d *StallDefault) Get() time.Duration {
+	if v := d.ns.Load(); v != 0 {
+		return time.Duration(v)
+	}
+	return defaultMailboxStall
+}
+
+// Set replaces the default for worlds created afterwards; live worlds
+// keep the value they snapshotted. Set(0) restores the built-in default.
+func (d *StallDefault) Set(v time.Duration) { d.ns.Store(int64(v)) }
 
 // deliver enqueues m into dst's mailbox, panicking with rank/tag/queue
 // diagnostics if the mailbox stays full for the world's MailboxStall

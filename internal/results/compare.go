@@ -1,0 +1,109 @@
+package results
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tolerances tune the regression comparison. Two bars, matched to what
+// each column depends on: arithmetic intensity is a pure function of the
+// cost models and the deterministic workload, so it is pinned tightly;
+// wall time is host-dependent, so only order-of-magnitude blowups fail.
+type Tolerances struct {
+	// AITol is the max relative arithmetic-intensity drift (default 0.25).
+	AITol float64
+	// MaxSlowdown is the max ns_per_op ratio vs baseline (default 25).
+	MaxSlowdown float64
+}
+
+func (t Tolerances) withDefaults() Tolerances {
+	if t.AITol == 0 {
+		t.AITol = 0.25
+	}
+	if t.MaxSlowdown == 0 {
+		t.MaxSlowdown = 25
+	}
+	return t
+}
+
+// Failure is one comparison violation.
+type Failure struct {
+	// Row names the offending row ("pair_lj workers=4"), or "report" for
+	// entry-level mismatches.
+	Row    string
+	Reason string
+}
+
+func (f Failure) String() string { return f.Row + ": " + f.Reason }
+
+// rowKey pairs a row name with its worker count for matching.
+type rowKey struct {
+	name    string
+	workers int
+}
+
+func rowLabel(k rowKey) string {
+	if k.workers == 0 {
+		return k.name
+	}
+	return fmt.Sprintf("%s workers=%d", k.name, k.workers)
+}
+
+// Compare diffs cur against base and returns every violation. Rows match
+// by (name, workers); a row present on only one side fails in either
+// direction — a kernel silently dropped from the sweep is a regression,
+// and a kernel present only in the current report escaped the gate
+// entirely until the baseline is regenerated. Zero-valued NsPerOp or AI
+// on the baseline side disables that bar for the row (nothing meaningful
+// to ratio against), but presence is still enforced.
+func Compare(base, cur Entry, tol Tolerances) []Failure {
+	tol = tol.withDefaults()
+	var fails []Failure
+	fail := func(row rowKey, format string, args ...any) {
+		fails = append(fails, Failure{Row: rowLabel(row), Reason: fmt.Sprintf(format, args...)})
+	}
+	if base.Atoms != cur.Atoms {
+		fails = append(fails, Failure{Row: "report", Reason: fmt.Sprintf(
+			"baseline ran %d atoms, current %d — regenerate one of them with matching -atoms",
+			base.Atoms, cur.Atoms)})
+		return fails
+	}
+	curIdx := make(map[rowKey]Row, len(cur.Rows))
+	for _, r := range cur.Rows {
+		curIdx[rowKey{r.Name, r.Workers}] = r
+	}
+	baseIdx := make(map[rowKey]Row, len(base.Rows))
+	for _, b := range base.Rows {
+		k := rowKey{b.Name, b.Workers}
+		baseIdx[k] = b
+		c, ok := curIdx[k]
+		if !ok {
+			fail(k, "missing from current report")
+			continue
+		}
+		if b.AI > 0 {
+			drift := math.Abs(c.AI-b.AI) / b.AI
+			if drift > tol.AITol {
+				fail(k, "arithmetic intensity drifted %.1f%% (baseline %.3f, current %.3f; cost model or kernel work changed — regenerate the baseline if intended)",
+					100*drift, b.AI, c.AI)
+			}
+		}
+		if b.NsPerOp > 0 {
+			ratio := float64(c.NsPerOp) / float64(b.NsPerOp)
+			if ratio > tol.MaxSlowdown {
+				fail(k, "%.1fx slower than baseline (%d ns vs %d ns)",
+					ratio, c.NsPerOp, b.NsPerOp)
+			}
+		}
+	}
+	// Rows the baseline has never seen pass no bar at all; fail them with
+	// the remedy instead of letting new kernels ride ungated until someone
+	// remembers the baseline exists.
+	for _, c := range cur.Rows {
+		k := rowKey{c.Name, c.Workers}
+		if _, ok := baseIdx[k]; !ok {
+			fail(k, "missing from baseline — new row is ungated; regenerate the baseline to cover it")
+		}
+	}
+	return fails
+}
