@@ -2,7 +2,7 @@
 # the race detector (the observability layer's multi-rank tests record
 # spans from every rank goroutine, so the race run is part of the bar),
 # then an end-to-end mdbench smoke campaign.
-.PHONY: all build vet test race bench bench-smoke bench-gate sweep-smoke faults soak check
+.PHONY: all build vet test race bench bench-smoke bench-gate sweep-smoke faults soak transport-check check
 
 all: check
 
@@ -73,9 +73,20 @@ faults:
 
 # Seeded randomized fault campaign under the race detector: three
 # workloads each draw a kill plus a hang / checkpoint-flip / truncation
-# from a fixed-seed stream and must recover bit-exactly. Deterministic,
-# so any failure reproduces with plain `make soak`.
+# from a fixed-seed stream and must recover bit-exactly, plus the
+# TCP-loopback cell (TestSoakTCPLoopback) where a supervised two-process
+# world draws kill + hang/corrupt-wire faults. Deterministic, so any
+# failure reproduces with plain `make soak`.
 soak:
 	go test -race -run TestSoak ./internal/harness/
 
-check: build vet test race bench-smoke bench-gate sweep-smoke faults soak
+# Transport layer under the race detector: the conformance suite run
+# against both transports (channel and TCP loopback), wire-codec
+# round-trip and framing-overhead tests, rendezvous/abort/death
+# protocol tests, and the cross-process end-to-end drills (bit
+# identity chan vs TCP, supervised kill recovery with re-rendezvous).
+transport-check:
+	go test -race -run 'TestTransport|TestWire|TestFrame|TestTCP' \
+		./internal/mpi/ ./internal/harness/
+
+check: build vet test race bench-smoke bench-gate sweep-smoke faults soak transport-check

@@ -27,9 +27,25 @@
 //	mdrun -bench rhodo -ranks 4 -restart run.ckpt -steps 500
 //	mdrun -bench rhodo -ranks 4 -fault kill:rank=2,step=50 -checkpoint-every 20 -retries 1
 //	mdrun -in examples/scripts/in.lj     # LAMMPS-style input script
+//
+// Multi-process runs: -listen turns the process into the rendezvous
+// coordinator hosting rank 0 over the length-prefixed TCP transport;
+// each remaining rank runs its own mdrun with -join and -rank. All
+// processes must pass identical workload flags (-bench, -atoms, -seed,
+// -steps, -ranks, ...) — each recomputes the same decomposition, which
+// is what makes the distributed trajectory byte-identical to the
+// in-process one:
+//
+//	mdrun -bench lj -ranks 2 -steps 200 -listen 127.0.0.1:7777
+//	mdrun -bench lj -ranks 2 -steps 200 -join 127.0.0.1:7777 -rank 1
+//
+// TCP worlds recover from scratch (checkpoint assembly is per-process),
+// so -retries re-runs the rendezvous on every process and restarts from
+// step 0; -checkpoint-every and -restart are rejected in this mode.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -41,6 +57,7 @@ import (
 	"gomd/internal/fault"
 	"gomd/internal/harness"
 	"gomd/internal/health"
+	"gomd/internal/mpi"
 	"gomd/internal/obs"
 	"gomd/internal/pair"
 	"gomd/internal/script"
@@ -75,8 +92,31 @@ func main() {
 		flight    = flag.String("flight", "", "arm the crash flight recorder; rank failures/hangs/guardrail trips dump the last steps as JSONL to this path")
 		flightN   = flag.Int("flight-depth", 0, "flight-recorder steps retained per rank (0 = 256)")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. :6060)")
+		listen    = flag.String("listen", "", "host rank 0 over TCP: listen on this address and wait for the other ranks to -join")
+		join      = flag.String("join", "", "join a TCP world at this coordinator address (requires -rank)")
+		rank      = flag.Int("rank", -1, "the rank this joiner process hosts (with -join)")
 	)
 	flag.Parse()
+
+	tcpMode := *listen != "" || *join != ""
+	if tcpMode {
+		fail := func(msg string) {
+			fmt.Fprintf(os.Stderr, "mdrun: %s\n", msg)
+			os.Exit(2)
+		}
+		switch {
+		case *listen != "" && *join != "":
+			fail("-listen and -join are mutually exclusive")
+		case *ranks < 2:
+			fail("TCP worlds need -ranks >= 2 (pass the same -ranks to every process)")
+		case *join != "" && (*rank < 1 || *rank >= *ranks):
+			fail("-join requires -rank between 1 and ranks-1 (rank 0 is the coordinator's)")
+		case *inFile != "":
+			fail("-in scripts run serial and cannot span processes")
+		case *ckptEvery > 0 || *restart != "":
+			fail("checkpoint/restart needs every rank's state in one process; TCP worlds recover from scratch")
+		}
+	}
 
 	if *pprofAddr != "" {
 		addr, err := obs.ServePprof(*pprofAddr)
@@ -268,35 +308,84 @@ func main() {
 		FlightPath:      *flight,
 		FlightDepth:     *flightN,
 	}
+	// Multi-process mode: every process (coordinator and joiners) runs
+	// this same supervisor loop; the WorldBuilder re-runs each process'
+	// side of the rendezvous on every build attempt, so a recovery
+	// reassembles the socket mesh before restarting from scratch.
+	if *listen != "" {
+		sup.WorldBuilder = func() (*mpi.World, error) {
+			co, err := mpi.ListenTCP(*listen, *ranks)
+			if err != nil {
+				return nil, err
+			}
+			return co.Host([]int{0}, mpi.WorldOptions{})
+		}
+	} else if *join != "" {
+		sup.WorldBuilder = func() (*mpi.World, error) {
+			return mpi.JoinTCP(*join, []int{*rank}, mpi.WorldOptions{})
+		}
+	}
+	// Joiners stay quiet: thermo lines are identical on every process
+	// (the reductions are collective), so rank 0's process speaks for
+	// the world.
+	chatty := *join == ""
 	if err := sup.Start(); err != nil {
 		fmt.Fprintf(os.Stderr, "mdrun: %v\n", err)
 		os.Exit(1)
 	}
 	eng := sup.Engine()
-	fmt.Printf("# %s: %d atoms, %d ranks (grid %dx%dx%d)\n",
-		name, eng.NGlobal(), *ranks, eng.Grid[0], eng.Grid[1], eng.Grid[2])
-	if *restart != "" {
-		fmt.Printf("# resumed from %s at step %d\n", *restart, eng.Step())
+	if chatty {
+		fmt.Printf("# %s: %d atoms, %d ranks (grid %dx%dx%d)\n",
+			name, eng.NGlobal(), *ranks, eng.Grid[0], eng.Grid[1], eng.Grid[2])
+		if *restart != "" {
+			fmt.Printf("# resumed from %s at step %d\n", *restart, eng.Step())
+		}
 	}
-	for done := 0; done < *steps; {
+	// Position-driven chunk loop: progress is reread from the engine
+	// each iteration, so a scratch restart (ErrRestarted, TCP worlds)
+	// replays the same chunk/thermo schedule from step 0 — identically
+	// on every process, which is what keeps their collective schedules
+	// aligned through recoveries. Thermo lines already printed are not
+	// reprinted on replay.
+	var printed int64 = -1
+	for {
+		pos := int(sup.Step())
+		if pos >= *steps {
+			break
+		}
 		chunk := *thermo
-		if chunk <= 0 || done+chunk > *steps {
-			chunk = *steps - done
+		if chunk <= 0 || pos+chunk > *steps {
+			chunk = *steps - pos
 		}
 		if err := sup.Run(chunk); err != nil {
+			if errors.Is(err, harness.ErrRestarted) {
+				continue
+			}
 			sup.Close()
 			fmt.Fprintf(os.Stderr, "mdrun: %v\n", err)
 			os.Exit(1)
 		}
-		done += chunk
-		// Re-fetch: recoveries replace the engine.
-		th := sup.Engine().Thermo()
-		fmt.Printf("step %8d  T %10.4f  P %12.5g  PE %14.6g  KE %14.6g  E %14.6g\n",
-			th.Step, th.Temperature, th.Pressure, th.PotEnergy, th.KinEnergy, th.TotalEnergy)
+		// Thermo is collective — every process computes it, rank 0's
+		// process prints it. Supervised: a peer process failing mid-
+		// collective recovers instead of panicking.
+		th, err := sup.Thermo()
+		if err != nil {
+			if errors.Is(err, harness.ErrRestarted) {
+				continue
+			}
+			sup.Close()
+			fmt.Fprintf(os.Stderr, "mdrun: %v\n", err)
+			os.Exit(1)
+		}
+		if chatty && th.Step > printed {
+			fmt.Printf("step %8d  T %10.4f  P %12.5g  PE %14.6g  KE %14.6g  E %14.6g\n",
+				th.Step, th.Temperature, th.Pressure, th.PotEnergy, th.KinEnergy, th.TotalEnergy)
+			printed = th.Step
+		}
 	}
 	wall := time.Since(start)
 	sup.Engine().PublishObs(metrics)
-	if n := sup.Attempts(); n > 0 {
+	if n := sup.Attempts(); n > 0 && chatty {
 		fmt.Printf("# recovered from %d rank failure(s)\n", n)
 	}
 	dlog.Log("run", map[string]any{
@@ -305,8 +394,10 @@ func main() {
 	})
 	sup.Close()
 	writeObs()
-	fmt.Printf("# wall %.3fs  %.2f TS/s (host-machine rate, not the modeled platform)\n",
-		wall.Seconds(), float64(*steps)/wall.Seconds())
+	if chatty {
+		fmt.Printf("# wall %.3fs  %.2f TS/s (host-machine rate, not the modeled platform)\n",
+			wall.Seconds(), float64(*steps)/wall.Seconds())
+	}
 }
 
 // dumpFlight writes the serial run's flight-recorder tail, returning

@@ -30,13 +30,21 @@ import (
 type Factory func() (core.Config, *atom.Store, error)
 
 // Engine is a decomposed simulation: one core.Simulation per rank over a
-// shared message-passing world.
+// shared message-passing world. On a process-spanning (TCP) world only
+// the ranks in World.LocalRanks() have Sims entries here — the rest are
+// nil and live in peer processes.
 type Engine struct {
 	World *mpi.World
 	Sims  []*core.Simulation
 	Grid  [3]int
 
 	nglobal int
+}
+
+// firstSim returns the lowest-ranked simulation hosted in this process
+// (rank 0 for in-process worlds).
+func (e *Engine) firstSim() *core.Simulation {
+	return e.Sims[e.World.LocalRanks()[0]]
 }
 
 // ChooseGrid factors nranks into a px × py × pz grid minimizing the
@@ -73,10 +81,25 @@ func ChooseGrid(bx box.Box, nranks int) [3]int {
 	return best
 }
 
-// New builds a decomposed engine with nranks ranks.
+// New builds a decomposed engine with nranks ranks on an in-process
+// (channel transport) world.
 func New(factory Factory, nranks int) (*Engine, error) {
+	return NewOnWorld(factory, mpi.NewWorld(nranks))
+}
+
+// NewOnWorld builds a decomposed engine over an existing world, which
+// may span OS processes (mpi.JoinTCP/TCPCoordinator.Host): only the
+// world's local ranks get simulations in this process. Every process of
+// a spanning world must call NewOnWorld with an equivalent factory —
+// the global atom population and decomposition are recomputed
+// identically in each process (the factory must be deterministic),
+// which is what makes the TCP trajectory bit-identical to the channel
+// one. The engine takes ownership of the world: Engine.Close closes it.
+func NewOnWorld(factory Factory, world *mpi.World) (*Engine, error) {
+	nranks := world.Size
 	cfg, global, err := factory()
 	if err != nil {
+		world.Close()
 		return nil, err
 	}
 	grid := ChooseGrid(cfg.Box, nranks)
@@ -90,6 +113,7 @@ func New(factory Factory, nranks int) (*Engine, error) {
 	}
 	for d := 0; d < 3; d++ {
 		if grid[d] > 1 && cfg.Box.Lengths().Component(d)/float64(grid[d]) < cut {
+			world.Close()
 			return nil, fmt.Errorf(
 				"domain: %d ranks give sub-domain %.3g < interaction range %.3g along dim %d",
 				nranks, cfg.Box.Lengths().Component(d)/float64(grid[d]), cut, d)
@@ -109,28 +133,38 @@ func New(factory Factory, nranks int) (*Engine, error) {
 		stores[r].Add(global.Extract(i))
 	}
 
-	world := mpi.NewWorld(nranks)
 	e := &Engine{World: world, Sims: make([]*core.Simulation, nranks), Grid: grid, nglobal: global.N}
 
-	// Per-rank configs need fresh style instances.
+	// Per-rank configs need fresh style instances — built for the ranks
+	// this process hosts (the first local rank reuses the instance from
+	// the global factory call above).
+	local := world.LocalRanks()
 	cfgs := make([]core.Config, nranks)
-	cfgs[0] = cfg
-	for r := 1; r < nranks; r++ {
+	cfgs[local[0]] = cfg
+	for _, r := range local[1:] {
 		c2, _, err := factory()
 		if err != nil {
+			world.Close()
 			return nil, err
 		}
 		cfgs[r] = c2
 	}
 	// Decorrelate per-rank RNG streams (Langevin noise, velocity init).
-	for r := range cfgs {
+	for _, r := range local {
 		cfgs[r].Seed = cfg.Seed + uint64(r)*0x9e3779b9
 	}
 
 	// Deterministic fault injection intercepts point-to-point sends at
-	// the mpi layer; kill/NaN faults fire from the core step loop.
+	// the mpi layer; kill/NaN faults fire from the core step loop;
+	// corrupt-wire faults damage encoded frames (inert on channel
+	// transports, which have no frames).
 	if cfg.Fault != nil {
+		// Step-addressed faults must not match this world's
+		// construction-time traffic against steps published by a
+		// previous supervised attempt.
+		cfg.Fault.ResetSteps()
 		world.SetFaultHook(cfg.Fault)
+		world.SetWireFaultHook(cfg.Fault)
 	}
 
 	if err := world.Parallel(func(c *mpi.Comm) {
@@ -199,8 +233,9 @@ func (e *Engine) Run(n int) error {
 	})
 }
 
-// Close releases every rank's intra-rank worker pool. The engine must
-// be idle; Run must not be called afterwards. A no-op for 1-worker
+// Close releases every local rank's intra-rank worker pool and the
+// world's transport (sockets for TCP worlds). The engine must be idle;
+// Run must not be called afterwards. A no-op for 1-worker channel
 // configurations and safe to call twice. Tolerates ranks whose
 // construction failed.
 func (e *Engine) Close() {
@@ -209,39 +244,61 @@ func (e *Engine) Close() {
 			s.Close()
 		}
 	}
+	e.World.Close()
 }
 
-// Thermo computes the current global thermodynamic state (identical on
-// every rank; rank 0's copy is returned). Panics on an aborted world —
-// there is no trustworthy state to report after a rank failure.
-func (e *Engine) Thermo() core.Thermo {
+// ThermoErr computes the current global thermodynamic state — a
+// collective: every process of a spanning world must call it at the
+// same point, and each returns its first local rank's copy (the
+// reductions make all copies identical). An aborted world returns the
+// abort instead — on a spanning world a peer process can fail at any
+// wall-clock moment, including mid-collective, and a supervisor
+// recovers that like any rank error (harness.Supervisor.Thermo).
+func (e *Engine) ThermoErr() (core.Thermo, error) {
 	out := make([]core.Thermo, e.World.Size)
 	if err := e.World.Parallel(func(c *mpi.Comm) {
 		out[c.Rank()] = e.Sims[c.Rank()].ComputeThermo()
 	}); err != nil {
+		return core.Thermo{}, err
+	}
+	return out[e.World.LocalRanks()[0]], nil
+}
+
+// Thermo is ThermoErr for callers with no recovery path: it panics on
+// an aborted world — there is no trustworthy state to report after a
+// rank failure.
+func (e *Engine) Thermo() core.Thermo {
+	th, err := e.ThermoErr()
+	if err != nil {
 		panic(err)
 	}
-	return out[0]
+	return th
 }
 
 // NGlobal returns the global atom count.
 func (e *Engine) NGlobal() int { return e.nglobal }
 
-// Counters sums engine counters across ranks.
+// Counters sums engine counters across this process' ranks (all ranks
+// for in-process worlds).
 func (e *Engine) Counters() core.Counters {
 	var out core.Counters
 	for _, s := range e.Sims {
-		out.Add(s.Counters)
+		if s != nil {
+			out.Add(s.Counters)
+		}
 	}
-	out.Steps = e.Sims[0].Counters.Steps
+	out.Steps = e.firstSim().Counters.Steps
 	return out
 }
 
-// MPIStats returns per-rank MPI profiles.
+// MPIStats returns per-rank MPI profiles (zero-valued for ranks hosted
+// by other processes).
 func (e *Engine) MPIStats() []mpi.Stats {
 	out := make([]mpi.Stats, e.World.Size)
 	for r := range out {
-		out[r] = e.World.Comm(r).Stats
+		if c := e.World.Comm(r); c != nil {
+			out[r] = c.Stats
+		}
 	}
 	return out
 }
@@ -258,9 +315,15 @@ func (e *Engine) PublishObs(reg *obs.Registry) {
 		return
 	}
 	for _, s := range e.Sims {
+		if s == nil {
+			continue
+		}
 		s.PublishObs(reg)
 	}
 	for r := 0; r < e.World.Size; r++ {
+		if e.World.Comm(r) == nil {
+			continue
+		}
 		st := e.World.Comm(r).Stats
 		for f := mpi.Func(0); f < mpi.NumFuncs; f++ {
 			fs := st.Funcs[f]
@@ -276,16 +339,22 @@ func (e *Engine) PublishObs(reg *obs.Registry) {
 				float64(st.TotalWait()) / float64(tot))
 		}
 	}
-	// Load imbalance over per-rank pair work: (max - mean) / mean.
+	// Load imbalance over per-rank pair work: (max - mean) / mean,
+	// computed over this process' ranks.
 	var sum, max float64
+	nlocal := 0
 	for _, s := range e.Sims {
+		if s == nil {
+			continue
+		}
+		nlocal++
 		v := float64(s.Counters.PairOps)
 		sum += v
 		if v > max {
 			max = v
 		}
 	}
-	if mean := sum / float64(len(e.Sims)); mean > 0 {
+	if mean := sum / float64(nlocal); mean > 0 {
 		reg.Gauge("load.imbalance_pct").Set(100 * (max - mean) / mean)
 	}
 }

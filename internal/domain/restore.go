@@ -93,6 +93,6 @@ func Restore(factory Factory, ck *ckpt.Checkpoint) (*Engine, error) {
 	return e, nil
 }
 
-// Step returns the engine's current step counter (rank 0's copy; all
-// ranks advance in lockstep).
-func (e *Engine) Step() int64 { return e.Sims[0].Step }
+// Step returns the engine's current step counter (the first local
+// rank's copy; all ranks advance in lockstep).
+func (e *Engine) Step() int64 { return e.firstSim().Step }

@@ -24,6 +24,12 @@
 //     it is written (cut bytes off the end, or XOR one byte), which the
 //     GMCK v2 CRC layer must reject on restore so the supervisor falls
 //     back to an older intact generation.
+//   - corrupt-wire: XOR one byte of an encoded TCP frame matching a
+//     (source rank, tag, step) address, after its CRC has been computed,
+//     so the receiving process must diagnose a crc-mismatch and abort
+//     the world through the typed-error path. Installs through
+//     mpi.World.SetWireFaultHook; inert on the channel transport (no
+//     frames exist to damage).
 //
 // Addressing is deterministic: steps are tracked per rank via BeginStep
 // (called by the core timestep loop), and any unspecified atom/component
@@ -96,6 +102,15 @@ type hangSpec struct {
 	fired atomic.Bool
 }
 
+// wireSpec is one corrupt-wire:... fault. src/tag/step of -1 match any
+// value.
+type wireSpec struct {
+	src   int
+	tag   int
+	step  int64
+	fired atomic.Bool
+}
+
 // ckptSpec is one truncate-ckpt:... or flip-ckpt:... fault. step of -1
 // matches the first checkpoint written; offset/bytes of -1 mean a
 // seeded pick (flip) or half the file (truncate).
@@ -117,13 +132,32 @@ type Injector struct {
 	msgs  []*msgSpec
 	hangs []*hangSpec
 	ckpts []*ckptSpec
+	wires []*wireSpec
 	steps [maxRanks]atomic.Int64
 }
 
 // New returns an empty injector with the given seed (used for any
 // unspecified atom/component picks).
 func New(seed uint64) *Injector {
-	return &Injector{seed: seed}
+	in := &Injector{seed: seed}
+	in.ResetSteps()
+	return in
+}
+
+// ResetSteps marks every rank's current step as unknown (-1). Called
+// when a fresh world attaches the injector (domain.NewOnWorld), so a
+// step-addressed message/wire fault cannot match a stale step left
+// over from a previous supervised attempt against the new world's
+// construction-time traffic; the fault re-arms once BeginStep
+// publishes real step numbers. One-shot fired flags are untouched —
+// faults stay one-shot across restarts.
+func (in *Injector) ResetSteps() {
+	if in == nil {
+		return
+	}
+	for i := range in.steps {
+		in.steps[i].Store(-1)
+	}
 }
 
 // Parse builds an injector from a fault-plan spec, e.g.
@@ -221,6 +255,12 @@ func Parse(spec string, seed uint64) (*Injector, error) {
 				return nil, err
 			}
 			in.hangs = append(in.hangs, &hangSpec{rank: int(r), step: s})
+		case "corrupt-wire":
+			in.wires = append(in.wires, &wireSpec{
+				src:  int(get("src", -1)),
+				tag:  int(get("tag", -1)),
+				step: get("step", -1),
+			})
 		case "truncate-ckpt":
 			in.ckpts = append(in.ckpts, &ckptSpec{
 				step: get("step", -1), bytes: get("bytes", -1), offset: -1,
@@ -230,7 +270,7 @@ func Parse(spec string, seed uint64) (*Injector, error) {
 				flip: true, step: get("step", -1), offset: get("offset", -1), bytes: -1,
 			})
 		default:
-			return nil, fmt.Errorf("fault: unknown kind %q (want kill, nan, delay, reorder, hang, truncate-ckpt, flip-ckpt)", kind)
+			return nil, fmt.Errorf("fault: unknown kind %q (want kill, nan, delay, reorder, hang, corrupt-wire, truncate-ckpt, flip-ckpt)", kind)
 		}
 		for k := range kv {
 			return nil, fmt.Errorf("fault: unknown key %q for %s fault in %q", k, kind, part)
@@ -386,9 +426,43 @@ func (in *Injector) OnSend(src, dst, tag int) (time.Duration, bool) {
 	return 0, false
 }
 
+// OnFrame implements mpi.WireFaultHook: match one armed corrupt-wire
+// fault against (src, tag) and the sender's current step, and XOR one
+// byte of the encoded frame. It runs after the frame's CRC was
+// computed, so the damage is in flight and only the receiver's CRC
+// check can catch it. The flipped byte is the frame's last: the final
+// payload byte (CRC-covered) or, on a payloadless frame, the stored
+// CRC itself — a guaranteed mismatch either way.
+func (in *Injector) OnFrame(src, dst, tag int, frame []byte) {
+	if in == nil || len(in.wires) == 0 || len(frame) == 0 {
+		return
+	}
+	var step int64 = -1
+	if src >= 0 && src < maxRanks {
+		step = in.steps[src].Load()
+	}
+	for _, w := range in.wires {
+		if w.src >= 0 && w.src != src {
+			continue
+		}
+		if w.tag != -1 && w.tag != tag {
+			continue
+		}
+		if w.step >= 0 && w.step != step {
+			continue
+		}
+		if !w.fired.CompareAndSwap(false, true) {
+			continue
+		}
+		frame[len(frame)-1] ^= 0xff
+		return
+	}
+}
+
 // Active reports whether the injector has any faults configured (a nil
 // injector is inactive).
 func (in *Injector) Active() bool {
 	return in != nil && (len(in.kills) > 0 || len(in.nans) > 0 ||
-		len(in.msgs) > 0 || len(in.hangs) > 0 || len(in.ckpts) > 0)
+		len(in.msgs) > 0 || len(in.hangs) > 0 || len(in.ckpts) > 0 ||
+		len(in.wires) > 0)
 }

@@ -19,6 +19,16 @@ import (
 	"gomd/internal/trace"
 )
 
+// ErrRestarted reports that a recovery rebuilt the engine from scratch
+// on a fresh world (WorldBuilder mode). It is a control signal, not a
+// failure: the supervisor cannot re-advance internally, because every
+// process of a spanning world must replay the same collective schedule
+// — and only the caller's main loop knows it. On ErrRestarted, reread
+// Step() (now 0) and replay the program's own chunk/thermo schedule;
+// every process does the same, so the replays stay synchronized no
+// matter where in its local program each process was interrupted.
+var ErrRestarted = errors.New("harness: engine restarted from scratch on a fresh world")
+
 // Supervisor runs a decomposed engine under fault tolerance: it wires
 // the periodic checkpoint sink into every rank's config, and when a
 // rank fails (panic, injected kill, guardrail violation) it rebuilds
@@ -38,6 +48,16 @@ type Supervisor struct {
 	CheckpointEvery int
 	CheckpointPath  string
 	RestartPath     string
+
+	// WorldBuilder, when set, supplies the message-passing world for
+	// every engine build instead of the default in-process channel world
+	// — the hook a process-spanning (TCP) deployment uses. Each build
+	// attempt calls it afresh, so a recovery re-runs the rendezvous and
+	// gets a clean socket mesh. Incompatible with checkpointing and
+	// RestartPath: checkpoint assembly needs every rank's share in one
+	// process, so multi-process worlds recover from scratch (restarts
+	// are bit-exact either way, just more expensive).
+	WorldBuilder func() (*mpi.World, error)
 
 	// KeepCheckpoints retains that many checkpoint generations (default
 	// 1): each write rotates path -> path.1 -> ... so a corrupted newest
@@ -132,6 +152,9 @@ func (s *Supervisor) wrapFactory() domain.Factory {
 
 // Start builds the engine — fresh, or resumed from RestartPath.
 func (s *Supervisor) Start() error {
+	if s.WorldBuilder != nil && (s.RestartPath != "" || s.CheckpointEvery > 0) {
+		return errors.New("harness: WorldBuilder is incompatible with checkpoint/restart (multi-process worlds recover from scratch)")
+	}
 	f := s.wrapFactory()
 	var (
 		eng *domain.Engine
@@ -146,6 +169,8 @@ func (s *Supervisor) Start() error {
 			return fmt.Errorf("harness: checkpoint has %d ranks, supervisor configured for %d", ck.Ranks, s.Ranks)
 		}
 		eng, err = domain.Restore(f, ck)
+	} else if s.WorldBuilder != nil {
+		eng, err = s.buildOnWorld(f)
 	} else {
 		eng, err = domain.New(f, s.Ranks)
 	}
@@ -178,7 +203,9 @@ func (s *Supervisor) Close() {
 // off, and rebuilds from the last completed checkpoint (or from scratch
 // when none was written yet); the retry budget spans the supervisor's
 // lifetime, so a fault that re-fires on every attempt eventually
-// surfaces as an error.
+// surfaces as an error. In WorldBuilder mode a recovery returns
+// ErrRestarted instead of re-advancing — the caller replays its own
+// schedule from Step()==0 (see ErrRestarted).
 func (s *Supervisor) Run(n int) error {
 	if s.eng == nil {
 		return errors.New("harness: supervisor not started")
@@ -193,38 +220,82 @@ func (s *Supervisor) Run(n int) error {
 		if err == nil {
 			return nil
 		}
-		var re *mpi.RankError
-		if !errors.As(err, &re) {
-			if p := s.dumpFlight(s.FlightPath); p != "" {
-				return fmt.Errorf("harness: %w (flight dump: %s)", err, p)
-			}
-			return err
-		}
-		if s.attempts >= s.Retries {
-			if p := s.dumpFlight(s.FlightPath); p != "" {
-				return fmt.Errorf("harness: retry budget (%d) exhausted (flight dump: %s): %w",
-					s.Retries, p, err)
-			}
-			return fmt.Errorf("harness: retry budget (%d) exhausted: %w", s.Retries, err)
-		}
-		s.attempts++
-		s.recordRecovery(re)
-
-		backoff := s.Backoff
-		if backoff == 0 {
-			backoff = 50 * time.Millisecond
-		}
-		// Full jitter: co-scheduled supervised runs sharing a failure
-		// cause should not retry in lockstep. Trajectory bits are
-		// unaffected — restarts are bit-exact regardless of when they run.
-		backoff += time.Duration(rand.Int63n(int64(backoff) + 1))
-		time.Sleep(backoff)
-
-		s.eng.Close()
-		if err := s.rebuild(); err != nil {
-			return fmt.Errorf("harness: rebuilding after %v: %w", re, err)
+		if rerr := s.recoverFrom(err); rerr != nil {
+			return rerr
 		}
 	}
+}
+
+// Thermo computes the global thermodynamic state under the same
+// recovery envelope as Run. On an in-process world the collective
+// cannot fail between Run calls, but on a spanning world a peer
+// process can abort at any wall-clock moment — including mid-Thermo —
+// and that failure recovers here: rebuild, re-advance to the step the
+// run had reached, retry. Collective: every process of a spanning
+// world must call it at the same point.
+func (s *Supervisor) Thermo() (core.Thermo, error) {
+	if s.eng == nil {
+		return core.Thermo{}, errors.New("harness: supervisor not started")
+	}
+	for {
+		target := s.eng.Step()
+		th, err := s.eng.ThermoErr()
+		if err == nil {
+			return th, nil
+		}
+		if rerr := s.recoverFrom(err); rerr != nil {
+			return core.Thermo{}, rerr
+		}
+		if n := target - s.eng.Step(); n > 0 {
+			if rerr := s.Run(int(n)); rerr != nil {
+				return core.Thermo{}, rerr
+			}
+		}
+	}
+}
+
+// recoverFrom converts one failed attempt into a rebuilt engine, or
+// returns the terminal error when the failure is not a rank error or
+// the retry budget is spent.
+func (s *Supervisor) recoverFrom(err error) error {
+	var re *mpi.RankError
+	if !errors.As(err, &re) {
+		if p := s.dumpFlight(s.FlightPath); p != "" {
+			return fmt.Errorf("harness: %w (flight dump: %s)", err, p)
+		}
+		return err
+	}
+	if s.attempts >= s.Retries {
+		if p := s.dumpFlight(s.FlightPath); p != "" {
+			return fmt.Errorf("harness: retry budget (%d) exhausted (flight dump: %s): %w",
+				s.Retries, p, err)
+		}
+		return fmt.Errorf("harness: retry budget (%d) exhausted: %w", s.Retries, err)
+	}
+	s.attempts++
+	s.recordRecovery(re)
+
+	backoff := s.Backoff
+	if backoff == 0 {
+		backoff = 50 * time.Millisecond
+	}
+	// Full jitter: co-scheduled supervised runs sharing a failure
+	// cause should not retry in lockstep. Trajectory bits are
+	// unaffected — restarts are bit-exact regardless of when they run.
+	backoff += time.Duration(rand.Int63n(int64(backoff) + 1))
+	time.Sleep(backoff)
+
+	s.eng.Close()
+	if rerr := s.rebuild(); rerr != nil {
+		return fmt.Errorf("harness: rebuilding after %v: %w", re, rerr)
+	}
+	if s.WorldBuilder != nil {
+		// The caller replays; see ErrRestarted. Re-advancing here would
+		// desynchronize the processes' collective schedules: each would
+		// replay from its own interruption point instead of the shared one.
+		return ErrRestarted
+	}
+	return nil
 }
 
 // runOnce advances the current engine n steps with a hang watchdog
@@ -244,12 +315,41 @@ func (s *Supervisor) runOnce(n int) error {
 	return s.eng.Run(n)
 }
 
+// buildOnWorld builds a fresh engine on a world from WorldBuilder,
+// validating that the rendezvous produced the size this supervisor was
+// configured for.
+func (s *Supervisor) buildOnWorld(f domain.Factory) (*domain.Engine, error) {
+	w, err := s.WorldBuilder()
+	if err != nil {
+		return nil, fmt.Errorf("harness: building world: %w", err)
+	}
+	if w.Size != s.Ranks {
+		w.Close()
+		return nil, fmt.Errorf("harness: WorldBuilder produced a %d-rank world, supervisor configured for %d", w.Size, s.Ranks)
+	}
+	return domain.NewOnWorld(f, w)
+}
+
 // rebuild constructs a replacement engine from the newest checkpoint
 // generation that verifies, or from scratch when none exists. Every
 // rejected generation is logged — a silent fallback would hide
 // corruption.
 func (s *Supervisor) rebuild() error {
 	f := s.wrapFactory()
+	if s.WorldBuilder != nil {
+		// Process-spanning worlds carry no checkpoints (see WorldBuilder):
+		// recovery re-runs the rendezvous and restarts from step 0.
+		eng, err := s.buildOnWorld(f)
+		if err != nil {
+			return err
+		}
+		s.Trace.Log("checkpoint-restore", map[string]any{
+			"generation": -1,
+			"scratch":    true,
+		})
+		s.eng = eng
+		return nil
+	}
 	if s.writer != nil {
 		s.writer.Reset() // drop shares from assemblies the crash interrupted
 	}

@@ -133,10 +133,27 @@ func (w *Watchdog) loop() {
 		interval = 10 * time.Millisecond
 	}
 	n := w.Mon.Ranks()
+	// Scan only the ranks this process hosts: on a process-spanning
+	// (TCP) world, remote ranks never beat into the local monitor, and
+	// treating their silence as a hang would false-fire on every scan.
+	// Their posture still reaches the diagnosis through the snapshot
+	// exchange in fire().
+	scan := make([]int, 0, n)
+	if w.World != nil {
+		for _, r := range w.World.LocalRanks() {
+			if r < n {
+				scan = append(scan, r)
+			}
+		}
+	} else {
+		for r := 0; r < n; r++ {
+			scan = append(scan, r)
+		}
+	}
 	lastCount := make([]int64, n)
 	lastChange := make([]time.Time, n)
 	base := time.Now()
-	for r := 0; r < n; r++ {
+	for _, r := range scan {
 		lastCount[r] = w.Mon.Rank(r).Count()
 		lastChange[r] = base
 	}
@@ -154,7 +171,7 @@ func (w *Watchdog) loop() {
 		now := time.Now()
 		stale := make([]time.Duration, n)
 		var hung []int
-		for r := 0; r < n; r++ {
+		for _, r := range scan {
 			if c := w.Mon.Rank(r).Count(); c != lastCount[r] {
 				lastCount[r] = c
 				lastChange[r] = now

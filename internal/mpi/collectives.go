@@ -68,10 +68,12 @@ type collStats struct {
 
 // collSend delivers one collective hop's payload (raw: accounted by the
 // caller into the collective's own function bucket, not FuncSend).
+// Bytes charged are the transport's wire bytes — the payload size
+// in-process, framed size over TCP.
 func (c *Comm) collSend(cs *collStats, dst, tag int, data []float64) {
 	b := 8 * len(data)
-	c.deliver(dst, message{src: c.rank, tag: tag, bytes: b, data: data})
-	cs.sent += int64(b)
+	wire := c.deliver(dst, message{src: c.rank, tag: tag, bytes: b, data: data})
+	cs.sent += int64(wire)
 }
 
 // collRecv blocks for one collective hop's payload, metering the wait.

@@ -1,0 +1,422 @@
+// Transport conformance suite: one table-driven matrix every transport
+// must pass identically. The channel transport is the reference
+// semantics; the TCP transport (simulated here as one process-per-rank
+// set of worlds wired over loopback) must be observably identical —
+// point-to-point ordering per (src,tag), bit-identical collectives,
+// abort unblocking parked peers, recv-deadline diagnosis, and comm
+// snapshots that report remote mailbox depth. Any future transport
+// plugs into the same table.
+package mpi_test
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gomd/internal/mpi"
+)
+
+// multiWorld is one transport case's view of a world: the set of World
+// objects that jointly cover ranks 0..n-1 (one for the channel
+// transport, one per simulated process for TCP).
+type multiWorld struct {
+	worlds []*mpi.World
+}
+
+// transportCase builds a multiWorld for a given size and options.
+type transportCase struct {
+	name  string
+	build func(t *testing.T, n int, opts mpi.WorldOptions) *multiWorld
+}
+
+// transportCases is the conformance matrix: every test below runs once
+// per entry.
+func transportCases() []transportCase {
+	return []transportCase{
+		{name: "chan", build: buildChanWorld},
+		{name: "tcp", build: buildTCPWorlds},
+	}
+}
+
+func buildChanWorld(t *testing.T, n int, opts mpi.WorldOptions) *multiWorld {
+	w := mpi.NewWorldWith(n, opts)
+	t.Cleanup(func() { w.Close() })
+	return &multiWorld{worlds: []*mpi.World{w}}
+}
+
+// buildTCPWorlds simulates n processes, one rank each, rendezvousing
+// over loopback: rank 0 hosts the coordinator, ranks 1..n-1 join.
+func buildTCPWorlds(t *testing.T, n int, opts mpi.WorldOptions) *multiWorld {
+	co, err := mpi.ListenTCP("127.0.0.1:0", n)
+	if err != nil {
+		t.Fatalf("ListenTCP: %v", err)
+	}
+	worlds := make([]*mpi.World, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 1; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			worlds[r], errs[r] = mpi.JoinTCP(co.Addr(), []int{r}, opts)
+		}(r)
+	}
+	worlds[0], errs[0] = co.Host([]int{0}, opts)
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rendezvous rank %d: %v", r, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, w := range worlds {
+			w.Close()
+		}
+	})
+	return &multiWorld{worlds: worlds}
+}
+
+// runSPMD runs body over every rank of the multi-world (each world's
+// Parallel on its own goroutine, like separate OS processes) and
+// returns each world's error.
+func (mw *multiWorld) runSPMD(body func(c *mpi.Comm)) []error {
+	errs := make([]error, len(mw.worlds))
+	var wg sync.WaitGroup
+	for i, w := range mw.worlds {
+		wg.Add(1)
+		go func(i int, w *mpi.World) {
+			defer wg.Done()
+			errs[i] = w.Parallel(body)
+		}(i, w)
+	}
+	wg.Wait()
+	return errs
+}
+
+// requireAllOK fails on any world-level error.
+func requireAllOK(t *testing.T, errs []error) {
+	t.Helper()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("world %d: %v", i, err)
+		}
+	}
+}
+
+// TestTransportConformanceP2POrdering: messages between one (src,dst)
+// pair under one tag arrive in send order, and out-of-order receives
+// across tags match correctly (the pend-buffer path), on every
+// transport.
+func TestTransportConformanceP2POrdering(t *testing.T) {
+	const n, msgs = 4, 16
+	for _, tc := range transportCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			mw := tc.build(t, n, mpi.WorldOptions{})
+			var mu sync.Mutex
+			got := map[int][]float64{} // receiving rank -> tag-1 sequence observed
+			errs := mw.runSPMD(func(c *mpi.Comm) {
+				next := (c.Rank() + 1) % n
+				prev := (c.Rank() - 1 + n) % n
+				// Interleave two tags toward next.
+				for i := 0; i < msgs; i++ {
+					c.Send(next, 1, []float64{float64(i)}, -1)
+					c.Send(next, 2, []float64{float64(100 + i)}, -1)
+				}
+				// Drain tag 2 first: every tag-1 message is an
+				// out-of-order buffer hit, yet per-tag order must hold.
+				for i := 0; i < msgs; i++ {
+					v := c.Recv(prev, 2).([]float64)
+					if v[0] != float64(100+i) {
+						t.Errorf("rank %d tag 2 msg %d: got %v", c.Rank(), i, v[0])
+					}
+				}
+				seq := make([]float64, 0, msgs)
+				for i := 0; i < msgs; i++ {
+					seq = append(seq, c.Recv(prev, 1).([]float64)[0])
+				}
+				mu.Lock()
+				got[c.Rank()] = seq
+				mu.Unlock()
+			})
+			requireAllOK(t, errs)
+			for r, seq := range got {
+				for i, v := range seq {
+					if v != float64(i) {
+						t.Fatalf("rank %d: tag 1 sequence %v broken at %d", r, seq, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTransportConformanceCollectives: all three collectives produce
+// results bit-identical to the flat reference on every transport —
+// integer-valued inputs make the flat sum exactly representable, so
+// association order cannot hide behind rounding.
+func TestTransportConformanceCollectives(t *testing.T) {
+	const n, length = 4, 8
+	for _, tc := range transportCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			mw := tc.build(t, n, mpi.WorldOptions{})
+			var mu sync.Mutex
+			sums := map[int][]float64{}
+			butts := map[int][]float64{}
+			maxes := map[int]float64{}
+			errs := mw.runSPMD(func(c *mpi.Comm) {
+				vec := make([]float64, length)
+				for i := range vec {
+					vec[i] = float64((c.Rank()+1)*1000 + i)
+				}
+				sum := append([]float64(nil), vec...)
+				c.Allreduce(sum)
+				butt := append([]float64(nil), vec...)
+				c.ReduceScatterAllgather(butt)
+				mx := c.AllreduceMax(float64(c.Rank() * 7))
+				c.Barrier()
+				mu.Lock()
+				sums[c.Rank()] = sum
+				butts[c.Rank()] = butt
+				maxes[c.Rank()] = mx
+				mu.Unlock()
+			})
+			requireAllOK(t, errs)
+			for i := 0; i < length; i++ {
+				var flat float64
+				for r := 0; r < n; r++ {
+					flat += float64((r+1)*1000 + i)
+				}
+				for r := 0; r < n; r++ {
+					if sums[r][i] != flat {
+						t.Fatalf("rank %d Allreduce[%d] = %v, flat %v", r, i, sums[r][i], flat)
+					}
+					if butts[r][i] != flat {
+						t.Fatalf("rank %d butterfly[%d] = %v, flat %v", r, i, butts[r][i], flat)
+					}
+				}
+			}
+			for r := 0; r < n; r++ {
+				if maxes[r] != float64((n-1)*7) {
+					t.Fatalf("rank %d AllreduceMax = %v, want %v", r, maxes[r], float64((n-1)*7))
+				}
+			}
+		})
+	}
+}
+
+// TestTransportConformanceCollectiveBits: with irrational inputs the
+// reduced vector must still be bitwise identical on every rank (the
+// engine's collective rebuild decisions rest on exact agreement), and
+// bitwise identical across transports.
+func TestTransportConformanceCollectiveBits(t *testing.T) {
+	const n, length = 4, 16
+	perTransport := map[string][]uint64{}
+	for _, tc := range transportCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			mw := tc.build(t, n, mpi.WorldOptions{})
+			var mu sync.Mutex
+			results := map[int][]float64{}
+			errs := mw.runSPMD(func(c *mpi.Comm) {
+				vec := make([]float64, length)
+				for i := range vec {
+					vec[i] = math.Sqrt(float64(c.Rank()*length+i) + 0.1)
+				}
+				c.Allreduce(vec)
+				mu.Lock()
+				results[c.Rank()] = vec
+				mu.Unlock()
+			})
+			requireAllOK(t, errs)
+			bits := make([]uint64, length)
+			for i := range bits {
+				bits[i] = math.Float64bits(results[0][i])
+			}
+			for r := 1; r < n; r++ {
+				for i := range bits {
+					if math.Float64bits(results[r][i]) != bits[i] {
+						t.Fatalf("rank %d Allreduce[%d] differs bitwise from rank 0", r, i)
+					}
+				}
+			}
+			perTransport[tc.name] = bits
+		})
+	}
+	ref := perTransport["chan"]
+	for name, bits := range perTransport {
+		for i := range bits {
+			if bits[i] != ref[i] {
+				t.Fatalf("transport %q Allreduce[%d] differs bitwise from chan", name, i)
+			}
+		}
+	}
+}
+
+// TestTransportConformanceAbortUnblocks: a rank failure must unblock
+// peers parked in receives on every world of the universe — including
+// worlds in other (simulated) processes — and every world must report
+// the same originating rank.
+func TestTransportConformanceAbortUnblocks(t *testing.T) {
+	const n = 4
+	for _, tc := range transportCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			mw := tc.build(t, n, mpi.WorldOptions{})
+			errs := mw.runSPMD(func(c *mpi.Comm) {
+				if c.Rank() == 0 {
+					time.Sleep(50 * time.Millisecond) // let peers park first
+					panic("injected failure on rank 0")
+				}
+				c.Recv(0, 42) // never satisfied; must unwind via abort
+			})
+			for i, err := range errs {
+				if err == nil {
+					t.Fatalf("world %d: Parallel returned nil, want rank-0 failure", i)
+				}
+				re, ok := err.(*mpi.RankError)
+				if !ok {
+					t.Fatalf("world %d: error %T, want *RankError", i, err)
+				}
+				if re.Rank != 0 {
+					t.Fatalf("world %d: failure attributed to rank %d, want 0", i, re.Rank)
+				}
+				if !strings.Contains(err.Error(), "injected failure on rank 0") {
+					t.Fatalf("world %d: cause text lost: %v", i, err)
+				}
+			}
+		})
+	}
+}
+
+// TestTransportConformanceRecvDeadline: a bounded receive that never
+// matches must fail with the park diagnosis (not hang) on every
+// transport.
+func TestTransportConformanceRecvDeadline(t *testing.T) {
+	const n = 2
+	for _, tc := range transportCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			mw := tc.build(t, n, mpi.WorldOptions{RecvStall: 100 * time.Millisecond})
+			errs := mw.runSPMD(func(c *mpi.Comm) {
+				if c.Rank() == 1 {
+					c.Recv(0, 7) // rank 0 never sends tag 7
+				}
+			})
+			var failed error
+			for _, err := range errs {
+				if err != nil {
+					failed = err
+					break
+				}
+			}
+			if failed == nil {
+				t.Fatal("bounded receive never diagnosed")
+			}
+			for _, want := range []string{"stalled", "blocking receive"} {
+				if !strings.Contains(failed.Error(), want) {
+					t.Fatalf("diagnosis %q missing %q", failed.Error(), want)
+				}
+			}
+		})
+	}
+}
+
+// TestTransportConformanceSnapshot: SnapshotComm taken from rank 0's
+// world must report a remote rank's park state and unmatched mailbox
+// depth — over TCP that information crosses the wire via the snapshot
+// exchange.
+func TestTransportConformanceSnapshot(t *testing.T) {
+	const n = 2
+	for _, tc := range transportCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			mw := tc.build(t, n, mpi.WorldOptions{})
+			release := make(chan struct{})
+			done := make(chan []error, 1)
+			go func() {
+				done <- mw.runSPMD(func(c *mpi.Comm) {
+					switch c.Rank() {
+					case 0:
+						// Two unmatched messages, then hold until the
+						// snapshot below has seen rank 1 parked.
+						c.Send(1, 5, []float64{1}, -1)
+						c.Send(1, 6, []float64{2}, -1)
+						<-release
+						c.Send(1, 9, []float64{3}, -1)
+					case 1:
+						c.Recv(0, 9)
+					}
+				})
+			}()
+			deadline := time.Now().Add(5 * time.Second)
+			var snap []mpi.CommState
+			for {
+				if time.Now().After(deadline) {
+					t.Fatalf("snapshot never showed rank 1 parked with 2 unmatched: %+v", snap)
+				}
+				snap = mw.worlds[0].SnapshotComm()
+				s := snap[1]
+				if s.Parked != nil && s.Parked.Op == "MPI_Wait" && s.Unmatched == 2 {
+					if s.Parked.Peer != 0 || s.Parked.Tag != 9 {
+						t.Fatalf("rank 1 park misreported: %+v", s.Parked)
+					}
+					if s.InboxCap <= 0 {
+						t.Fatalf("rank 1 mailbox capacity missing: %+v", s)
+					}
+					break
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+			close(release)
+			requireAllOK(t, <-done)
+		})
+	}
+}
+
+// TestTransportConformanceStats: call counts and collective hop counts
+// must be identical across transports (bytes legitimately differ by
+// framing overhead — that contract is pinned by
+// TestWireByteAccountingOverhead).
+func TestTransportConformanceStats(t *testing.T) {
+	const n = 4
+	type profile struct {
+		calls [mpi.NumFuncs]int64
+		hops  [mpi.NumFuncs]int64
+	}
+	collect := func(t *testing.T, tc transportCase) map[int]profile {
+		mw := tc.build(t, n, mpi.WorldOptions{})
+		var mu sync.Mutex
+		out := map[int]profile{}
+		errs := mw.runSPMD(func(c *mpi.Comm) {
+			next := (c.Rank() + 1) % n
+			prev := (c.Rank() - 1 + n) % n
+			c.Send(next, 1, []float64{1, 2, 3}, -1)
+			c.Recv(prev, 1)
+			c.Sendrecv(next, []float64{4, 5}, -1, prev, 2)
+			buf := []float64{float64(c.Rank())}
+			c.Allreduce(buf)
+			c.Barrier()
+			var p profile
+			for f := mpi.Func(0); f < mpi.NumFuncs; f++ {
+				p.calls[f] = c.Stats.Funcs[f].Calls
+				p.hops[f] = c.Stats.Funcs[f].Hops
+			}
+			mu.Lock()
+			out[c.Rank()] = p
+			mu.Unlock()
+		})
+		requireAllOK(t, errs)
+		return out
+	}
+	cases := transportCases()
+	ref := collect(t, cases[0])
+	for _, tc := range cases[1:] {
+		t.Run(tc.name, func(t *testing.T) {
+			got := collect(t, tc)
+			for r := 0; r < n; r++ {
+				if got[r] != ref[r] {
+					t.Fatalf("rank %d profile diverges from chan:\n chan %+v\n %s %+v",
+						r, ref[r], tc.name, got[r])
+				}
+			}
+		})
+	}
+}

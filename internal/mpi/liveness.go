@@ -104,29 +104,42 @@ type CommState struct {
 }
 
 // SnapshotComm captures every rank's communication posture without
-// stopping the world: park states are read from per-rank atomics, so the
-// snapshot is safe to take from a watchdog goroutine while ranks run.
+// stopping the world: local park states are read from per-rank atomics,
+// so the snapshot is safe to take from a watchdog goroutine while ranks
+// run; remote ranks (TCP worlds) are filled by a best-effort snapshot
+// exchange with their hosting processes, so a hang diagnosis can name
+// the parked primitive on every rank of a process-spanning world.
 func (w *World) SnapshotComm() []CommState {
 	out := make([]CommState, w.Size)
-	for r, c := range w.comms {
-		cs := CommState{
-			Rank:      r,
-			Inbox:     len(w.inbox[r]),
-			InboxCap:  cap(w.inbox[r]),
-			Unmatched: int(c.unmatched.Load()),
-		}
-		if op := parkOp(c.parkOp.Load()); op != parkNone {
-			tag := int(c.parkTag.Load())
-			cs.Parked = &Park{
-				Op:    parkOpName(op, tag),
-				Peer:  int(c.parkPeer.Load()),
-				Tag:   tag,
-				Since: time.Unix(0, c.parkSince.Load()),
-			}
-		}
-		out[r] = cs
+	for r := range out {
+		out[r] = CommState{Rank: r}
 	}
+	for _, r := range w.local {
+		out[r] = w.localCommState(r)
+	}
+	w.tr.FillRemote(out)
 	return out
+}
+
+// localCommState snapshots one local rank's posture from its atomics.
+func (w *World) localCommState(r int) CommState {
+	c := w.comms[r]
+	cs := CommState{
+		Rank:      r,
+		Inbox:     len(w.inbox[r]),
+		InboxCap:  cap(w.inbox[r]),
+		Unmatched: int(c.unmatched.Load()),
+	}
+	if op := parkOp(c.parkOp.Load()); op != parkNone {
+		tag := int(c.parkTag.Load())
+		cs.Parked = &Park{
+			Op:    parkOpName(op, tag),
+			Peer:  int(c.parkPeer.Load()),
+			Tag:   tag,
+			Since: time.Unix(0, c.parkSince.Load()),
+		}
+	}
+	return cs
 }
 
 // parkOpName renders the primitive a park belongs to. Collective hops

@@ -107,12 +107,21 @@ type message struct {
 
 // World is a communicator universe of Size ranks with persistent
 // mailboxes; it survives across multiple Parallel sections, like an MPI
-// job spanning many collective phases.
+// job spanning many collective phases. A world built by NewWorld hosts
+// every rank in this process (the channel transport); a world built by
+// the TCP rendezvous (ListenTCP/JoinTCP) hosts only the ranks in
+// LocalRanks — the rest live in peer processes and are reached through
+// the transport.
 type World struct {
 	Size  int
-	inbox []chan message
-	pend  [][]message // per-rank out-of-order buffer
-	comms []*Comm
+	local []int          // ranks hosted in this process, ascending
+	inbox []chan message // indexed by rank; nil for remote ranks
+	pend  [][]message    // per-rank out-of-order buffer (local only)
+	comms []*Comm        // nil for remote ranks
+
+	// tr moves messages between ranks: in-process channels (the
+	// reference) or length-prefixed TCP frames.
+	tr Transport
 
 	// Abort protocol (the MPI_Abort analogue). The first rank failure
 	// records its RankError and closes abort; every primitive blocked in
@@ -122,11 +131,17 @@ type World struct {
 	abort     chan struct{}
 	abortOnce sync.Once
 	abortErr  *RankError
+	closeOnce sync.Once
 
 	// fault, when non-nil, intercepts point-to-point sends for
 	// deterministic fault injection (internal/fault). Nil costs one
 	// pointer check per send.
 	fault FaultHook
+	// wireFault, when non-nil, intercepts encoded wire frames on the TCP
+	// transport's send side (after the CRC is computed, so a mutation
+	// surfaces as a receiver-side CRC failure). Ignored by the channel
+	// transport — there is no wire to corrupt.
+	wireFault WireFaultHook
 
 	// opts holds the liveness bounds resolved at world creation (see
 	// WorldOptions in liveness.go).
@@ -176,23 +191,46 @@ type FaultHook interface {
 // sections only.
 func (w *World) SetFaultHook(h FaultHook) { w.fault = h }
 
+// SetWireFaultHook installs a frame-level fault hook (nil removes it).
+// Only the TCP transport consults it. Call between parallel sections
+// only.
+func (w *World) SetWireFaultHook(h WireFaultHook) { w.wireFault = h }
+
 // NewWorld creates a world of n ranks with default liveness bounds.
 func NewWorld(n int) *World { return NewWorldWith(n, WorldOptions{}) }
 
 // NewWorldWith creates a world of n ranks with explicit liveness bounds.
 func NewWorldWith(n int, opts WorldOptions) *World {
+	w := newWorld(n, nil, opts)
+	w.tr = &chanTransport{w: w}
+	return w
+}
+
+// newWorld builds the rank-local state of a world hosting the given
+// ranks (nil = all n). The caller attaches the transport.
+func newWorld(n int, local []int, opts WorldOptions) *World {
 	if n < 1 {
 		panic("mpi: world size must be >= 1")
 	}
+	if local == nil {
+		local = make([]int, n)
+		for i := range local {
+			local[i] = i
+		}
+	}
 	w := &World{
 		Size:  n,
+		local: local,
 		inbox: make([]chan message, n),
 		pend:  make([][]message, n),
 		comms: make([]*Comm, n),
 		abort: make(chan struct{}),
 		opts:  opts.withDefaults(),
 	}
-	for i := range w.inbox {
+	for _, i := range local {
+		if i < 0 || i >= n {
+			panic(fmt.Sprintf("mpi: local rank %d outside world of %d", i, n))
+		}
 		w.inbox[i] = make(chan message, 64*n)
 		w.comms[i] = &Comm{world: w, rank: i}
 		w.comms[i].Stats.Funcs[FuncInit].Calls = 1
@@ -200,13 +238,40 @@ func NewWorldWith(n int, opts WorldOptions) *World {
 	return w
 }
 
-// Comm returns rank r's communicator.
+// Comm returns rank r's communicator, or nil when r is hosted by a
+// remote process (only LocalRanks have endpoints here).
 func (w *World) Comm(r int) *Comm { return w.comms[r] }
 
-// Abort records the first rank failure and releases every rank blocked
-// in a primitive. Idempotent; later failures are discarded (they are
+// LocalRanks returns the ranks hosted in this process, ascending. The
+// slice is shared; callers must not mutate it. For channel worlds it is
+// every rank.
+func (w *World) LocalRanks() []int { return w.local }
+
+// Transport exposes the world's message-moving layer (diagnostics and
+// the transport conformance suite).
+func (w *World) Transport() Transport { return w.tr }
+
+// Close releases the world's transport resources (sockets and pump
+// goroutines for TCP worlds; a no-op for channel worlds). Idempotent.
+// The world must not be used afterwards.
+func (w *World) Close() error {
+	var err error
+	w.closeOnce.Do(func() { err = w.tr.Close() })
+	return err
+}
+
+// Abort records the first rank failure, releases every local rank
+// blocked in a primitive, and propagates the failure to remote
+// processes. Idempotent; later failures are discarded (they are
 // cascades of the first).
 func (w *World) Abort(e *RankError) {
+	w.abortLocal(e)
+	w.tr.PropagateAbort(w.abortErr)
+}
+
+// abortLocal is the in-process half of Abort: used directly for aborts
+// that arrived over the wire, which must not be re-broadcast.
+func (w *World) abortLocal(e *RankError) {
 	w.abortOnce.Do(func() {
 		w.abortErr = e
 		close(w.abort)
@@ -224,8 +289,10 @@ func (w *World) Aborted() *RankError {
 	}
 }
 
-// Parallel runs body on every rank concurrently and waits for all of
-// them (an SPMD section). Each rank goroutine runs supervised: a panic
+// Parallel runs body on every local rank concurrently and waits for
+// all of them (an SPMD section; for a process-spanning world, every
+// process runs its own Parallel over its LocalRanks and the transport
+// stitches the sections together). Each rank goroutine runs supervised: a panic
 // becomes a *RankError, aborts the world (unblocking peers parked in
 // Send/Wait/Allreduce), and is returned once every rank has unwound.
 // On an already-aborted world Parallel returns the recorded failure
@@ -242,8 +309,8 @@ func (w *World) Parallel(body func(c *Comm)) error {
 		return err
 	}
 	var wg sync.WaitGroup
-	wg.Add(w.Size)
-	for r := 0; r < w.Size; r++ {
+	wg.Add(len(w.local))
+	for _, r := range w.local {
 		go func(c *Comm) {
 			defer wg.Done()
 			defer func() {
@@ -392,39 +459,38 @@ func (d *StallDefault) Get() time.Duration {
 // keep the value they snapshotted. Set(0) restores the built-in default.
 func (d *StallDefault) Set(v time.Duration) { d.ns.Store(int64(v)) }
 
-// deliver enqueues m into dst's mailbox, panicking with rank/tag/queue
-// diagnostics if the mailbox stays full for the world's MailboxStall
+// deliver hands m to the world's transport, panicking with rank/tag/
+// queue diagnostics if delivery stalls past the world's MailboxStall
 // bound. A world abort unblocks the send and unwinds with the abort
-// sentinel, so a dead destination cannot wedge its peers.
-func (c *Comm) deliver(dst int, m message) {
+// sentinel, so a dead destination cannot wedge its peers. Returns the
+// wire bytes actually charged (framed size for remote destinations).
+func (c *Comm) deliver(dst int, m message) int {
 	w := c.world
-	select {
-	case w.inbox[dst] <- m:
-		return
-	default:
-	}
-	stall := w.opts.MailboxStall
-	timer := time.NewTimer(stall)
-	defer timer.Stop()
 	c.parkEnter(parkSend, dst, m.tag)
-	select {
-	case w.inbox[dst] <- m:
-		c.parkExit()
-	case <-w.abort:
-		panic(abortPanic{w.abortErr})
-	case <-timer.C:
-		panic(fmt.Sprintf(
-			"mpi: rank %d -> rank %d (tag %d, %d bytes) stalled %v on a full mailbox: dst inbox %d/%d queued, %d unmatched messages pending on rank %d — likely a collective ordering or tag-matching deadlock",
-			c.rank, dst, m.tag, m.bytes, stall,
-			len(w.inbox[dst]), cap(w.inbox[dst]), len(w.pend[c.rank]), c.rank))
+	wire, err := w.tr.Deliver(dst, m)
+	if err != nil {
+		switch e := err.(type) {
+		case *stallError:
+			panic(e.msg)
+		default:
+			if err == errAborted {
+				panic(abortPanic{w.abortErr})
+			}
+			// Transport failure (unregistered codec, dead socket):
+			// a rank error with the typed cause preserved.
+			panic(err)
+		}
 	}
+	c.parkExit()
+	return wire
 }
 
 // sendP2P routes one point-to-point message through the fault hook
 // (when installed) and delivers it, plus any message a reorder fault
 // previously deferred. Collective hops bypass it (collSend delivers
-// directly).
-func (c *Comm) sendP2P(dst int, m message) {
+// directly). Returns the wire bytes charged now (0 for a
+// reorder-deferred message; its bytes are charged when flushed).
+func (c *Comm) sendP2P(dst int, m message) int {
 	if h := c.world.fault; h != nil {
 		delay, reorder := h.OnSend(c.rank, dst, m.tag)
 		if delay > 0 {
@@ -432,38 +498,40 @@ func (c *Comm) sendP2P(dst int, m message) {
 		}
 		if reorder {
 			c.held = append(c.held, heldMessage{dst: dst, m: m})
-			return
+			return 0
 		}
 	}
-	c.deliver(dst, m)
+	wire := c.deliver(dst, m)
 	c.flushHeld()
+	return wire
 }
 
 // flushHeld releases reorder-deferred messages (after the operation
-// that overtook them).
+// that overtook them), charging their wire bytes to MPI_Send.
 func (c *Comm) flushHeld() {
 	for _, hm := range c.held {
-		c.deliver(hm.dst, hm.m)
+		c.Stats.Funcs[FuncSend].Bytes += int64(c.deliver(hm.dst, hm.m))
 	}
 	c.held = c.held[:0]
 }
 
 // Send transmits data to rank dst under tag. bytes, when >= 0, overrides
 // the modeled wire size (used for struct payloads whose packed size the
-// caller knows).
+// caller knows). Stats charge the transport's wire bytes — identical to
+// the modeled size in-process, header + encoded payload over TCP.
 func (c *Comm) Send(dst, tag int, data any, bytes int) {
 	if bytes < 0 {
 		bytes = mustPayloadBytes(data)
 	}
 	t0 := time.Now()
-	c.sendP2P(dst, message{src: c.rank, tag: tag, bytes: bytes, data: data})
+	wire := c.sendP2P(dst, message{src: c.rank, tag: tag, bytes: bytes, data: data})
 	el := time.Since(t0)
 	st := &c.Stats.Funcs[FuncSend]
 	st.Calls++
-	st.Bytes += int64(bytes)
+	st.Bytes += int64(wire)
 	st.Time += el
 	if c.span != nil {
-		c.span.Comm("MPI_Send", t0, el, int64(bytes), dst)
+		c.span.Comm("MPI_Send", t0, el, int64(wire), dst)
 	}
 }
 
@@ -530,18 +598,18 @@ func (c *Comm) Sendrecv(dst int, sdata any, sbytes, src, tag int) any {
 		sbytes = mustPayloadBytes(sdata)
 	}
 	t0 := time.Now()
-	c.sendP2P(dst, message{src: c.rank, tag: tag, bytes: sbytes, data: sdata})
+	wire := c.sendP2P(dst, message{src: c.rank, tag: tag, bytes: sbytes, data: sdata})
 	sendDone := time.Since(t0)
 	t1 := time.Now()
 	data, rbytes := c.recvMatch(src, tag)
 	wait := time.Since(t1)
 	st := &c.Stats.Funcs[FuncSendrecv]
 	st.Calls++
-	st.Bytes += int64(sbytes + rbytes)
+	st.Bytes += int64(wire + rbytes)
 	st.Time += sendDone + wait
 	st.WaitTime += wait
 	if c.span != nil {
-		c.span.Comm("MPI_Sendrecv", t0, sendDone+wait, int64(sbytes+rbytes), dst)
+		c.span.Comm("MPI_Sendrecv", t0, sendDone+wait, int64(wire+rbytes), dst)
 	}
 	return data
 }
