@@ -74,17 +74,23 @@ faults:
 # Seeded randomized fault campaign under the race detector: three
 # workloads each draw a kill plus a hang / checkpoint-flip / truncation
 # from a fixed-seed stream and must recover bit-exactly, plus the
-# TCP-loopback cell (TestSoakTCPLoopback) where a supervised two-process
-# world draws kill + hang/corrupt-wire faults. Deterministic, so any
-# failure reproduces with plain `make soak`.
+# TCP-loopback cells — TestSoakTCPLoopback (scratch recovery) and
+# TestSoakTCPCheckpointed (sharded-checkpoint recovery: kill plus
+# hang/corrupt-wire/truncate-shard against a two-process world that
+# must restore from the newest complete shard generation).
+# Deterministic, so any failure reproduces with plain `make soak`.
 soak:
 	go test -race -run TestSoak ./internal/harness/
 
 # Transport layer under the race detector: the conformance suite run
 # against both transports (channel and TCP loopback), wire-codec
 # round-trip and framing-overhead tests, rendezvous/abort/death
-# protocol tests, and the cross-process end-to-end drills (bit
-# identity chan vs TCP, supervised kill recovery with re-rendezvous).
+# protocol tests (including the mid-handshake failure drills, which
+# must surface typed RendezvousErrors within the deadline), and the
+# cross-process end-to-end drills: bit identity chan vs TCP,
+# supervised kill recovery with re-rendezvous, and the distributed-
+# checkpoint drills (restore from the newest complete shard
+# generation, mid-commit torn-generation fallback, placement swap).
 transport-check:
 	go test -race -run 'TestTransport|TestWire|TestFrame|TestTCP' \
 		./internal/mpi/ ./internal/harness/

@@ -39,9 +39,22 @@
 //	mdrun -bench lj -ranks 2 -steps 200 -listen 127.0.0.1:7777
 //	mdrun -bench lj -ranks 2 -steps 200 -join 127.0.0.1:7777 -rank 1
 //
-// TCP worlds recover from scratch (checkpoint assembly is per-process),
-// so -retries re-runs the rendezvous on every process and restarts from
-// step 0; -checkpoint-every and -restart are rejected in this mode.
+// TCP worlds checkpoint in shards: with -checkpoint-every each process
+// atomically writes its local ranks' snapshot into a shared shard
+// store next to -checkpoint, and a two-phase commit publishes a
+// manifest once every shard of a generation is durable. A recovery
+// (-retries) re-runs the rendezvous on every process and restores the
+// whole world from the newest complete generation — bit-exactly, and
+// independent of which process hosts which rank after the re-join —
+// falling back generation by generation and finally to scratch. All
+// processes must share the checkpoint path (same directory on one
+// host, or a shared filesystem). -rendezvous-timeout bounds every
+// handshake phase so a missing peer fails the launch with a diagnosis
+// instead of hanging it. -restart is still rejected in this mode:
+// sharded runs resume from the shard store automatically.
+//
+//	mdrun -bench lj -ranks 2 -steps 200 -listen 127.0.0.1:7777 -checkpoint-every 50 -retries 2
+//	mdrun -bench lj -ranks 2 -steps 200 -join 127.0.0.1:7777 -rank 1 -checkpoint-every 50 -retries 2
 package main
 
 import (
@@ -95,6 +108,7 @@ func main() {
 		listen    = flag.String("listen", "", "host rank 0 over TCP: listen on this address and wait for the other ranks to -join")
 		join      = flag.String("join", "", "join a TCP world at this coordinator address (requires -rank)")
 		rank      = flag.Int("rank", -1, "the rank this joiner process hosts (with -join)")
+		rvTO      = flag.Duration("rendezvous-timeout", 30*time.Second, "bound on every TCP rendezvous phase (dial, hello, mesh, ready/go)")
 	)
 	flag.Parse()
 
@@ -113,8 +127,8 @@ func main() {
 			fail("-join requires -rank between 1 and ranks-1 (rank 0 is the coordinator's)")
 		case *inFile != "":
 			fail("-in scripts run serial and cannot span processes")
-		case *ckptEvery > 0 || *restart != "":
-			fail("checkpoint/restart needs every rank's state in one process; TCP worlds recover from scratch")
+		case *restart != "":
+			fail("-restart is for serial/in-process runs; TCP worlds resume automatically from -checkpoint's shard store")
 		}
 	}
 
@@ -318,11 +332,11 @@ func main() {
 			if err != nil {
 				return nil, err
 			}
-			return co.Host([]int{0}, mpi.WorldOptions{})
+			return co.Host([]int{0}, mpi.WorldOptions{Rendezvous: *rvTO})
 		}
 	} else if *join != "" {
 		sup.WorldBuilder = func() (*mpi.World, error) {
-			return mpi.JoinTCP(*join, []int{*rank}, mpi.WorldOptions{})
+			return mpi.JoinTCP(*join, []int{*rank}, mpi.WorldOptions{Rendezvous: *rvTO})
 		}
 	}
 	// Joiners stay quiet: thermo lines are identical on every process
@@ -340,6 +354,9 @@ func main() {
 		if *restart != "" {
 			fmt.Printf("# resumed from %s at step %d\n", *restart, eng.Step())
 		}
+		if gen := sup.LastRestore(); gen >= 0 {
+			fmt.Printf("# restored from shard generation %d\n", gen)
+		}
 	}
 	// Position-driven chunk loop: progress is reread from the engine
 	// each iteration, so a scratch restart (ErrRestarted, TCP worlds)
@@ -348,7 +365,19 @@ func main() {
 	// aligned through recoveries. Thermo lines already printed are not
 	// reprinted on replay.
 	var printed int64 = -1
+	reported := 0
 	for {
+		// Report each recovery's restore point as it happens: a sharded
+		// rebuild resumes from a generation (Run re-advances internally),
+		// a scratch rebuild replays from step 0 via ErrRestarted.
+		if n := sup.Attempts(); chatty && tcpMode && n > reported {
+			reported = n
+			if gen := sup.LastRestore(); gen >= 0 {
+				fmt.Printf("# restored from shard generation %d\n", gen)
+			} else {
+				fmt.Printf("# restarted from scratch\n")
+			}
+		}
 		pos := int(sup.Step())
 		if pos >= *steps {
 			break

@@ -343,12 +343,21 @@ func (w *Writer) Sink() func(*core.Simulation) error {
 // host crash can "commit" a rename whose data never reached disk;
 // without the second the rename itself can be lost.
 func WriteFileAtomic(path string, ck *Checkpoint) error {
+	return writeFileAtomicFunc(path, func(f io.Writer) error {
+		return Write(f, ck)
+	})
+}
+
+// writeFileAtomicFunc is the atomic-durability discipline shared by
+// checkpoints, shards, and manifests: write to path.tmp via the
+// serializer, fsync the file, rename over path, fsync the directory.
+func writeFileAtomicFunc(path string, write func(io.Writer) error) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	if err := Write(f, ck); err != nil {
+	if err := write(f); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -454,6 +463,353 @@ func ReadFile(path string) (*Checkpoint, error) {
 	return Read(f)
 }
 
+// ckptEncoder is the serialization state shared by the monolithic GMCK
+// writer and the sharded GMCS/KCMF writers (shard.go): little-endian
+// scalar encoding teed through section and whole-file CRC32 hashes,
+// section sealing, the per-rank section body, and the common footer.
+type ckptEncoder struct {
+	cw      *crcWriter
+	version uint32
+}
+
+func newCkptEncoder(w io.Writer, version uint32) *ckptEncoder {
+	return &ckptEncoder{
+		cw:      &crcWriter{w: w, sect: crc32.NewIEEE(), file: crc32.NewIEEE()},
+		version: version,
+	}
+}
+
+func (e *ckptEncoder) u32(v uint32) { binary.Write(e.cw, binary.LittleEndian, v) }
+func (e *ckptEncoder) u64(v uint64) { binary.Write(e.cw, binary.LittleEndian, v) }
+func (e *ckptEncoder) i64(v int64)  { binary.Write(e.cw, binary.LittleEndian, v) }
+func (e *ckptEncoder) f(v float64)  { binary.Write(e.cw, binary.LittleEndian, v) }
+func (e *ckptEncoder) v3(v vec.V3)  { e.f(v.X); e.f(v.Y); e.f(v.Z) }
+
+func (e *ckptEncoder) box(b box.Box) {
+	e.v3(b.Lo)
+	e.v3(b.Hi)
+	for d := 0; d < 3; d++ {
+		p := uint32(0)
+		if b.Periodic[d] {
+			p = 1
+		}
+		e.u32(p)
+	}
+}
+
+func (e *ckptEncoder) str(s string) {
+	e.u32(uint32(len(s)))
+	e.cw.Write([]byte(s))
+}
+
+// endSection seals the bytes since the previous seal with their CRC32.
+// The CRC bytes themselves feed the whole-file hash (the reader
+// accumulates them identically), then the section hash resets.
+func (e *ckptEncoder) endSection() {
+	if e.version < 2 {
+		return
+	}
+	sum := e.cw.sect.Sum32()
+	e.u32(sum)
+	e.cw.sect.Reset()
+}
+
+// rank serializes one rank's share, sealed as its own section.
+func (e *ckptEncoder) rank(rk *Rank) {
+	e.i64(int64(len(rk.Atoms)))
+	for _, a := range rk.Atoms {
+		e.i64(a.Tag)
+		e.u32(uint32(a.Type))
+		e.u32(uint32(a.Mol))
+		e.v3(a.Pos)
+		e.v3(a.Vel)
+		e.f(a.Charge)
+		e.u32(uint32(len(a.Special)))
+		for _, s := range a.Special {
+			e.i64(s.Tag)
+			e.u32(uint32(s.Kind))
+		}
+		e.u32(uint32(len(a.Bonds)))
+		for _, b := range a.Bonds {
+			e.u32(uint32(b.Type))
+			e.i64(b.Partner)
+		}
+		e.u32(uint32(len(a.Angles)))
+		for _, an := range a.Angles {
+			e.u32(uint32(an.Type))
+			e.i64(an.A)
+			e.i64(an.C)
+		}
+		e.u32(uint32(len(a.Dihedrals)))
+		for _, d := range a.Dihedrals {
+			e.u32(uint32(d.Type))
+			e.i64(d.A)
+			e.i64(d.C)
+			e.i64(d.D)
+		}
+	}
+	for _, f := range rk.Force {
+		e.v3(f)
+	}
+	e.f(rk.LastPE)
+	e.f(rk.LastVirial)
+	for _, s := range rk.RNG.S {
+		e.u64(s)
+	}
+	e.f(rk.RNG.Gauss)
+	hg := uint32(0)
+	if rk.RNG.HasGauss {
+		hg = 1
+	}
+	e.u32(hg)
+	e.u32(uint32(len(rk.FixState)))
+	for _, fs := range rk.FixState {
+		e.u32(uint32(len(fs)))
+		for _, v := range fs {
+			e.f(v)
+		}
+	}
+	e.u32(uint32(len(rk.History)))
+	for _, h := range rk.History {
+		e.i64(h.Owner)
+		e.i64(h.Partner)
+		e.v3(h.Shear)
+	}
+	e.endSection()
+}
+
+// footer writes the v2 trailer: payload length + whole-file CRC over
+// everything before it (section CRCs included). A truncated file loses
+// the footer; a file truncated and then appended to misses the length
+// check.
+func (e *ckptEncoder) footer() {
+	n := e.cw.n
+	sum := e.cw.file.Sum32()
+	e.u32(ckptFooterMagic)
+	e.u64(uint64(n))
+	e.u32(sum)
+}
+
+// ckptDecoder mirrors ckptEncoder on the read side with error latching:
+// the first failure sticks and later reads become no-ops.
+type ckptDecoder struct {
+	cr      *crcReader
+	version uint32
+	err     error
+	// noWrap marks err as already fully formed (semantic validation,
+	// not an IO failure) so finish does not wrap it as truncation.
+	noWrap bool
+}
+
+func newCkptDecoder(r io.Reader, version uint32) *ckptDecoder {
+	return &ckptDecoder{
+		cr:      &crcReader{r: bufio.NewReader(r), sect: crc32.NewIEEE(), file: crc32.NewIEEE()},
+		version: version,
+	}
+}
+
+func (d *ckptDecoder) u32() uint32 {
+	var v uint32
+	if d.err == nil {
+		d.err = binary.Read(d.cr, binary.LittleEndian, &v)
+	}
+	return v
+}
+
+func (d *ckptDecoder) u64() uint64 {
+	var v uint64
+	if d.err == nil {
+		d.err = binary.Read(d.cr, binary.LittleEndian, &v)
+	}
+	return v
+}
+
+func (d *ckptDecoder) i64() int64 {
+	var v int64
+	if d.err == nil {
+		d.err = binary.Read(d.cr, binary.LittleEndian, &v)
+	}
+	return v
+}
+
+func (d *ckptDecoder) f() float64 {
+	var v float64
+	if d.err == nil {
+		d.err = binary.Read(d.cr, binary.LittleEndian, &v)
+	}
+	return v
+}
+
+func (d *ckptDecoder) v3() vec.V3 { return vec.New(d.f(), d.f(), d.f()) }
+
+func (d *ckptDecoder) box() box.Box {
+	var b box.Box
+	b.Lo = d.v3()
+	b.Hi = d.v3()
+	for i := 0; i < 3; i++ {
+		b.Periodic[i] = d.u32() == 1
+	}
+	return b
+}
+
+// str reads a length-prefixed string, rejecting implausible lengths
+// (max bounds the damage a corrupted length word can do).
+func (d *ckptDecoder) str(max uint32) string {
+	n := d.u32()
+	if d.err != nil {
+		return ""
+	}
+	if n > max {
+		d.fail(fmt.Errorf("ckpt: implausible string length %d", n))
+		return ""
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(d.cr, buf); err != nil {
+		d.err = err
+		return ""
+	}
+	return string(buf)
+}
+
+// fail latches a semantic-validation error that finish must not wrap.
+func (d *ckptDecoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+		d.noWrap = true
+	}
+}
+
+// endSection checks the stored section CRC against the bytes read since
+// the previous seal (the computed sum must be captured before the
+// stored one is consumed).
+func (d *ckptDecoder) endSection(what string) {
+	if d.version < 2 || d.err != nil {
+		return
+	}
+	computed := d.cr.sect.Sum32()
+	stored := d.u32()
+	d.cr.sect.Reset()
+	if d.err == nil && stored != computed {
+		d.err = &IntegrityError{Section: what, Detail: fmt.Sprintf(
+			"CRC mismatch (stored %#08x, computed %#08x)", stored, computed)}
+	}
+}
+
+// rank deserializes one rank section written by ckptEncoder.rank.
+// what labels the section in integrity errors ("rank 3").
+func (d *ckptDecoder) rank(rk *Rank, what string) {
+	n := d.i64()
+	if d.err != nil {
+		return
+	}
+	if n < 0 || n > 1<<31 {
+		d.fail(fmt.Errorf("ckpt: implausible atom count %d on %s", n, what))
+		return
+	}
+	rk.Atoms = make([]atom.Atom, 0, n)
+	for i := int64(0); i < n && d.err == nil; i++ {
+		var a atom.Atom
+		a.Tag = d.i64()
+		a.Type = int32(d.u32())
+		a.Mol = int32(d.u32())
+		a.Pos = d.v3()
+		a.Vel = d.v3()
+		a.Charge = d.f()
+		ns := d.u32()
+		for k := uint32(0); k < ns && d.err == nil; k++ {
+			a.Special = append(a.Special, atom.SpecialRef{
+				Tag: d.i64(), Kind: atom.SpecialKind(d.u32()),
+			})
+		}
+		nb := d.u32()
+		for k := uint32(0); k < nb && d.err == nil; k++ {
+			a.Bonds = append(a.Bonds, atom.BondRef{
+				Type: int32(d.u32()), Partner: d.i64(),
+			})
+		}
+		na := d.u32()
+		for k := uint32(0); k < na && d.err == nil; k++ {
+			a.Angles = append(a.Angles, atom.AngleRef{
+				Type: int32(d.u32()), A: d.i64(), C: d.i64(),
+			})
+		}
+		nd := d.u32()
+		for k := uint32(0); k < nd && d.err == nil; k++ {
+			a.Dihedrals = append(a.Dihedrals, atom.DihedralRef{
+				Type: int32(d.u32()), A: d.i64(), C: d.i64(), D: d.i64(),
+			})
+		}
+		rk.Atoms = append(rk.Atoms, a)
+	}
+	rk.Force = make([]vec.V3, len(rk.Atoms))
+	for i := range rk.Force {
+		rk.Force[i] = d.v3()
+	}
+	rk.LastPE = d.f()
+	rk.LastVirial = d.f()
+	for i := range rk.RNG.S {
+		rk.RNG.S[i] = d.u64()
+	}
+	rk.RNG.Gauss = d.f()
+	rk.RNG.HasGauss = d.u32() == 1
+	nfs := d.u32()
+	for k := uint32(0); k < nfs && d.err == nil; k++ {
+		m := d.u32()
+		fs := make([]float64, m)
+		for j := range fs {
+			fs[j] = d.f()
+		}
+		rk.FixState = append(rk.FixState, fs)
+	}
+	nh := d.u32()
+	for k := uint32(0); k < nh && d.err == nil; k++ {
+		rk.History = append(rk.History, HistoryEntry{
+			Owner: d.i64(), Partner: d.i64(), Shear: d.v3(),
+		})
+	}
+	d.endSection(what)
+}
+
+// footer verifies the v2 trailer: the payload length and whole-file CRC
+// must match what was just read. The computed values are captured
+// before consuming the stored ones (the reads advance the hashes).
+func (d *ckptDecoder) footer() {
+	if d.version < 2 || d.err != nil {
+		return
+	}
+	computedN := d.cr.n
+	computedSum := d.cr.file.Sum32()
+	fm := d.u32()
+	storedN := d.u64()
+	storedSum := d.u32()
+	switch {
+	case d.err != nil:
+		// fall through to the truncation wrap in finish
+	case fm != ckptFooterMagic:
+		d.err = &IntegrityError{Section: "footer", Detail: fmt.Sprintf(
+			"bad footer magic %#08x (file truncated or overwritten mid-write)", fm)}
+	case int64(storedN) != computedN:
+		d.err = &IntegrityError{Section: "footer", Detail: fmt.Sprintf(
+			"payload length %d, footer declares %d", computedN, storedN)}
+	case storedSum != computedSum:
+		d.err = &IntegrityError{Section: "footer", Detail: fmt.Sprintf(
+			"file CRC mismatch (stored %#08x, computed %#08x)", storedSum, computedSum)}
+	}
+}
+
+// finish reports the latched error, wrapping bare IO failures as
+// truncation (integrity and semantic-validation errors pass through).
+func (d *ckptDecoder) finish() error {
+	if d.err == nil {
+		return nil
+	}
+	var ie *IntegrityError
+	if d.noWrap || errors.As(d.err, &ie) {
+		return d.err
+	}
+	return fmt.Errorf("ckpt: truncated checkpoint: %w", d.err)
+}
+
 // Write serializes the checkpoint in the current (v2) format
 // (little-endian, versioned; same closure idiom as the dump package's
 // restart format).
@@ -465,119 +821,23 @@ func Write(out io.Writer, ck *Checkpoint) error {
 // the backward-compatibility tests).
 func writeVersion(out io.Writer, ck *Checkpoint, version uint32) error {
 	bw := bufio.NewWriter(out)
-	cw := &crcWriter{w: bw, sect: crc32.NewIEEE(), file: crc32.NewIEEE()}
-	le := binary.LittleEndian
-	wU32 := func(v uint32) { binary.Write(cw, le, v) }
-	wU64 := func(v uint64) { binary.Write(cw, le, v) }
-	wI64 := func(v int64) { binary.Write(cw, le, v) }
-	wF := func(v float64) { binary.Write(cw, le, v) }
-	wV := func(v vec.V3) { wF(v.X); wF(v.Y); wF(v.Z) }
-	wBox := func(b box.Box) {
-		wV(b.Lo)
-		wV(b.Hi)
-		for d := 0; d < 3; d++ {
-			p := uint32(0)
-			if b.Periodic[d] {
-				p = 1
-			}
-			wU32(p)
-		}
-	}
-	// endSection seals the bytes since the previous seal with their
-	// CRC32. The CRC bytes themselves feed the whole-file hash (the
-	// reader accumulates them identically), then the section hash resets.
-	endSection := func() {
-		if version < 2 {
-			return
-		}
-		sum := cw.sect.Sum32()
-		wU32(sum)
-		cw.sect.Reset()
-	}
-
-	wU32(ckptMagic)
-	wU32(version)
-	wI64(ck.Step)
-	wU32(uint32(ck.Ranks))
+	e := newCkptEncoder(bw, version)
+	e.u32(ckptMagic)
+	e.u32(version)
+	e.i64(ck.Step)
+	e.u32(uint32(ck.Ranks))
 	for d := 0; d < 3; d++ {
-		wU32(uint32(ck.Grid[d]))
+		e.u32(uint32(ck.Grid[d]))
 	}
-	wBox(ck.Box)
-	wBox(ck.SetupBox)
-	wF(ck.Q2Setup)
-	endSection() // header CRC
+	e.box(ck.Box)
+	e.box(ck.SetupBox)
+	e.f(ck.Q2Setup)
+	e.endSection() // header CRC
 	for r := range ck.PerRank {
-		rk := &ck.PerRank[r]
-		wI64(int64(len(rk.Atoms)))
-		for _, a := range rk.Atoms {
-			wI64(a.Tag)
-			wU32(uint32(a.Type))
-			wU32(uint32(a.Mol))
-			wV(a.Pos)
-			wV(a.Vel)
-			wF(a.Charge)
-			wU32(uint32(len(a.Special)))
-			for _, s := range a.Special {
-				wI64(s.Tag)
-				wU32(uint32(s.Kind))
-			}
-			wU32(uint32(len(a.Bonds)))
-			for _, b := range a.Bonds {
-				wU32(uint32(b.Type))
-				wI64(b.Partner)
-			}
-			wU32(uint32(len(a.Angles)))
-			for _, an := range a.Angles {
-				wU32(uint32(an.Type))
-				wI64(an.A)
-				wI64(an.C)
-			}
-			wU32(uint32(len(a.Dihedrals)))
-			for _, d := range a.Dihedrals {
-				wU32(uint32(d.Type))
-				wI64(d.A)
-				wI64(d.C)
-				wI64(d.D)
-			}
-		}
-		for _, f := range rk.Force {
-			wV(f)
-		}
-		wF(rk.LastPE)
-		wF(rk.LastVirial)
-		for _, s := range rk.RNG.S {
-			wU64(s)
-		}
-		wF(rk.RNG.Gauss)
-		hg := uint32(0)
-		if rk.RNG.HasGauss {
-			hg = 1
-		}
-		wU32(hg)
-		wU32(uint32(len(rk.FixState)))
-		for _, fs := range rk.FixState {
-			wU32(uint32(len(fs)))
-			for _, v := range fs {
-				wF(v)
-			}
-		}
-		wU32(uint32(len(rk.History)))
-		for _, h := range rk.History {
-			wI64(h.Owner)
-			wI64(h.Partner)
-			wV(h.Shear)
-		}
-		endSection() // rank section CRC
+		e.rank(&ck.PerRank[r])
 	}
 	if version >= 2 {
-		// Footer: payload length + whole-file CRC over everything before
-		// it (section CRCs included). A truncated file loses the footer;
-		// a file truncated and then appended to misses the length check.
-		n := cw.n
-		sum := cw.file.Sum32()
-		wU32(ckptFooterMagic)
-		wU64(uint64(n))
-		wU32(sum)
+		e.footer()
 	}
 	return bw.Flush()
 }
@@ -586,196 +846,44 @@ func writeVersion(out io.Writer, ck *Checkpoint, version uint32) error {
 // verified section by section (CRC32) and against the footer; v1 files
 // are read without verification (they carry none).
 func Read(in io.Reader) (*Checkpoint, error) {
-	cr := &crcReader{r: bufio.NewReader(in), sect: crc32.NewIEEE(), file: crc32.NewIEEE()}
-	le := binary.LittleEndian
-	var err error
-	rU32 := func() uint32 {
-		var v uint32
-		if err == nil {
-			err = binary.Read(cr, le, &v)
+	d := newCkptDecoder(in, ckptV1)
+	if m := d.u32(); d.err != nil || m != ckptMagic {
+		if d.err == nil {
+			d.err = fmt.Errorf("ckpt: bad magic %#x", m)
 		}
-		return v
+		return nil, d.err
 	}
-	rU64 := func() uint64 {
-		var v uint64
-		if err == nil {
-			err = binary.Read(cr, le, &v)
+	if v := d.u32(); d.err != nil || (v != ckptV1 && v != ckptVersion) {
+		if d.err == nil {
+			d.err = fmt.Errorf("ckpt: unsupported version %d", v)
 		}
-		return v
-	}
-	rI64 := func() int64 {
-		var v int64
-		if err == nil {
-			err = binary.Read(cr, le, &v)
-		}
-		return v
-	}
-	rF := func() float64 {
-		var v float64
-		if err == nil {
-			err = binary.Read(cr, le, &v)
-		}
-		return v
-	}
-	rV := func() vec.V3 { return vec.New(rF(), rF(), rF()) }
-	rBox := func() box.Box {
-		var b box.Box
-		b.Lo = rV()
-		b.Hi = rV()
-		for d := 0; d < 3; d++ {
-			b.Periodic[d] = rU32() == 1
-		}
-		return b
-	}
-	version := uint32(ckptV1)
-	// endSection checks the stored section CRC against the bytes read
-	// since the previous seal (the computed sum must be captured before
-	// the stored one is consumed).
-	endSection := func(what string) {
-		if version < 2 || err != nil {
-			return
-		}
-		computed := cr.sect.Sum32()
-		stored := rU32()
-		cr.sect.Reset()
-		if err == nil && stored != computed {
-			err = &IntegrityError{Section: what, Detail: fmt.Sprintf(
-				"CRC mismatch (stored %#08x, computed %#08x)", stored, computed)}
-		}
-	}
-
-	if m := rU32(); err != nil || m != ckptMagic {
-		if err == nil {
-			err = fmt.Errorf("ckpt: bad magic %#x", m)
-		}
-		return nil, err
-	}
-	if v := rU32(); err != nil || (v != ckptV1 && v != ckptVersion) {
-		if err == nil {
-			err = fmt.Errorf("ckpt: unsupported version %d", v)
-		}
-		return nil, err
-	} else if err == nil {
-		version = v
+		return nil, d.err
+	} else {
+		d.version = v
 	}
 	ck := &Checkpoint{}
-	ck.Step = rI64()
-	ck.Ranks = int(rU32())
-	for d := 0; d < 3; d++ {
-		ck.Grid[d] = int(rU32())
+	ck.Step = d.i64()
+	ck.Ranks = int(d.u32())
+	for i := 0; i < 3; i++ {
+		ck.Grid[i] = int(d.u32())
 	}
-	ck.Box = rBox()
-	ck.SetupBox = rBox()
-	ck.Q2Setup = rF()
-	endSection("header")
-	if err != nil {
-		return nil, err
+	ck.Box = d.box()
+	ck.SetupBox = d.box()
+	ck.Q2Setup = d.f()
+	d.endSection("header")
+	if d.err != nil {
+		return nil, d.err
 	}
 	if ck.Ranks < 1 || ck.Ranks > 1<<16 {
 		return nil, fmt.Errorf("ckpt: implausible rank count %d", ck.Ranks)
 	}
 	ck.PerRank = make([]Rank, ck.Ranks)
-	for r := 0; r < ck.Ranks && err == nil; r++ {
-		rk := &ck.PerRank[r]
-		n := rI64()
-		if err != nil {
-			break
-		}
-		if n < 0 || n > 1<<31 {
-			return nil, fmt.Errorf("ckpt: implausible atom count %d on rank %d", n, r)
-		}
-		rk.Atoms = make([]atom.Atom, 0, n)
-		for i := int64(0); i < n && err == nil; i++ {
-			var a atom.Atom
-			a.Tag = rI64()
-			a.Type = int32(rU32())
-			a.Mol = int32(rU32())
-			a.Pos = rV()
-			a.Vel = rV()
-			a.Charge = rF()
-			ns := rU32()
-			for k := uint32(0); k < ns && err == nil; k++ {
-				a.Special = append(a.Special, atom.SpecialRef{
-					Tag: rI64(), Kind: atom.SpecialKind(rU32()),
-				})
-			}
-			nb := rU32()
-			for k := uint32(0); k < nb && err == nil; k++ {
-				a.Bonds = append(a.Bonds, atom.BondRef{
-					Type: int32(rU32()), Partner: rI64(),
-				})
-			}
-			na := rU32()
-			for k := uint32(0); k < na && err == nil; k++ {
-				a.Angles = append(a.Angles, atom.AngleRef{
-					Type: int32(rU32()), A: rI64(), C: rI64(),
-				})
-			}
-			nd := rU32()
-			for k := uint32(0); k < nd && err == nil; k++ {
-				a.Dihedrals = append(a.Dihedrals, atom.DihedralRef{
-					Type: int32(rU32()), A: rI64(), C: rI64(), D: rI64(),
-				})
-			}
-			rk.Atoms = append(rk.Atoms, a)
-		}
-		rk.Force = make([]vec.V3, len(rk.Atoms))
-		for i := range rk.Force {
-			rk.Force[i] = rV()
-		}
-		rk.LastPE = rF()
-		rk.LastVirial = rF()
-		for i := range rk.RNG.S {
-			rk.RNG.S[i] = rU64()
-		}
-		rk.RNG.Gauss = rF()
-		rk.RNG.HasGauss = rU32() == 1
-		nfs := rU32()
-		for k := uint32(0); k < nfs && err == nil; k++ {
-			m := rU32()
-			fs := make([]float64, m)
-			for j := range fs {
-				fs[j] = rF()
-			}
-			rk.FixState = append(rk.FixState, fs)
-		}
-		nh := rU32()
-		for k := uint32(0); k < nh && err == nil; k++ {
-			rk.History = append(rk.History, HistoryEntry{
-				Owner: rI64(), Partner: rI64(), Shear: rV(),
-			})
-		}
-		endSection(fmt.Sprintf("rank %d", r))
+	for r := 0; r < ck.Ranks && d.err == nil; r++ {
+		d.rank(&ck.PerRank[r], fmt.Sprintf("rank %d", r))
 	}
-	if version >= 2 && err == nil {
-		// Footer: the payload length and whole-file CRC must match what
-		// was just read. Capture the computed values before consuming the
-		// stored ones (the reads advance the hashes).
-		computedN := cr.n
-		computedSum := cr.file.Sum32()
-		fm := rU32()
-		storedN := rU64()
-		storedSum := rU32()
-		switch {
-		case err != nil:
-			// fall through to the truncation wrap below
-		case fm != ckptFooterMagic:
-			err = &IntegrityError{Section: "footer", Detail: fmt.Sprintf(
-				"bad footer magic %#08x (file truncated or overwritten mid-write)", fm)}
-		case int64(storedN) != computedN:
-			err = &IntegrityError{Section: "footer", Detail: fmt.Sprintf(
-				"payload length %d, footer declares %d", computedN, storedN)}
-		case storedSum != computedSum:
-			err = &IntegrityError{Section: "footer", Detail: fmt.Sprintf(
-				"file CRC mismatch (stored %#08x, computed %#08x)", storedSum, computedSum)}
-		}
-	}
-	if err != nil {
-		var ie *IntegrityError
-		if errors.As(err, &ie) {
-			return nil, err
-		}
-		return nil, fmt.Errorf("ckpt: truncated checkpoint: %w", err)
+	d.footer()
+	if err := d.finish(); err != nil {
+		return nil, err
 	}
 	return ck, nil
 }

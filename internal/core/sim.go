@@ -737,6 +737,12 @@ func (s *Simulation) Workers() int { return s.pool.Workers() }
 // Rank returns this simulation's rank index (0 in serial runs).
 func (s *Simulation) Rank() int { return s.backend.Rank() }
 
+// Backend exposes the simulation's communication backend. Cross-layer
+// consumers (the sharded checkpoint writer) type-assert optional
+// capabilities on it — e.g. access to the underlying mpi communicator —
+// without core importing the packages that implement them.
+func (s *Simulation) Backend() Backend { return s.backend }
+
 // Close releases the intra-rank worker pool's goroutines. The simulation
 // must be idle; Run must not be called afterwards. Safe on 1-worker
 // simulations (which hold no goroutines) and safe to call twice.

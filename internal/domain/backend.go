@@ -64,6 +64,12 @@ func (b *Backend) ParkHung(s *core.Simulation) {
 	b.comm.ParkInjectedHang()
 }
 
+// Comm exposes the rank's communicator. The sharded checkpoint writer
+// (internal/ckpt) reaches it through core.Simulation.Backend() with an
+// interface assertion — ckpt cannot import this package (domain imports
+// ckpt), so the capability is structural rather than nominal.
+func (b *Backend) Comm() *mpi.Comm { return b.comm }
+
 // neighborRank returns the rank one step along dim in direction dir
 // (0:+, 1:-), or -1 at a non-periodic boundary.
 func (b *Backend) neighborRank(s *core.Simulation, dim, dir int) int {

@@ -54,7 +54,12 @@ func Restore(factory Factory, ck *ckpt.Checkpoint) (*Engine, error) {
 	}
 
 	if cfg.Fault != nil {
+		// Same wiring as NewOnWorld: step-addressed faults must not match
+		// this world's construction-time traffic against steps published
+		// by the failed attempt.
+		cfg.Fault.ResetSteps()
 		world.SetFaultHook(cfg.Fault)
+		world.SetWireFaultHook(cfg.Fault)
 	}
 
 	if err := world.Parallel(func(c *mpi.Comm) {
@@ -78,6 +83,122 @@ func Restore(factory Factory, ck *ckpt.Checkpoint) (*Engine, error) {
 		rs.RNG = rk.RNG
 		rs.FixState = rk.FixState
 		s, err := core.NewRestored(cfgs[r], stores[r], be, rs)
+		if err != nil {
+			panic(err)
+		}
+		ckpt.ApplyHistory(s, rk.History)
+		if err := s.PrimeRestored(rk.Force, rk.LastPE, rk.LastVirial); err != nil {
+			panic(err)
+		}
+		e.Sims[r] = s
+	}); err != nil {
+		e.Close()
+		return nil, err
+	}
+	return e, nil
+}
+
+// RestoreOnWorld rebuilds a decomposed engine over an existing
+// (possibly process-spanning) world from a sharded checkpoint
+// generation: the multi-process counterpart of Restore. ss must hold
+// snapshots for every rank in world.LocalRanks() (ckpt.
+// ReadNewestValidManifest loads exactly that set). Shards are keyed by
+// rank, not by process, so a re-rendezvoused world may place ranks on
+// different processes than the run that wrote the generation and still
+// continue the trajectory bit-exactly. Every process must restore the
+// same generation — the first collective cross-checks the step and
+// panics into the world's abort path (a recoverable *mpi.RankError) on
+// a mismatch. The engine takes ownership of the world.
+func RestoreOnWorld(factory Factory, world *mpi.World, ss *ckpt.ShardSet) (*Engine, error) {
+	nranks := world.Size
+	if ss.WorldSize != nranks {
+		world.Close()
+		return nil, fmt.Errorf("domain: shard set is for a %d-rank world; this world has %d ranks (re-decomposition is not supported)", ss.WorldSize, nranks)
+	}
+	grid := ss.Grid
+	if g := grid[0] * grid[1] * grid[2]; g != nranks {
+		world.Close()
+		return nil, fmt.Errorf("domain: shard-set grid %v does not cover %d ranks", grid, nranks)
+	}
+	local := world.LocalRanks()
+	for _, r := range local {
+		if ss.Ranks[r] == nil {
+			world.Close()
+			return nil, fmt.Errorf("domain: shard set has no snapshot for local rank %d", r)
+		}
+	}
+
+	cfg, _, err := factory()
+	if err != nil {
+		world.Close()
+		return nil, err
+	}
+
+	e := &Engine{World: world, Sims: make([]*core.Simulation, nranks), Grid: grid, nglobal: int(ss.NGlobal)}
+
+	// Per-rank configs need fresh style instances for the ranks this
+	// process hosts, with the same seed decorrelation as NewOnWorld.
+	cfgs := make([]core.Config, nranks)
+	cfgs[local[0]] = cfg
+	for _, r := range local[1:] {
+		c2, _, err := factory()
+		if err != nil {
+			world.Close()
+			return nil, err
+		}
+		cfgs[r] = c2
+	}
+	for _, r := range local {
+		cfgs[r].Seed = cfg.Seed + uint64(r)*0x9e3779b9
+	}
+
+	if cfg.Fault != nil {
+		// Same wiring as NewOnWorld: step-addressed faults must not match
+		// this world's construction-time traffic against steps published
+		// by the failed attempt.
+		cfg.Fault.ResetSteps()
+		world.SetFaultHook(cfg.Fault)
+		world.SetWireFaultHook(cfg.Fault)
+	}
+
+	if err := world.Parallel(func(c *mpi.Comm) {
+		r := c.Rank()
+		if tr := cfgs[r].Trace; tr != nil {
+			c.SetSpan(tr.Rank(r))
+		}
+		// Generation agreement: every process scanned its own disk for
+		// the newest complete generation; the commit protocol orders the
+		// manifest before any restart rendezvous, but a divergent scan
+		// (operator deleted files on one host) must fail loudly, not
+		// integrate mismatched states.
+		if max := int64(c.AllreduceMax(float64(ss.Step))); max != ss.Step {
+			panic(fmt.Errorf("domain: checkpoint generation mismatch: this process restores step %d, a peer restores step %d", ss.Step, max))
+		}
+		be := &Backend{
+			comm: c,
+			grid: grid,
+			// Rank linearization is x-fastest: r = cx + gx*(cy + gy*cz).
+			coord: [3]int{
+				r % grid[0],
+				(r / grid[0]) % grid[1],
+				r / (grid[0] * grid[1]),
+			},
+			nglobal: int(ss.NGlobal),
+		}
+		rk := ss.Ranks[r]
+		st := atom.New(len(rk.Atoms))
+		for _, a := range rk.Atoms {
+			st.Add(a)
+		}
+		rs := &core.RestoreState{
+			Step:     ss.Step,
+			Box:      ss.Box,
+			SetupBox: ss.SetupBox,
+			Q2Setup:  ss.Q2Setup,
+			RNG:      rk.RNG,
+			FixState: rk.FixState,
+		}
+		s, err := core.NewRestored(cfgs[r], st, be, rs)
 		if err != nil {
 			panic(err)
 		}

@@ -24,6 +24,14 @@
 //     it is written (cut bytes off the end, or XOR one byte), which the
 //     GMCK v2 CRC layer must reject on restore so the supervisor falls
 //     back to an older intact generation.
+//   - truncate-shard / flip-shard: the same damage aimed at a sharded
+//     checkpoint's GMCS shard file (multi-process runs), which the
+//     manifest's whole-file CRC must reject so the restore falls back
+//     to an older complete generation.
+//   - kill-commit: panic on a given rank during a given checkpoint
+//     step's commit window — after its process' shard is durable but
+//     before the vote reaches rank 0 — so the generation is left torn
+//     (shards on disk, no manifest) and the restore must ignore it.
 //   - corrupt-wire: XOR one byte of an encoded TCP frame matching a
 //     (source rank, tag, step) address, after its CRC has been computed,
 //     so the receiving process must diagnose a crc-mismatch and abort
@@ -126,14 +134,16 @@ type ckptSpec struct {
 // rank of a run — and by every restart attempt of a supervised run, so
 // one-shot faults stay one-shot across recoveries.
 type Injector struct {
-	seed  uint64
-	kills []*killSpec
-	nans  []*nanSpec
-	msgs  []*msgSpec
-	hangs []*hangSpec
-	ckpts []*ckptSpec
-	wires []*wireSpec
-	steps [maxRanks]atomic.Int64
+	seed    uint64
+	kills   []*killSpec
+	nans    []*nanSpec
+	msgs    []*msgSpec
+	hangs   []*hangSpec
+	ckpts   []*ckptSpec
+	shards  []*ckptSpec // truncate-shard / flip-shard (same spec shape)
+	commits []*killSpec // kill-commit (same spec shape)
+	wires   []*wireSpec
+	steps   [maxRanks]atomic.Int64
 }
 
 // New returns an empty injector with the given seed (used for any
@@ -269,8 +279,26 @@ func Parse(spec string, seed uint64) (*Injector, error) {
 			in.ckpts = append(in.ckpts, &ckptSpec{
 				flip: true, step: get("step", -1), offset: get("offset", -1), bytes: -1,
 			})
+		case "truncate-shard":
+			in.shards = append(in.shards, &ckptSpec{
+				step: get("step", -1), bytes: get("bytes", -1), offset: -1,
+			})
+		case "flip-shard":
+			in.shards = append(in.shards, &ckptSpec{
+				flip: true, step: get("step", -1), offset: get("offset", -1), bytes: -1,
+			})
+		case "kill-commit":
+			r, err := need("rank")
+			if err != nil {
+				return nil, err
+			}
+			s, err := need("step")
+			if err != nil {
+				return nil, err
+			}
+			in.commits = append(in.commits, &killSpec{rank: int(r), step: s})
 		default:
-			return nil, fmt.Errorf("fault: unknown kind %q (want kill, nan, delay, reorder, hang, corrupt-wire, truncate-ckpt, flip-ckpt)", kind)
+			return nil, fmt.Errorf("fault: unknown kind %q (want kill, nan, delay, reorder, hang, corrupt-wire, truncate-ckpt, flip-ckpt, truncate-shard, flip-shard, kill-commit)", kind)
 		}
 		for k := range kv {
 			return nil, fmt.Errorf("fault: unknown key %q for %s fault in %q", k, kind, part)
@@ -323,7 +351,40 @@ func (in *Injector) CorruptCheckpoint(step int64, path string) {
 	if in == nil {
 		return
 	}
-	for _, c := range in.ckpts {
+	in.corruptFile(in.ckpts, step, path)
+}
+
+// CorruptShard is CorruptCheckpoint for sharded checkpoints: installed
+// as the ckpt.ShardWriter's corruptor, it runs after each shard file's
+// atomic write — after the write-time CRC that the commit records in
+// the manifest, so the restore-side whole-file verification must catch
+// the damage.
+func (in *Injector) CorruptShard(step int64, path string) {
+	if in == nil {
+		return
+	}
+	in.corruptFile(in.shards, step, path)
+}
+
+// KillDuringCommit fires any armed kill-commit fault addressing
+// (rank, step), panicking with *Killed one-shot. Installed as the
+// ckpt.ShardWriter's kill-commit hook, it runs in the commit window
+// between local shard durability and the vote send.
+func (in *Injector) KillDuringCommit(rank int, step int64) {
+	if in == nil {
+		return
+	}
+	for _, k := range in.commits {
+		if k.rank == rank && k.step == step && k.fired.CompareAndSwap(false, true) {
+			panic(&Killed{Rank: rank, Step: step})
+		}
+	}
+}
+
+// corruptFile applies the first armed spec matching step to the file
+// at path (flip XORs one byte, truncate cuts bytes off the end).
+func (in *Injector) corruptFile(specs []*ckptSpec, step int64, path string) {
+	for _, c := range specs {
 		if c.step >= 0 && c.step != step {
 			continue
 		}
@@ -464,5 +525,5 @@ func (in *Injector) OnFrame(src, dst, tag int, frame []byte) {
 func (in *Injector) Active() bool {
 	return in != nil && (len(in.kills) > 0 || len(in.nans) > 0 ||
 		len(in.msgs) > 0 || len(in.hangs) > 0 || len(in.ckpts) > 0 ||
-		len(in.wires) > 0)
+		len(in.shards) > 0 || len(in.commits) > 0 || len(in.wires) > 0)
 }

@@ -20,13 +20,19 @@ import (
 )
 
 // ErrRestarted reports that a recovery rebuilt the engine from scratch
-// on a fresh world (WorldBuilder mode). It is a control signal, not a
-// failure: the supervisor cannot re-advance internally, because every
-// process of a spanning world must replay the same collective schedule
-// — and only the caller's main loop knows it. On ErrRestarted, reread
-// Step() (now 0) and replay the program's own chunk/thermo schedule;
-// every process does the same, so the replays stay synchronized no
-// matter where in its local program each process was interrupted.
+// on a fresh world (WorldBuilder mode, no checkpoint generation to
+// restore). It is a control signal, not a failure: the supervisor
+// cannot re-advance internally, because every process of a spanning
+// world must replay the same collective schedule — and only the
+// caller's main loop knows it. On ErrRestarted, reread Step() (now 0)
+// and replay the program's own chunk/thermo schedule; every process
+// does the same, so the replays stay synchronized no matter where in
+// its local program each process was interrupted. A recovery that
+// restored a sharded checkpoint generation does NOT return
+// ErrRestarted: the supervisor re-advances to the interrupted call's
+// own target internally, which stays aligned across processes because
+// every process restored the same generation and replays the same
+// remaining steps.
 var ErrRestarted = errors.New("harness: engine restarted from scratch on a fresh world")
 
 // Supervisor runs a decomposed engine under fault tolerance: it wires
@@ -53,10 +59,15 @@ type Supervisor struct {
 	// every engine build instead of the default in-process channel world
 	// — the hook a process-spanning (TCP) deployment uses. Each build
 	// attempt calls it afresh, so a recovery re-runs the rendezvous and
-	// gets a clean socket mesh. Incompatible with checkpointing and
-	// RestartPath: checkpoint assembly needs every rank's share in one
-	// process, so multi-process worlds recover from scratch (restarts
-	// are bit-exact either way, just more expensive).
+	// gets a clean socket mesh. Composes with CheckpointEvery/
+	// CheckpointPath: each process writes sharded GMCK snapshots of its
+	// local ranks (ckpt.ShardWriter's two-phase commit), and a recovery
+	// re-rendezvouses and restores every process from the newest
+	// complete generation — even when the new rendezvous assigns ranks
+	// to different processes, since shards are keyed by rank. Only
+	// RestartPath remains incompatible (it names a monolithic
+	// single-process file; sharded runs resume automatically from
+	// CheckpointPath's shard store).
 	WorldBuilder func() (*mpi.World, error)
 
 	// KeepCheckpoints retains that many checkpoint generations (default
@@ -100,18 +111,42 @@ type Supervisor struct {
 	FlightPath  string
 	FlightDepth int
 
-	eng      *domain.Engine
-	writer   *ckpt.Writer
-	monitor  *health.Monitor
-	flight   *obs.Flight
-	attempts int
+	eng         *domain.Engine
+	writer      *ckpt.Writer
+	shardWriter *ckpt.ShardWriter
+	monitor     *health.Monitor
+	flight      *obs.Flight
+	attempts    int
+	// lastRestore is the generation step the most recent sharded build
+	// restored from (-1 = built from scratch); meaningful only in
+	// sharded (WorldBuilder + checkpointing) mode.
+	lastRestore int64
+}
+
+// sharded reports whether the supervisor runs distributed (sharded)
+// checkpoints: a process-spanning world with checkpointing enabled.
+func (s *Supervisor) sharded() bool {
+	return s.WorldBuilder != nil && s.CheckpointEvery > 0 && s.CheckpointPath != ""
 }
 
 // wrapFactory injects the supervisor's checkpoint sink and health
 // monitor into the workload configs (no-op when neither is enabled).
 func (s *Supervisor) wrapFactory() domain.Factory {
 	var sink func(*core.Simulation) error
-	if s.CheckpointEvery > 0 && s.CheckpointPath != "" {
+	switch {
+	case s.sharded():
+		if s.shardWriter == nil {
+			s.shardWriter = ckpt.NewShardWriter(s.CheckpointPath, s.Ranks)
+			if s.KeepCheckpoints > 1 {
+				s.shardWriter.SetKeep(s.KeepCheckpoints)
+			}
+			if s.Fault != nil {
+				s.shardWriter.SetCorruptor(s.Fault.CorruptShard)
+				s.shardWriter.SetKillCommit(s.Fault.KillDuringCommit)
+			}
+		}
+		sink = s.shardWriter.Sink()
+	case s.CheckpointEvery > 0 && s.CheckpointPath != "" && s.WorldBuilder == nil:
 		if s.writer == nil {
 			s.writer = ckpt.NewWriter(s.CheckpointPath, s.Ranks)
 			if s.KeepCheckpoints > 1 {
@@ -150,11 +185,15 @@ func (s *Supervisor) wrapFactory() domain.Factory {
 	}
 }
 
-// Start builds the engine — fresh, or resumed from RestartPath.
+// Start builds the engine — fresh, resumed from RestartPath, or (in
+// sharded mode) resumed automatically from the newest complete shard
+// generation under CheckpointPath, which is how a re-launched process
+// rejoins an interrupted multi-process job.
 func (s *Supervisor) Start() error {
-	if s.WorldBuilder != nil && (s.RestartPath != "" || s.CheckpointEvery > 0) {
-		return errors.New("harness: WorldBuilder is incompatible with checkpoint/restart (multi-process worlds recover from scratch)")
+	if s.WorldBuilder != nil && s.RestartPath != "" {
+		return errors.New("harness: WorldBuilder is incompatible with RestartPath (sharded runs resume from CheckpointPath's shard store)")
 	}
+	s.lastRestore = -1
 	f := s.wrapFactory()
 	var (
 		eng *domain.Engine
@@ -289,10 +328,13 @@ func (s *Supervisor) recoverFrom(err error) error {
 	if rerr := s.rebuild(); rerr != nil {
 		return fmt.Errorf("harness: rebuilding after %v: %w", re, rerr)
 	}
-	if s.WorldBuilder != nil {
-		// The caller replays; see ErrRestarted. Re-advancing here would
-		// desynchronize the processes' collective schedules: each would
-		// replay from its own interruption point instead of the shared one.
+	if s.WorldBuilder != nil && s.lastRestore < 0 {
+		// Rebuilt from scratch on a fresh world: the caller replays; see
+		// ErrRestarted. Re-advancing here would desynchronize the
+		// processes' collective schedules: each would replay from its own
+		// interruption point instead of the shared one. A sharded restore
+		// returns nil instead — every process resumed the same generation,
+		// so the interrupted calls' own re-advances stay aligned.
 		return ErrRestarted
 	}
 	return nil
@@ -315,9 +357,13 @@ func (s *Supervisor) runOnce(n int) error {
 	return s.eng.Run(n)
 }
 
-// buildOnWorld builds a fresh engine on a world from WorldBuilder,
+// buildOnWorld builds an engine on a world from WorldBuilder,
 // validating that the rendezvous produced the size this supervisor was
-// configured for.
+// configured for. In sharded mode it restores from the newest complete
+// shard generation when one exists (rejections are logged; a store with
+// no complete generation builds from scratch) — the shard writer is
+// re-bound to the new world first, because a re-rendezvous may assign
+// different ranks to this process.
 func (s *Supervisor) buildOnWorld(f domain.Factory) (*domain.Engine, error) {
 	w, err := s.WorldBuilder()
 	if err != nil {
@@ -327,7 +373,61 @@ func (s *Supervisor) buildOnWorld(f domain.Factory) (*domain.Engine, error) {
 		w.Close()
 		return nil, fmt.Errorf("harness: WorldBuilder produced a %d-rank world, supervisor configured for %d", w.Size, s.Ranks)
 	}
-	return domain.NewOnWorld(f, w)
+	s.lastRestore = -1
+	if s.shardWriter == nil {
+		return domain.NewOnWorld(f, w)
+	}
+	s.shardWriter.Bind(w)
+	worldID := fmt.Sprintf("%016x", w.ID())
+	transport := w.Transport().Name()
+	ss, rejected, rerr := ckpt.ReadNewestValidManifest(ckpt.ShardDir(s.CheckpointPath), w.LocalRanks(), w.Size)
+	for _, ge := range rejected {
+		if s.Metrics != nil {
+			s.Metrics.Counter("recover.ckpt_rejected").Inc()
+		}
+		s.Trace.Log("checkpoint-verify", map[string]any{
+			"generation": ge.Gen,
+			"path":       ge.Path,
+			"ok":         false,
+			"error":      ge.Err.Error(),
+		})
+	}
+	if rerr == nil {
+		eng, err := domain.RestoreOnWorld(f, w, ss)
+		if err != nil {
+			return nil, err
+		}
+		s.lastRestore = ss.Step
+		s.shardWriter.SetGrid(eng.Grid)
+		s.Trace.Log("checkpoint-restore", map[string]any{
+			"generation": ss.Step,
+			"step":       ss.Step,
+			"transport":  transport,
+			"world_id":   worldID,
+			"attempt":    s.attempts,
+			"verified":   true,
+		})
+		return eng, nil
+	}
+	if !errors.Is(rerr, os.ErrNotExist) && len(rejected) == 0 {
+		w.Close()
+		return nil, rerr
+	}
+	// No complete generation yet (or every one rejected): scratch is
+	// the only remaining build.
+	eng, err := domain.NewOnWorld(f, w)
+	if err != nil {
+		return nil, err
+	}
+	s.shardWriter.SetGrid(eng.Grid)
+	s.Trace.Log("checkpoint-restore", map[string]any{
+		"generation": -1,
+		"scratch":    true,
+		"transport":  transport,
+		"world_id":   worldID,
+		"attempt":    s.attempts,
+	})
+	return eng, nil
 }
 
 // rebuild constructs a replacement engine from the newest checkpoint
@@ -337,16 +437,19 @@ func (s *Supervisor) buildOnWorld(f domain.Factory) (*domain.Engine, error) {
 func (s *Supervisor) rebuild() error {
 	f := s.wrapFactory()
 	if s.WorldBuilder != nil {
-		// Process-spanning worlds carry no checkpoints (see WorldBuilder):
-		// recovery re-runs the rendezvous and restarts from step 0.
+		// Recovery re-runs the rendezvous; in sharded mode buildOnWorld
+		// then restores from the newest complete generation (and logs the
+		// choice), otherwise the run restarts from step 0.
 		eng, err := s.buildOnWorld(f)
 		if err != nil {
 			return err
 		}
-		s.Trace.Log("checkpoint-restore", map[string]any{
-			"generation": -1,
-			"scratch":    true,
-		})
+		if s.shardWriter == nil {
+			s.Trace.Log("checkpoint-restore", map[string]any{
+				"generation": -1,
+				"scratch":    true,
+			})
+		}
 		s.eng = eng
 		return nil
 	}
@@ -418,6 +521,15 @@ func (s *Supervisor) recordRecovery(re *mpi.RankError) {
 		"attempt": s.attempts,
 		"cause":   fmt.Sprint(re.Cause),
 	}
+	if s.eng != nil {
+		// Which fabric failed matters for the post-mortem: the transport
+		// kind and the TCP world's rendezvous identity tie this recovery
+		// to the peers' logs of the same incident (the follow-up
+		// checkpoint-restore event carries the replacement world's id and
+		// the generation chosen).
+		payload["transport"] = s.eng.World.Transport().Name()
+		payload["world_id"] = fmt.Sprintf("%016x", s.eng.World.ID())
+	}
 	if s.flight != nil {
 		// Attach the flight-recorder tail: each recovery gets its own dump
 		// file (the final failure reuses the bare FlightPath), plus the
@@ -446,6 +558,11 @@ func (s *Supervisor) recordRecovery(re *mpi.RankError) {
 
 // Attempts returns how many recoveries have been performed.
 func (s *Supervisor) Attempts() int { return s.attempts }
+
+// LastRestore returns the generation step the most recent sharded
+// build restored from, or -1 when it built from scratch. Meaningful
+// only in sharded (WorldBuilder + checkpointing) mode.
+func (s *Supervisor) LastRestore() int64 { return s.lastRestore }
 
 // Flight exposes the run's flight recorder (nil unless FlightPath is
 // set and an engine was built).

@@ -234,6 +234,10 @@ func (w *Watchdog) fire(now time.Time, hung []int, stale []time.Duration) {
 // outside the messaging layer — not parked in any primitive, or parked
 // by an injected hang — is the root cause; ranks parked in real
 // Send/Recv/collectives are its victims (they are waiting on someone).
+// That includes ranks parked in "ckpt-commit" (the distributed
+// checkpoint's vote/release waits): a process that dies mid-commit
+// strands its peers there, and they must classify as victims so the
+// diagnosis points at the dead process, not the commit barrier.
 // Ties break toward the stalest rank.
 func culprit(hung []int, snaps []RankSnapshot, stale []time.Duration) int {
 	best, bestRoot := -1, false

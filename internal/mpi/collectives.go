@@ -37,7 +37,19 @@ const (
 	tagTreeMax    = -2 << 12 // AllreduceMax doubling rounds
 	tagBarrier    = -3 << 12 // dissemination barrier rounds
 	tagButterfly  = -4 << 12 // reduce-scatter + allgather rounds
+	tagCkpt       = -5 << 12 // distributed-checkpoint commit protocol
 	tagFoldOffset = 1 << 8   // pre/post fold exchanges within a base
+)
+
+// Distributed-checkpoint commit tags (internal/ckpt's two-phase commit
+// runs over ordinary Send/Recv on these reserved tags, so the commit
+// rides any transport and hang diagnoses classify a rank parked in it
+// as "ckpt-commit" rather than a bare send/recv).
+const (
+	// TagCkptVote carries one process' "shard durable" vote to rank 0.
+	TagCkptVote = tagCkpt
+	// TagCkptRelease is rank 0's release after the manifest is durable.
+	TagCkptRelease = tagCkpt - 1
 )
 
 // collectiveForTag classifies a tag into the collective call it belongs
@@ -54,8 +66,10 @@ func collectiveForTag(tag int) (string, bool) {
 		return "MPI_Allreduce", true
 	case tag > tagButterfly: // (tagButterfly, tagBarrier]: barrier rounds
 		return "MPI_Barrier", true
-	default: // butterfly reduce-scatter + allgather rounds
+	case tag > tagCkpt: // (tagCkpt, tagButterfly]: butterfly rounds
 		return "MPI_Allreduce", true
+	default: // the distributed-checkpoint commit band
+		return "ckpt-commit", true
 	}
 }
 

@@ -35,6 +35,11 @@ type WorldOptions struct {
 	// permanently dead). 0 selects the 2s default; negative waits
 	// forever (the historical behavior).
 	StragglerGrace time.Duration
+	// Rendezvous bounds every blocking step of the TCP rendezvous
+	// handshake (coordinator accepts, joiner dial retries, peer-table and
+	// ready/go exchanges, mesh wiring). 0 selects the 30s default. Only
+	// TCP worlds consult it; the channel transport has no rendezvous.
+	Rendezvous time.Duration
 }
 
 // defaultStragglerGrace bounds Parallel's post-abort wait for ranks that
@@ -159,6 +164,29 @@ func parkOpName(op parkOp, tag int) string {
 			return name
 		}
 		return "MPI_Wait"
+	}
+}
+
+// WaitCommitEvent parks the calling rank until done closes — the
+// local-durability wait of the distributed checkpoint commit
+// (internal/ckpt's sharded writer: every rank of a process blocks here
+// until the last local rank has fsynced the shard). The park is
+// abort-aware, so a sibling rank dying mid-checkpoint unwinds this rank
+// along the standard secondary path instead of leaking it, and the park
+// state reads "ckpt-commit" in SnapshotComm/hang diagnoses (the tag
+// falls in the reserved commit band).
+func (c *Comm) WaitCommitEvent(done <-chan struct{}) {
+	select {
+	case <-done:
+		return
+	default:
+	}
+	c.parkEnter(parkRecv, -1, TagCkptVote)
+	select {
+	case <-done:
+		c.parkExit()
+	case <-c.world.abort:
+		panic(abortPanic{c.world.abortErr})
 	}
 }
 

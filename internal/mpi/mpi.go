@@ -251,6 +251,19 @@ func (w *World) LocalRanks() []int { return w.local }
 // the transport conformance suite).
 func (w *World) Transport() Transport { return w.tr }
 
+// ID returns the world's rendezvous identity: the random 64-bit id the
+// coordinator minted for a TCP world (every frame carries it, so stray
+// dialers and stale peers are rejected), or 0 for in-process channel
+// worlds, which need none. Supervisors log it so recovery attempts in
+// different processes can be correlated post-hoc — two JSONL streams
+// naming the same world id rebuilt the same rendezvous.
+func (w *World) ID() uint64 {
+	if t, ok := w.tr.(*tcpTransport); ok {
+		return t.worldID
+	}
+	return 0
+}
+
 // Close releases the world's transport resources (sockets and pump
 // goroutines for TCP worlds; a no-op for channel worlds). Idempotent.
 // The world must not be used afterwards.

@@ -27,6 +27,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	mathrand "math/rand"
 	"net"
 	"runtime/debug"
 	"sort"
@@ -37,8 +38,41 @@ import (
 
 // rendezvousTimeout bounds every blocking step of the handshake (dial
 // retry, hello collection, mesh wiring, ready/go), so a missing peer
-// fails the launch with a diagnosis instead of hanging it.
+// fails the launch with a diagnosis instead of hanging it. Override per
+// world with WorldOptions.Rendezvous.
 const rendezvousTimeout = 30 * time.Second
+
+// rendezvous resolves the handshake deadline against the default.
+func (o WorldOptions) rendezvous() time.Duration {
+	if o.Rendezvous > 0 {
+		return o.Rendezvous
+	}
+	return rendezvousTimeout
+}
+
+// RendezvousError is a typed rendezvous failure: which phase of the
+// handshake broke (a peer died, never appeared, or spoke garbage)
+// before a world existed to abort. Callers distinguish it from
+// post-launch failures — there is no world to recover, only a
+// rendezvous to re-run.
+type RendezvousError struct {
+	// Phase names the handshake step that failed: "accept" (coordinator
+	// collecting hellos), "peers" (peer-table broadcast/await), "ready"
+	// (coordinator awaiting mesh confirmation), "go" (world release),
+	// "dial" (joiner reaching the coordinator), "mesh" (joiner-to-joiner
+	// wiring), "world-id" (entropy failure minting the id).
+	Phase string
+	// Err is the underlying failure.
+	Err error
+}
+
+// Error implements error.
+func (e *RendezvousError) Error() string {
+	return fmt.Sprintf("mpi: rendezvous %s: %v", e.Phase, e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *RendezvousError) Unwrap() error { return e.Err }
 
 // abortFlushTimeout bounds how long abort propagation waits on a full
 // wire queue before falling back to closing the connection (the peer
@@ -708,16 +742,16 @@ func decodePeersPayload(buf []byte) (size, selfProc int, table []procInfo, err e
 }
 
 // writeDeadlineFrame writes one frame under the rendezvous deadline.
-func writeDeadlineFrame(conn net.Conn, frame []byte) error {
-	conn.SetWriteDeadline(time.Now().Add(rendezvousTimeout))
+func writeDeadlineFrame(conn net.Conn, frame []byte, timeout time.Duration) error {
+	conn.SetWriteDeadline(time.Now().Add(timeout))
 	defer conn.SetWriteDeadline(time.Time{})
 	_, err := conn.Write(frame)
 	return err
 }
 
 // readDeadlineFrame reads one frame under the rendezvous deadline.
-func readDeadlineFrame(conn net.Conn, br *bufio.Reader, expectWorld uint64) (frameHeader, []byte, error) {
-	conn.SetReadDeadline(time.Now().Add(rendezvousTimeout))
+func readDeadlineFrame(conn net.Conn, br *bufio.Reader, expectWorld uint64, timeout time.Duration) (frameHeader, []byte, error) {
+	conn.SetReadDeadline(time.Now().Add(timeout))
 	defer conn.SetReadDeadline(time.Time{})
 	return readFrame(br, expectWorld)
 }
@@ -793,17 +827,19 @@ func (co *TCPCoordinator) Host(localRanks []int, opts WorldOptions) (*World, err
 		}
 		return nil, err
 	}
-	deadline := time.Now().Add(rendezvousTimeout)
+	rv := opts.rendezvous()
+	deadline := time.Now().Add(rv)
 	for remaining > 0 {
 		if dl, ok := co.ln.(*net.TCPListener); ok {
 			dl.SetDeadline(deadline)
 		}
 		conn, err := co.ln.Accept()
 		if err != nil {
-			return fail(fmt.Errorf("mpi: rendezvous: %d ranks never joined: %w", remaining, err))
+			return fail(&RendezvousError{Phase: "accept",
+				Err: fmt.Errorf("%d ranks never joined: %w", remaining, err)})
 		}
 		br := bufio.NewReader(conn)
-		h, payload, err := readDeadlineFrame(conn, br, 0)
+		h, payload, err := readDeadlineFrame(conn, br, 0, rv)
 		if err != nil || h.kind != frameHello {
 			conn.Close() // stray dialer; keep waiting for real joiners
 			continue
@@ -815,7 +851,7 @@ func (co *TCPCoordinator) Host(localRanks []int, opts WorldOptions) (*World, err
 		}
 		if err := claim(ranks, fmt.Sprintf("joiner %s", conn.RemoteAddr())); err != nil {
 			conn.Close()
-			return fail(err)
+			return fail(&RendezvousError{Phase: "accept", Err: err})
 		}
 		joiners = append(joiners, &joinerConn{conn: conn, br: br, ranks: ranks, addr: addr})
 		remaining -= len(ranks)
@@ -825,7 +861,7 @@ func (co *TCPCoordinator) Host(localRanks []int, opts WorldOptions) (*World, err
 	sort.Slice(joiners, func(i, j int) bool { return joiners[i].ranks[0] < joiners[j].ranks[0] })
 	var idBytes [8]byte
 	if _, err := rand.Read(idBytes[:]); err != nil {
-		return fail(fmt.Errorf("mpi: rendezvous: world id: %w", err))
+		return fail(&RendezvousError{Phase: "world-id", Err: err})
 	}
 	worldID := binary.LittleEndian.Uint64(idBytes[:]) | 1 // never the 0 wildcard
 
@@ -837,20 +873,28 @@ func (co *TCPCoordinator) Host(localRanks []int, opts WorldOptions) (*World, err
 	for i, j := range joiners {
 		frame := encodeFrame(frameHeader{kind: framePeers, world: worldID},
 			encodePeersPayload(co.size, i+1, table))
-		if err := writeDeadlineFrame(j.conn, frame); err != nil {
-			return fail(fmt.Errorf("mpi: rendezvous: peers to proc %d: %w", i+1, err))
+		if err := writeDeadlineFrame(j.conn, frame, rv); err != nil {
+			return fail(&RendezvousError{Phase: "peers",
+				Err: fmt.Errorf("peers to proc %d: %w", i+1, err)})
 		}
 	}
 	for i, j := range joiners {
-		h, _, err := readDeadlineFrame(j.conn, j.br, worldID)
+		h, _, err := readDeadlineFrame(j.conn, j.br, worldID, rv)
 		if err != nil || h.kind != frameReady {
-			return fail(fmt.Errorf("mpi: rendezvous: proc %d never became ready: %v", i+1, err))
+			// The classic mid-handshake death: a joiner that said hello and
+			// then died (EOF) or wedged (deadline) before confirming its mesh.
+			if err == nil {
+				err = fmt.Errorf("frame kind %d instead of ready", h.kind)
+			}
+			return fail(&RendezvousError{Phase: "ready",
+				Err: fmt.Errorf("proc %d never became ready: %w", i+1, err)})
 		}
 	}
 	goFrame := encodeFrame(frameHeader{kind: frameGo, world: worldID}, nil)
 	for i, j := range joiners {
-		if err := writeDeadlineFrame(j.conn, goFrame); err != nil {
-			return fail(fmt.Errorf("mpi: rendezvous: go to proc %d: %w", i+1, err))
+		if err := writeDeadlineFrame(j.conn, goFrame, rv); err != nil {
+			return fail(&RendezvousError{Phase: "go",
+				Err: fmt.Errorf("go to proc %d: %w", i+1, err)})
 		}
 	}
 
@@ -869,9 +913,10 @@ func JoinTCP(addr string, localRanks []int, opts WorldOptions) (*World, error) {
 	if len(localRanks) == 0 {
 		return nil, fmt.Errorf("mpi: joiner must host at least one rank")
 	}
-	conn, err := dialRetry(addr, rendezvousTimeout)
+	rv := opts.rendezvous()
+	conn, err := dialRetry(addr, rv)
 	if err != nil {
-		return nil, err
+		return nil, &RendezvousError{Phase: "dial", Err: err}
 	}
 	br := bufio.NewReader(conn)
 	fail := func(err error) (*World, error) {
@@ -892,15 +937,18 @@ func JoinTCP(addr string, localRanks []int, opts WorldOptions) (*World, error) {
 
 	hello := encodeFrame(frameHeader{kind: frameHello},
 		encodeHelloPayload(localRanks, meshLn.Addr().String()))
-	if err := writeDeadlineFrame(conn, hello); err != nil {
-		return fail(fmt.Errorf("mpi: rendezvous: hello: %w", err))
+	if err := writeDeadlineFrame(conn, hello, rv); err != nil {
+		return fail(&RendezvousError{Phase: "peers", Err: fmt.Errorf("hello: %w", err)})
 	}
-	h, payload, err := readDeadlineFrame(conn, br, 0)
+	h, payload, err := readDeadlineFrame(conn, br, 0, rv)
 	if err != nil {
-		return fail(fmt.Errorf("mpi: rendezvous: awaiting peers: %w", err))
+		// Coordinator died or timed out between our hello and the peer
+		// table — the joiner-side mirror of the coordinator's "ready" phase.
+		return fail(&RendezvousError{Phase: "peers", Err: fmt.Errorf("awaiting peers: %w", err)})
 	}
 	if h.kind != framePeers {
-		return fail(fmt.Errorf("mpi: rendezvous: unexpected frame kind %d awaiting peers", h.kind))
+		return fail(&RendezvousError{Phase: "peers",
+			Err: fmt.Errorf("unexpected frame kind %d awaiting peers", h.kind)})
 	}
 	worldID := h.world
 	size, selfProc, table, err := decodePeersPayload(payload)
@@ -916,24 +964,24 @@ func JoinTCP(addr string, localRanks []int, opts WorldOptions) (*World, error) {
 	go func() {
 		for i := 0; i < higher; i++ {
 			if dl, ok := meshLn.(*net.TCPListener); ok {
-				dl.SetDeadline(time.Now().Add(rendezvousTimeout))
+				dl.SetDeadline(time.Now().Add(rv))
 			}
 			mc, err := meshLn.Accept()
 			if err != nil {
-				acceptErr <- fmt.Errorf("mpi: rendezvous: mesh accept: %w", err)
+				acceptErr <- &RendezvousError{Phase: "mesh", Err: fmt.Errorf("mesh accept: %w", err)}
 				return
 			}
 			mbr := bufio.NewReader(mc)
-			mh, mpl, err := readDeadlineFrame(mc, mbr, worldID)
+			mh, mpl, err := readDeadlineFrame(mc, mbr, worldID, rv)
 			if err != nil || mh.kind != frameMeshHello || len(mpl) < 4 {
 				mc.Close()
-				acceptErr <- fmt.Errorf("mpi: rendezvous: bad mesh hello: %v", err)
+				acceptErr <- &RendezvousError{Phase: "mesh", Err: fmt.Errorf("bad mesh hello: %v", err)}
 				return
 			}
 			p := int(binary.LittleEndian.Uint32(mpl))
 			if p <= selfProc || p >= len(table) {
 				mc.Close()
-				acceptErr <- fmt.Errorf("mpi: rendezvous: mesh hello from unexpected proc %d", p)
+				acceptErr <- &RendezvousError{Phase: "mesh", Err: fmt.Errorf("mesh hello from unexpected proc %d", p)}
 				return
 			}
 			accepted <- newPeerLink(p, table[p].ranks, mc, mbr)
@@ -941,15 +989,15 @@ func JoinTCP(addr string, localRanks []int, opts WorldOptions) (*World, error) {
 		acceptErr <- nil
 	}()
 	for p := 1; p < selfProc; p++ {
-		mc, err := dialRetry(table[p].addr, rendezvousTimeout)
+		mc, err := dialRetry(table[p].addr, rv)
 		if err != nil {
-			return fail(fmt.Errorf("mpi: rendezvous: mesh dial proc %d: %w", p, err))
+			return fail(&RendezvousError{Phase: "mesh", Err: fmt.Errorf("mesh dial proc %d: %w", p, err)})
 		}
 		mhello := encodeFrame(frameHeader{kind: frameMeshHello, world: worldID},
 			binary.LittleEndian.AppendUint32(nil, uint32(selfProc)))
-		if err := writeDeadlineFrame(mc, mhello); err != nil {
+		if err := writeDeadlineFrame(mc, mhello, rv); err != nil {
 			mc.Close()
-			return fail(fmt.Errorf("mpi: rendezvous: mesh hello to proc %d: %w", p, err))
+			return fail(&RendezvousError{Phase: "mesh", Err: fmt.Errorf("mesh hello to proc %d: %w", p, err)})
 		}
 		links[p] = newPeerLink(p, table[p].ranks, mc, bufio.NewReader(mc))
 	}
@@ -962,12 +1010,15 @@ func JoinTCP(addr string, localRanks []int, opts WorldOptions) (*World, error) {
 	}
 
 	ready := encodeFrame(frameHeader{kind: frameReady, world: worldID}, nil)
-	if err := writeDeadlineFrame(conn, ready); err != nil {
-		return fail(fmt.Errorf("mpi: rendezvous: ready: %w", err))
+	if err := writeDeadlineFrame(conn, ready, rv); err != nil {
+		return fail(&RendezvousError{Phase: "ready", Err: err})
 	}
-	h, _, err = readDeadlineFrame(conn, br, worldID)
+	h, _, err = readDeadlineFrame(conn, br, worldID, rv)
 	if err != nil || h.kind != frameGo {
-		return fail(fmt.Errorf("mpi: rendezvous: awaiting go: %v", err))
+		if err == nil {
+			err = fmt.Errorf("frame kind %d instead of go", h.kind)
+		}
+		return fail(&RendezvousError{Phase: "go", Err: fmt.Errorf("awaiting go: %w", err)})
 	}
 	links[0] = newPeerLink(0, table[0].ranks, conn, br)
 	return launchWorld(size, localRanks, opts, worldID, selfProc, table, links), nil
@@ -1002,19 +1053,34 @@ func launchWorld(size int, localRanks []int, opts WorldOptions, worldID uint64, 
 
 // dialRetry dials addr until it answers or the budget lapses (the
 // coordinator may not be listening yet when a joiner launches).
+// Backoff between attempts doubles from 10ms up to a 250ms cap with
+// full jitter, so a herd of joiners restarted together (a supervised
+// recovery re-running the rendezvous on every process at once) does
+// not hammer the coordinator in lockstep the way the old fixed 50ms
+// spin did. Trajectory bits never depend on rendezvous timing, so the
+// mathrand draws here are free.
 func dialRetry(addr string, budget time.Duration) (net.Conn, error) {
 	deadline := time.Now().Add(budget)
+	backoff := 10 * time.Millisecond
+	const backoffCap = 250 * time.Millisecond
 	var lastErr error
 	for {
 		remain := time.Until(deadline)
 		if remain <= 0 {
-			return nil, fmt.Errorf("mpi: rendezvous: dial %s: %w", addr, lastErr)
+			return nil, fmt.Errorf("dial %s: %w", addr, lastErr)
 		}
 		conn, err := net.DialTimeout("tcp", addr, remain)
 		if err == nil {
 			return conn, nil
 		}
 		lastErr = err
-		time.Sleep(50 * time.Millisecond)
+		sleep := time.Duration(mathrand.Int63n(int64(backoff) + 1))
+		if sleep > remain {
+			sleep = remain
+		}
+		time.Sleep(sleep)
+		if backoff < backoffCap {
+			backoff *= 2
+		}
 	}
 }
