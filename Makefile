@@ -2,7 +2,7 @@
 # the race detector (the observability layer's multi-rank tests record
 # spans from every rank goroutine, so the race run is part of the bar),
 # then an end-to-end mdbench smoke campaign.
-.PHONY: all build vet test race bench bench-smoke bench-gate sweep-smoke faults soak transport-check check
+.PHONY: all build vet test race bench bench-smoke bench-gate sweep-smoke serve-smoke faults soak transport-check check
 
 all: check
 
@@ -64,6 +64,13 @@ sweep-smoke:
 	@test -s /tmp/gomd-sweep-smoke.json || \
 		{ echo "sweep-smoke: empty campaign manifest" >&2; exit 1; }
 
+# Daemon smoke: boot cmd/mdserve on an ephemeral port, run one job
+# through the HTTP API to completion, scrape /metrics, then SIGTERM-
+# drain with a job running — the daemon must exit 0 with a parked
+# "running" record left in the journal for the next generation.
+serve-smoke:
+	sh scripts/serve_smoke.sh
+
 # Fault-tolerance suite under the race detector: abort protocol, fault
 # injector, guardrails, checkpoint bit-exactness, and supervised
 # recovery (including the 4-rank rhodopsin kill-and-resume scenario).
@@ -95,4 +102,4 @@ transport-check:
 	go test -race -run 'TestTransport|TestWire|TestFrame|TestTCP' \
 		./internal/mpi/ ./internal/harness/
 
-check: build vet test race bench-smoke bench-gate sweep-smoke faults soak transport-check
+check: build vet test race bench-smoke bench-gate sweep-smoke serve-smoke faults soak transport-check

@@ -198,7 +198,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "kbench: %v\n", err)
 			os.Exit(1)
 		}
-		defer ms.Close()
+		defer ms.ShutdownTimeout(2 * time.Second) // let in-flight scrapes finish
 		fmt.Fprintf(os.Stderr, "# metrics listening on http://%s/metrics\n", ms.Addr())
 	}
 

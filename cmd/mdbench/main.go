@@ -16,10 +16,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"gomd/internal/harness"
 	"gomd/internal/obs"
@@ -143,13 +146,14 @@ func main() {
 	if *metrOut != "" || *metrAddr != "" {
 		runner.Metrics = obs.NewRegistry()
 	}
+	var ms *obs.MetricsServer // nil-safe: Shutdown no-ops when unset
 	if *metrAddr != "" {
-		ms, err := obs.Serve(*metrAddr, runner.Metrics)
+		var err error
+		ms, err = obs.Serve(*metrAddr, runner.Metrics)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mdbench: %v\n", err)
 			os.Exit(1)
 		}
-		defer ms.Close()
 		fmt.Fprintf(os.Stderr, "# metrics listening on http://%s/metrics\n", ms.Addr())
 	}
 	var logFile *os.File
@@ -197,7 +201,52 @@ func main() {
 		csv = f
 	}
 
+	// flush closes every output, loudly — shared between the normal end
+	// of the campaign and a signal-interrupted exit, so an interrupt
+	// never leaves a silently truncated CSV or data log behind.
+	flush := func() {
+		if csv != nil {
+			if err := csv.Close(); err != nil {
+				csvFail(err)
+			}
+			csv = nil
+		}
+		if err := ms.ShutdownTimeout(2 * time.Second); err != nil {
+			fmt.Fprintf(os.Stderr, "mdbench: metrics shutdown: %v\n", err)
+		}
+		// Surface a data-log write failure (the log is auxiliary, so it
+		// must not abort runs, but silent loss would poison analysis).
+		if err := obs.WriteFiles(runner.SpanTrace, runner.Metrics, *traceOut, *metrOut); err != nil {
+			fmt.Fprintf(os.Stderr, "mdbench: %v\n", err)
+			os.Exit(1)
+		}
+		logErr := runner.Trace.Err()
+		if logErr == nil && logFile != nil {
+			logErr = logFile.Close()
+		}
+		if logErr != nil {
+			if *strict {
+				fmt.Fprintf(os.Stderr, "mdbench: data log incomplete: %v\n", logErr)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "mdbench: warning: data log incomplete: %v\n", logErr)
+		}
+	}
+
+	// SIGINT/SIGTERM abort the campaign between experiments with outputs
+	// flushed; a second signal kills the process the default way.
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, os.Interrupt, syscall.SIGTERM)
+
 	for _, e := range selected {
+		select {
+		case s := <-sigC:
+			signal.Stop(sigC)
+			flush()
+			fmt.Fprintf(os.Stderr, "mdbench: %v: stopped before %s; partial outputs flushed\n", s, e.ID)
+			os.Exit(130)
+		default:
+		}
 		tables, err := e.Run(runner, params)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mdbench: %s: %v\n", e.ID, err)
@@ -219,28 +268,5 @@ func main() {
 			}
 		}
 	}
-	if csv != nil {
-		if err := csv.Close(); err != nil {
-			csvFail(err)
-		}
-	}
-
-	// Campaign end: flush observability outputs and surface a data-log
-	// write failure (the log is auxiliary, so it must not abort runs, but
-	// silent loss would poison later analysis).
-	if err := obs.WriteFiles(runner.SpanTrace, runner.Metrics, *traceOut, *metrOut); err != nil {
-		fmt.Fprintf(os.Stderr, "mdbench: %v\n", err)
-		os.Exit(1)
-	}
-	logErr := runner.Trace.Err()
-	if logErr == nil && logFile != nil {
-		logErr = logFile.Close()
-	}
-	if logErr != nil {
-		if *strict {
-			fmt.Fprintf(os.Stderr, "mdbench: data log incomplete: %v\n", logErr)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "mdbench: warning: data log incomplete: %v\n", logErr)
-	}
+	flush()
 }

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"gomd/internal/core"
 	"gomd/internal/harness"
@@ -84,7 +85,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mdprof: %v\n", err)
 			os.Exit(1)
 		}
-		defer ms.Close()
+		defer ms.ShutdownTimeout(2 * time.Second) // let in-flight scrapes finish
 		fmt.Fprintf(os.Stderr, "# metrics listening on http://%s/metrics\n", ms.Addr())
 	}
 	m, err := runner.Measure(harness.Spec{

@@ -62,6 +62,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"gomd/internal/atom"
@@ -148,13 +150,14 @@ func main() {
 	if *metrOut != "" || *metrAddr != "" {
 		metrics = obs.NewRegistry()
 	}
+	var ms *obs.MetricsServer // nil-safe: Shutdown no-ops when unset
 	if *metrAddr != "" {
-		ms, err := obs.Serve(*metrAddr, metrics)
+		var err error
+		ms, err = obs.Serve(*metrAddr, metrics)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mdrun: %v\n", err)
 			os.Exit(1)
 		}
-		defer ms.Close()
 		fmt.Fprintf(os.Stderr, "# metrics listening on http://%s/metrics\n", ms.Addr())
 	}
 	var dlog *trace.Logger // nil-safe: methods no-op when unset
@@ -168,6 +171,10 @@ func main() {
 		dlog = trace.New(lf)
 	}
 	writeObs := func() {
+		// Let in-flight scrapes finish before the process goes away.
+		if err := ms.ShutdownTimeout(2 * time.Second); err != nil {
+			fmt.Fprintf(os.Stderr, "mdrun: metrics shutdown: %v\n", err)
+		}
 		if err := obs.WriteFiles(tracer, metrics, *traceOut, *metrOut); err != nil {
 			fmt.Fprintf(os.Stderr, "mdrun: %v\n", err)
 			os.Exit(1)
@@ -175,6 +182,23 @@ func main() {
 		if err := dlog.Err(); err != nil {
 			fmt.Fprintf(os.Stderr, "mdrun: data log incomplete: %v\n", err)
 			os.Exit(1)
+		}
+	}
+
+	// SIGINT/SIGTERM stop the run at the next chunk boundary — after a
+	// final cadence checkpoint when -checkpoint-every is armed, so the
+	// interrupted trajectory is resumable. A second signal kills the
+	// process the default way.
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, os.Interrupt, syscall.SIGTERM)
+	interrupted := func() bool {
+		select {
+		case s := <-sigC:
+			signal.Stop(sigC)
+			fmt.Fprintf(os.Stderr, "# mdrun: %v: stopping gracefully (a second signal kills)\n", s)
+			return true
+		default:
+			return false
 		}
 	}
 
@@ -204,6 +228,7 @@ func main() {
 		if sim := interp.Sim(); sim != nil {
 			report(sim, time.Since(start), int(sim.Step))
 		}
+		writeObs()
 		return
 	}
 
@@ -280,20 +305,57 @@ func main() {
 		defer sim.Close()
 		fmt.Printf("# %s: %d atoms, serial, dt=%g (%s units)\n",
 			name, sim.Store.N, cfg.Dt, cfg.Units.Style)
-		if err := sim.RunChecked(*steps); err != nil {
-			if p := dumpFlight(fl, *flight); p != "" {
-				fmt.Fprintf(os.Stderr, "mdrun: %v (flight dump: %s)\n", err, p)
-			} else {
-				fmt.Fprintf(os.Stderr, "mdrun: %v\n", err)
+		// Chunked so signals land between chunks, with chunks ending on the
+		// absolute checkpoint grid (thermo grid when not checkpointing):
+		// an interrupted run stops right after a cadence checkpoint and
+		// stays resumable. Chunk boundaries do not perturb the trajectory —
+		// the engine steps one timestep at a time regardless.
+		first := int(sim.Step)
+		target := first + *steps
+		stride := *ckptEvery
+		if stride <= 0 {
+			stride = *thermo
+		}
+		if stride <= 0 {
+			stride = 100
+		}
+		stopped := false
+		for pos := first; pos < target; pos = int(sim.Step) {
+			chunk := stride - pos%stride
+			if pos+chunk > target {
+				chunk = target - pos
 			}
-			os.Exit(1)
+			if err := sim.RunChecked(chunk); err != nil {
+				if p := dumpFlight(fl, *flight); p != "" {
+					fmt.Fprintf(os.Stderr, "mdrun: %v (flight dump: %s)\n", err, p)
+				} else {
+					fmt.Fprintf(os.Stderr, "mdrun: %v\n", err)
+				}
+				os.Exit(1)
+			}
+			if int(sim.Step) < target && interrupted() {
+				stopped = true
+				break
+			}
 		}
 		sim.PublishObs(metrics)
 		dlog.Log("run", map[string]any{
 			"bench": string(name), "ranks": 1, "steps": *steps, "final_step": sim.Step,
+			"interrupted": stopped,
 		})
 		writeObs()
-		report(sim, time.Since(start), *steps)
+		report(sim, time.Since(start), int(sim.Step)-first)
+		if stopped {
+			msg := fmt.Sprintf("# mdrun: interrupted at step %d", sim.Step)
+			if *ckptEvery > 0 && sim.Step%int64(*ckptEvery) == 0 {
+				msg += fmt.Sprintf("; resume with -restart %s", *ckptPath)
+			}
+			if p := dumpFlight(fl, *flight); p != "" {
+				msg += fmt.Sprintf(" (flight dump: %s)", p)
+			}
+			fmt.Fprintln(os.Stderr, msg)
+			os.Exit(130)
+		}
 		return
 	}
 
@@ -366,6 +428,8 @@ func main() {
 	// reprinted on replay.
 	var printed int64 = -1
 	reported := 0
+	target := *steps
+	stopped := false
 	for {
 		// Report each recovery's restore point as it happens: a sharded
 		// rebuild resumes from a generation (Run re-advances internally),
@@ -379,12 +443,24 @@ func main() {
 			}
 		}
 		pos := int(sup.Step())
-		if pos >= *steps {
+		if !stopped && interrupted() {
+			stopped = true
+			// Drain to the next cadence checkpoint so the interrupted run
+			// resumes bit-exactly; without checkpointing, stop here.
+			if *ckptEvery > 0 {
+				if next := ((pos + *ckptEvery - 1) / *ckptEvery) * *ckptEvery; next < target {
+					target = next
+				}
+			} else {
+				target = pos
+			}
+		}
+		if pos >= target {
 			break
 		}
 		chunk := *thermo
-		if chunk <= 0 || pos+chunk > *steps {
-			chunk = *steps - pos
+		if chunk <= 0 || pos+chunk > target {
+			chunk = target - pos
 		}
 		if err := sup.Run(chunk); err != nil {
 			if errors.Is(err, harness.ErrRestarted) {
@@ -417,15 +493,32 @@ func main() {
 	if n := sup.Attempts(); n > 0 && chatty {
 		fmt.Printf("# recovered from %d rank failure(s)\n", n)
 	}
+	finalStep := sup.Step()
 	dlog.Log("run", map[string]any{
 		"bench": string(name), "ranks": *ranks, "steps": *steps,
-		"final_step": sup.Step(), "recoveries": sup.Attempts(),
+		"final_step": finalStep, "recoveries": sup.Attempts(),
+		"interrupted": stopped,
 	})
+	var flightDump string
+	if stopped {
+		flightDump = dumpFlight(sup.Flight(), *flight)
+	}
 	sup.Close()
 	writeObs()
 	if chatty {
 		fmt.Printf("# wall %.3fs  %.2f TS/s (host-machine rate, not the modeled platform)\n",
-			wall.Seconds(), float64(*steps)/wall.Seconds())
+			wall.Seconds(), float64(finalStep)/wall.Seconds())
+	}
+	if stopped {
+		msg := fmt.Sprintf("# mdrun: interrupted at step %d", finalStep)
+		if *ckptEvery > 0 && finalStep > 0 && finalStep%int64(*ckptEvery) == 0 {
+			msg += fmt.Sprintf("; checkpoint %s is current", *ckptPath)
+		}
+		if flightDump != "" {
+			msg += fmt.Sprintf(" (flight dump: %s)", flightDump)
+		}
+		fmt.Fprintln(os.Stderr, msg)
+		os.Exit(130)
 	}
 }
 

@@ -26,12 +26,15 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"gomd/internal/harness"
@@ -44,6 +47,10 @@ import (
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
+
+// errInterrupted marks a campaign aborted by SIGINT/SIGTERM: partial
+// outputs are flushed and the exit code is 130, not a failure report.
+var errInterrupted = errors.New("interrupted by signal")
 
 // parseInts parses a comma grid of integers ("1, 2,4"; empty tokens
 // ignored, so "1,,4" is [1 4]).
@@ -337,6 +344,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var trajRows []results.Row
 	var exitErr error
 
+	// SIGINT/SIGTERM abort the campaign at the next cell boundary (the
+	// emit callback's error return is the abort channel RunCampaign
+	// already honors); writers are closed so partial results survive.
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigC)
+	interrupted := func() bool {
+		select {
+		case <-sigC:
+			signal.Stop(sigC) // a second signal kills the process
+			return true
+		default:
+			return false
+		}
+	}
+
 	if mode == "grid" {
 		spec := harness.CampaignSpec{
 			Workloads: wls, SizesK: sizes, Ranks: rankList,
@@ -421,6 +444,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 				NsPerOp: r.Wall.Nanoseconds(),
 			})
 			fmt.Fprintf(stdout, "%-40s %10.3f TS/s  %6d ms\n", r.Label(), r.TSps, rec.WallMS)
+			// Checked after the cell's records are written, so the
+			// interrupted campaign keeps every completed cell.
+			if interrupted() {
+				return errInterrupted
+			}
 			return nil
 		})
 	} else {
@@ -452,6 +480,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		runner.Trace = dataLog
 
 		for _, e := range selected {
+			if interrupted() {
+				exitErr = errInterrupted
+				break
+			}
 			et0 := time.Now()
 			tables, err := e.Run(runner, params)
 			if err != nil {
@@ -491,6 +523,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	man.TotalWallMS = time.Since(t0).Milliseconds()
 
+	if errors.Is(exitErr, errInterrupted) {
+		// Close, best-effort, everything written so far; the manifest is
+		// deliberately skipped — a partial grid is not reproducible as one.
+		if csvFile != nil {
+			csvFile.Close()
+		}
+		if logSink != nil {
+			logSink.Close()
+		}
+		fmt.Fprintf(stderr, "mdsweep: interrupted after %d cell(s); partial CSV/JSONL closed, manifest skipped\n", len(man.Cells))
+		return 130
+	}
 	if exitErr != nil {
 		return fail("%v", exitErr)
 	}

@@ -38,6 +38,15 @@
 //     the world through the typed-error path. Installs through
 //     mpi.World.SetWireFaultHook; inert on the channel transport (no
 //     frames exist to damage).
+//   - kill-daemon: hard-kill the whole serving daemon (mdserve) once a
+//     job reaches the given step — no drain, no journal transition, no
+//     final checkpoint — modeling a daemon crash the write-ahead journal
+//     and checkpoint store must survive. The daemon's job loop polls
+//     KillDaemonAt at chunk boundaries.
+//   - tear-journal: truncate bytes off the end of the serve journal
+//     right after its n-th append, modeling a torn tail from a crash
+//     mid-write (power loss after a partial line), which the journal's
+//     replay must drop cleanly on the next startup.
 //
 // Addressing is deterministic: steps are tracked per rank via BeginStep
 // (called by the core timestep loop), and any unspecified atom/component
@@ -134,16 +143,18 @@ type ckptSpec struct {
 // rank of a run — and by every restart attempt of a supervised run, so
 // one-shot faults stay one-shot across recoveries.
 type Injector struct {
-	seed    uint64
-	kills   []*killSpec
-	nans    []*nanSpec
-	msgs    []*msgSpec
-	hangs   []*hangSpec
-	ckpts   []*ckptSpec
-	shards  []*ckptSpec // truncate-shard / flip-shard (same spec shape)
-	commits []*killSpec // kill-commit (same spec shape)
-	wires   []*wireSpec
-	steps   [maxRanks]atomic.Int64
+	seed     uint64
+	kills    []*killSpec
+	nans     []*nanSpec
+	msgs     []*msgSpec
+	hangs    []*hangSpec
+	ckpts    []*ckptSpec
+	shards   []*ckptSpec // truncate-shard / flip-shard (same spec shape)
+	commits  []*killSpec // kill-commit (same spec shape)
+	wires    []*wireSpec
+	daemons  []*killSpec // kill-daemon (rank unused; step threshold)
+	journals []*ckptSpec // tear-journal ("step" = append ordinal)
+	steps    [maxRanks]atomic.Int64
 }
 
 // New returns an empty injector with the given seed (used for any
@@ -297,8 +308,18 @@ func Parse(spec string, seed uint64) (*Injector, error) {
 				return nil, err
 			}
 			in.commits = append(in.commits, &killSpec{rank: int(r), step: s})
+		case "kill-daemon":
+			s, err := need("step")
+			if err != nil {
+				return nil, err
+			}
+			in.daemons = append(in.daemons, &killSpec{step: s})
+		case "tear-journal":
+			in.journals = append(in.journals, &ckptSpec{
+				step: get("append", -1), bytes: get("bytes", -1), offset: -1,
+			})
 		default:
-			return nil, fmt.Errorf("fault: unknown kind %q (want kill, nan, delay, reorder, hang, corrupt-wire, truncate-ckpt, flip-ckpt, truncate-shard, flip-shard, kill-commit)", kind)
+			return nil, fmt.Errorf("fault: unknown kind %q (want kill, nan, delay, reorder, hang, corrupt-wire, truncate-ckpt, flip-ckpt, truncate-shard, flip-shard, kill-commit, kill-daemon, tear-journal)", kind)
 		}
 		for k := range kv {
 			return nil, fmt.Errorf("fault: unknown key %q for %s fault in %q", k, kind, part)
@@ -379,6 +400,35 @@ func (in *Injector) KillDuringCommit(rank int, step int64) {
 			panic(&Killed{Rank: rank, Step: step})
 		}
 	}
+}
+
+// KillDaemonAt reports whether an armed kill-daemon fault has been
+// reached by step, firing it one-shot. The serving daemon's job loop
+// polls it at chunk boundaries (a threshold, not an exact match: chunk
+// sizes rarely land exactly on the addressed step), and on true
+// hard-kills the whole process — no drain, no journal transition.
+func (in *Injector) KillDaemonAt(step int64) bool {
+	if in == nil {
+		return false
+	}
+	for _, d := range in.daemons {
+		if step >= d.step && d.fired.CompareAndSwap(false, true) {
+			return true
+		}
+	}
+	return false
+}
+
+// CorruptJournal applies any armed tear-journal fault addressing the
+// n-th append (or the first, for append -1) to the journal file at
+// path, one-shot. Installed as the serve journal's corruptor, it runs
+// after the append's fsync — the damage models a crash tearing the
+// tail, and only the replay-side good-prefix scan may catch it.
+func (in *Injector) CorruptJournal(n int64, path string) {
+	if in == nil {
+		return
+	}
+	in.corruptFile(in.journals, n, path)
 }
 
 // corruptFile applies the first armed spec matching step to the file
@@ -525,5 +575,6 @@ func (in *Injector) OnFrame(src, dst, tag int, frame []byte) {
 func (in *Injector) Active() bool {
 	return in != nil && (len(in.kills) > 0 || len(in.nans) > 0 ||
 		len(in.msgs) > 0 || len(in.hangs) > 0 || len(in.ckpts) > 0 ||
-		len(in.shards) > 0 || len(in.commits) > 0 || len(in.wires) > 0)
+		len(in.shards) > 0 || len(in.commits) > 0 || len(in.wires) > 0 ||
+		len(in.daemons) > 0 || len(in.journals) > 0)
 }

@@ -1,0 +1,73 @@
+package fault
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFaultKillDaemonParseAndFire(t *testing.T) {
+	in, err := Parse("kill-daemon:step=100", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Active() {
+		t.Fatal("injector should be active")
+	}
+	if in.KillDaemonAt(99) {
+		t.Fatal("fired below the step threshold")
+	}
+	// Threshold, not exact match: chunked job loops poll past the step.
+	if !in.KillDaemonAt(120) {
+		t.Fatal("did not fire at/past the threshold")
+	}
+	if in.KillDaemonAt(130) {
+		t.Fatal("fired twice (must be one-shot)")
+	}
+	if _, err := Parse("kill-daemon:rank=1", 1); err == nil {
+		t.Fatal("kill-daemon without step= accepted")
+	}
+	var nilInj *Injector
+	if nilInj.KillDaemonAt(1) {
+		t.Fatal("nil injector fired")
+	}
+}
+
+func TestFaultTearJournal(t *testing.T) {
+	in, err := Parse("tear-journal:append=2,bytes=5", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Active() {
+		t.Fatal("injector should be active")
+	}
+	path := filepath.Join(t.TempDir(), "x.journal")
+	content := []byte("line one\nline two\n")
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in.CorruptJournal(1, path) // addressed at append 2: no-op
+	if raw, _ := os.ReadFile(path); len(raw) != len(content) {
+		t.Fatalf("append 1 damaged the file (%d bytes)", len(raw))
+	}
+	in.CorruptJournal(2, path)
+	raw, _ := os.ReadFile(path)
+	if len(raw) != len(content)-5 {
+		t.Fatalf("tear cut %d bytes, want 5", len(content)-len(raw))
+	}
+	in.CorruptJournal(2, path) // one-shot
+	if raw2, _ := os.ReadFile(path); len(raw2) != len(raw) {
+		t.Fatal("tear fired twice")
+	}
+
+	// append=-1 (default): first append matches.
+	in2, err := Parse("tear-journal:bytes=3", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.WriteFile(path, content, 0o644)
+	in2.CorruptJournal(1, path)
+	if raw, _ := os.ReadFile(path); len(raw) != len(content)-3 {
+		t.Fatal("default-addressed tear did not fire on the first append")
+	}
+}

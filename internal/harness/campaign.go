@@ -21,7 +21,7 @@ type CampaignSpec struct {
 	SizesK []int
 	Ranks  []int
 	// Workers are intra-rank worker-pool widths.
-	Workers []int
+	Workers    []int
 	Precisions []pair.Precision
 	// KspaceAccs are PPPM relative-error thresholds; 0 means the workload
 	// default. Non-PPPM workloads collapse the axis to a single cell.

@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"gomd/internal/fault"
+	"gomd/internal/workload"
+)
+
+// TestSupervisorRunContextCancelledUpFront: a cancelled context stops
+// the run before any attempt.
+func TestSupervisorRunContextCancelledUpFront(t *testing.T) {
+	sup := &Supervisor{Factory: wlFactory(workload.LJ, 300, 1, nil), Ranks: 2}
+	if err := sup.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := sup.RunContext(ctx, 10); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext on a cancelled context = %v, want context.Canceled", err)
+	}
+	if sup.Step() != 0 {
+		t.Fatalf("cancelled run advanced to step %d", sup.Step())
+	}
+}
+
+// TestSupervisorRunContextCancelsBackoff: cancellation during the
+// recovery backoff wakes the sleep early and surfaces the context
+// error instead of riding out the retry budget.
+func TestSupervisorRunContextCancelsBackoff(t *testing.T) {
+	inj, err := fault.Parse("kill:rank=1,step=5", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := &Supervisor{
+		Factory: wlFactory(workload.LJ, 300, 1, inj),
+		Ranks:   2,
+		Retries: 3,
+		Backoff: 30 * time.Second, // cancellation must not wait this out
+	}
+	if err := sup.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		// Let the kill at step 5 land and the recovery enter its backoff.
+		time.Sleep(200 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err = sup.RunContext(ctx, 50)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext = %v, want context.Canceled", err)
+	}
+	if el := time.Since(start); el > 10*time.Second {
+		t.Fatalf("cancellation took %s; the backoff sleep did not wake early", el)
+	}
+	// The dead engine stays readable for post-mortems.
+	if sup.Engine() == nil {
+		t.Fatal("engine discarded on cancellation")
+	}
+}
+
+// TestSupervisorRunIsRunContextWrapper: the classic Run path still
+// recovers to completion (no context, full retry budget).
+func TestSupervisorRunIsRunContextWrapper(t *testing.T) {
+	inj, err := fault.Parse("kill:rank=0,step=3", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := &Supervisor{
+		Factory: wlFactory(workload.LJ, 300, 1, inj),
+		Ranks:   2,
+		Retries: 1,
+		Backoff: time.Millisecond,
+	}
+	if err := sup.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+	if err := sup.Run(10); err != nil {
+		t.Fatalf("Run after recovery: %v", err)
+	}
+	if sup.Step() != 10 || sup.Attempts() != 1 {
+		t.Fatalf("step %d attempts %d, want 10/1", sup.Step(), sup.Attempts())
+	}
+}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -246,6 +247,19 @@ func (s *Supervisor) Close() {
 // ErrRestarted instead of re-advancing — the caller replays its own
 // schedule from Step()==0 (see ErrRestarted).
 func (s *Supervisor) Run(n int) error {
+	return s.RunContext(context.Background(), n)
+}
+
+// RunContext is Run with cooperative cancellation: the context is
+// checked before each run attempt and between recovery attempts (the
+// backoff sleep wakes early on cancellation), so a cancelled caller —
+// a job cancel or a daemon drain — stops paying for rebuilds instead
+// of riding out the whole retry budget. A healthy attempt itself is
+// not preempted: cancellation lands at the next attempt boundary, which
+// keeps the engine in a coherent, checkpointable state. Returns the
+// context's error (errors.Is context.Canceled / DeadlineExceeded) when
+// cancellation won.
+func (s *Supervisor) RunContext(ctx context.Context, n int) error {
 	if s.eng == nil {
 		return errors.New("harness: supervisor not started")
 	}
@@ -255,11 +269,14 @@ func (s *Supervisor) Run(n int) error {
 		if remaining <= 0 {
 			return nil
 		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		err := s.runOnce(int(remaining))
 		if err == nil {
 			return nil
 		}
-		if rerr := s.recoverFrom(err); rerr != nil {
+		if rerr := s.recoverFrom(ctx, err); rerr != nil {
 			return rerr
 		}
 	}
@@ -282,7 +299,7 @@ func (s *Supervisor) Thermo() (core.Thermo, error) {
 		if err == nil {
 			return th, nil
 		}
-		if rerr := s.recoverFrom(err); rerr != nil {
+		if rerr := s.recoverFrom(context.Background(), err); rerr != nil {
 			return core.Thermo{}, rerr
 		}
 		if n := target - s.eng.Step(); n > 0 {
@@ -294,9 +311,10 @@ func (s *Supervisor) Thermo() (core.Thermo, error) {
 }
 
 // recoverFrom converts one failed attempt into a rebuilt engine, or
-// returns the terminal error when the failure is not a rank error or
-// the retry budget is spent.
-func (s *Supervisor) recoverFrom(err error) error {
+// returns the terminal error when the failure is not a rank error, the
+// retry budget is spent, or the context was cancelled (rebuilding a
+// world nobody will run is wasted rendezvous and sockets).
+func (s *Supervisor) recoverFrom(ctx context.Context, err error) error {
 	var re *mpi.RankError
 	if !errors.As(err, &re) {
 		if p := s.dumpFlight(s.FlightPath); p != "" {
@@ -322,7 +340,17 @@ func (s *Supervisor) recoverFrom(err error) error {
 	// cause should not retry in lockstep. Trajectory bits are
 	// unaffected — restarts are bit-exact regardless of when they run.
 	backoff += time.Duration(rand.Int63n(int64(backoff) + 1))
-	time.Sleep(backoff)
+	t := time.NewTimer(backoff)
+	select {
+	case <-ctx.Done():
+		// The dead engine is closed but left in place (Close is
+		// idempotent), so Step()/Engine() stay readable for the caller's
+		// post-mortem.
+		t.Stop()
+		s.eng.Close()
+		return ctx.Err()
+	case <-t.C:
+	}
 
 	s.eng.Close()
 	if rerr := s.rebuild(); rerr != nil {

@@ -97,7 +97,7 @@ func TestTelemetryLiveScrape(t *testing.T) {
 
 	body := scrape(t, ms.Addr())
 	for _, want := range []string{
-		`gomd_health_step{rank="0"}`,  // heartbeat mirror, every rank
+		`gomd_health_step{rank="0"}`, // heartbeat mirror, every rank
 		`gomd_health_step{rank="3"}`,
 		`gomd_health_phase{rank="2"}`,
 		`gomd_engine_step{rank="1"}`,

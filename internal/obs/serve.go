@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -32,7 +33,19 @@ func Serve(addr string, reg *Registry) (*MetricsServer, error) {
 		return nil, fmt.Errorf("obs: metrics listener: %w", err)
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+	mux.Handle("/metrics", MetricsHandler(reg))
+	mux.Handle("/metrics.json", MetricsJSONHandler(reg))
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	ms := &MetricsServer{ln: ln, srv: srv}
+	go func() { _ = srv.Serve(ln) }()
+	return ms, nil
+}
+
+// MetricsHandler serves the OpenMetrics text exposition of reg — the
+// /metrics endpoint, exported so daemons with their own mux (mdserve)
+// mount the identical handler Serve uses.
+func MetricsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type",
 			"application/openmetrics-text; version=1.0.0; charset=utf-8")
 		// Snapshot first: a partially-written exposition after a midway
@@ -40,14 +53,15 @@ func Serve(addr string, reg *Registry) (*MetricsServer, error) {
 		// the only part that touches shared state.
 		_ = WriteOpenMetrics(w, reg.Snapshot())
 	})
-	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+}
+
+// MetricsJSONHandler serves the registry's JSON snapshot dump — the
+// /metrics.json endpoint.
+func MetricsJSONHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = reg.WriteJSON(w)
 	})
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	ms := &MetricsServer{ln: ln, srv: srv}
-	go func() { _ = srv.Serve(ln) }()
-	return ms, nil
 }
 
 // Addr returns the bound listen address (useful with port 0).
@@ -58,10 +72,33 @@ func (m *MetricsServer) Addr() string {
 	return m.ln.Addr().String()
 }
 
-// Close stops the server. Nil-safe.
+// Close stops the server abruptly, dropping in-flight scrapes. Nil-safe.
+// Prefer Shutdown on clean exits.
 func (m *MetricsServer) Close() error {
 	if m == nil {
 		return nil
 	}
 	return m.srv.Close()
+}
+
+// Shutdown stops the server gracefully: the listener closes immediately
+// (no new scrapes) and in-flight scrapes drain until done or ctx
+// expires, whichever comes first — a scraper mid-read at process exit
+// gets its complete exposition instead of a torn one. Nil-safe.
+func (m *MetricsServer) Shutdown(ctx context.Context) error {
+	if m == nil {
+		return nil
+	}
+	return m.srv.Shutdown(ctx)
+}
+
+// ShutdownTimeout is Shutdown with a deadline-bounded fresh context —
+// the form command exit paths use (they have no context to thread).
+func (m *MetricsServer) ShutdownTimeout(d time.Duration) error {
+	if m == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	return m.srv.Shutdown(ctx)
 }

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMetricsServerShutdown: graceful shutdown stops the listener,
+// and the nil-safe forms are no-ops (commands call them
+// unconditionally on exit paths).
+func TestMetricsServerShutdown(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x.y").Inc()
+	ms, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + ms.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "openmetrics") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(string(body), "gomd_x_y") {
+		t.Fatalf("exposition missing counter:\n%s", body)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := ms.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + ms.Addr() + "/metrics"); err == nil {
+		t.Fatal("scrape succeeded after Shutdown")
+	}
+
+	var nilMS *MetricsServer
+	if err := nilMS.Shutdown(ctx); err != nil {
+		t.Fatalf("nil Shutdown: %v", err)
+	}
+	if err := nilMS.ShutdownTimeout(time.Second); err != nil {
+		t.Fatalf("nil ShutdownTimeout: %v", err)
+	}
+	if err := nilMS.Close(); err != nil {
+		t.Fatalf("nil Close: %v", err)
+	}
+}
+
+// TestMetricsServerShutdownTimeout: the deadline-bounded form commands
+// use also drains cleanly on an idle server.
+func TestMetricsServerShutdownTimeout(t *testing.T) {
+	ms, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.ShutdownTimeout(5 * time.Second); err != nil {
+		t.Fatalf("ShutdownTimeout: %v", err)
+	}
+}

@@ -1,0 +1,73 @@
+package script
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// commands lists every script command the interpreter's exec switch
+// accepts. Validate checks submissions against it without executing
+// anything, so a job server can reject an unknown command at admission
+// time instead of failing the job mid-run.
+var commands = map[string]bool{
+	"units": true, "atom_style": true, "lattice": true, "region": true,
+	"create_box": true, "create_atoms": true, "mass": true,
+	"velocity": true, "pair_style": true, "pair_coeff": true,
+	"neighbor": true, "neigh_modify": true, "kspace_style": true,
+	"bond_style": true, "angle_style": true, "dihedral_style": true,
+	"bond_coeff": true, "angle_coeff": true, "dihedral_coeff": true,
+	"fix": true, "timestep": true, "thermo": true, "print": true,
+	"log": true, "echo": true, "boundary": true, "atom_modify": true,
+	"comm_modify": true, "pair_modify": true, "read_data": true,
+	"write_data": true, "dump": true, "write_restart": true, "run": true,
+}
+
+// Validate scans a script without executing it: comments, blank lines,
+// and `&` continuations are handled exactly as Run handles them, and
+// the first unknown command (or a script with no run command) is an
+// error. It is a syntax-level admission check — argument errors still
+// surface at execution time — so it never touches the filesystem and
+// is safe to call on untrusted input.
+func Validate(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	sawRun := false
+	var cont strings.Builder
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		text = strings.TrimSpace(text)
+		if strings.HasSuffix(text, "&") {
+			cont.WriteString(strings.TrimSuffix(text, "&"))
+			cont.WriteByte(' ')
+			continue
+		}
+		if cont.Len() > 0 {
+			text = cont.String() + text
+			cont.Reset()
+		}
+		if text == "" {
+			continue
+		}
+		tok := strings.Fields(text)
+		if !commands[tok[0]] {
+			return fmt.Errorf("line %d: unknown command %q", line, tok[0])
+		}
+		if tok[0] == "run" {
+			sawRun = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if !sawRun {
+		return fmt.Errorf("script has no run command")
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+// Package serve is the simulation-as-a-service layer: a crash-durable
+// job queue, an admission-controlled scheduler running many supervised
+// worlds over a shared slot budget, and the HTTP API that cmd/mdserve
+// mounts. Every externally visible job state transition goes through a
+// write-ahead journal (appended and fsync'd before the transition takes
+// effect), so a daemon crash loses at most work since the last
+// checkpoint — never the queue itself: on restart the journal replays,
+// finished jobs keep their results, queued jobs are still queued, and
+// jobs that were running resume from their newest valid checkpoint
+// generation.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// State is a job's lifecycle state. Transitions form a small DAG:
+//
+//	queued ──> running ──> done
+//	   │          │    └─> failed
+//	   │          ├──────> cancelled
+//	   │          └──────> queued     (requeued after a daemon restart)
+//	   └─────────────────> cancelled
+//
+// done/failed/cancelled are terminal. The journal enforces these
+// transitions at append time, so a replayed journal can never put a job
+// into a state the scheduler could not have produced.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state admits no further transitions.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// validNext reports whether from -> to is a legal transition ("" is the
+// pre-submission state, so ""->queued admits a new job).
+func validNext(from, to State) bool {
+	switch from {
+	case "":
+		return to == StateQueued
+	case StateQueued:
+		return to == StateRunning || to == StateCancelled
+	case StateRunning:
+		return to == StateDone || to == StateFailed ||
+			to == StateCancelled || to == StateQueued
+	default:
+		return false
+	}
+}
+
+// record is one journal line. The first record of a job carries its
+// spec; later records carry only the transition (plus step for
+// progress, detail for failure causes, result for the terminal done).
+type record struct {
+	Seq    int64    `json:"seq"`
+	Job    string   `json:"job"`
+	State  State    `json:"state"`
+	Spec   *JobSpec `json:"spec,omitempty"`
+	Detail string   `json:"detail,omitempty"`
+	Step   int64    `json:"step,omitempty"`
+	Result *Result  `json:"result,omitempty"`
+}
+
+// JobState is one job's reconstructed state after a journal replay.
+type JobState struct {
+	ID     string
+	Spec   JobSpec
+	State  State
+	Detail string
+	Step   int64
+	Result *Result
+}
+
+// Journal is the write-ahead log of job state. Appends are
+// fsync-before-acknowledge: a transition the caller observed as applied
+// is durable, so the queue a crashed daemon replays is never newer than
+// what clients were told. The file is append-only JSONL; a crash can
+// tear at most the final line (a partial write), and Open truncates
+// that torn tail away rather than rejecting the whole log.
+type Journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	seq     int64
+	appends int64
+	state   map[string]State
+	corrupt func(n int64, path string)
+}
+
+// OpenJournal opens (creating if needed) the journal at path and
+// replays it: the longest decodable prefix of well-formed lines wins,
+// anything after the first torn or corrupt line is truncated off, and
+// the surviving records fold into per-job states returned in
+// first-submission order. Records encoding an illegal transition are
+// skipped (they cannot occur through Append; a skip means the file was
+// damaged in-place, and dropping the record is safer than trusting it).
+func OpenJournal(path string) (*Journal, []JobState, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: opening journal: %w", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("serve: reading journal: %w", err)
+	}
+	j := &Journal{f: f, path: path, state: map[string]State{}}
+
+	jobs := map[string]*JobState{}
+	var order []string
+	good := 0 // byte length of the valid prefix
+	for len(raw) > good {
+		nl := bytes.IndexByte(raw[good:], '\n')
+		if nl < 0 {
+			break // unterminated tail: torn mid-write
+		}
+		line := raw[good : good+nl]
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Job == "" {
+			break // corrupt line: stop at the good prefix
+		}
+		good += nl + 1
+		if rec.Seq > j.seq {
+			j.seq = rec.Seq
+		}
+		js := jobs[rec.Job]
+		if js == nil {
+			if rec.Spec == nil || !validNext("", rec.State) {
+				continue // job's first record must be queued+spec
+			}
+			js = &JobState{ID: rec.Job, Spec: *rec.Spec}
+			jobs[rec.Job] = js
+			order = append(order, rec.Job)
+		} else if !validNext(js.State, rec.State) {
+			continue
+		}
+		js.State = rec.State
+		js.Detail = rec.Detail
+		if rec.Step > 0 {
+			js.Step = rec.Step
+		}
+		if rec.Result != nil {
+			js.Result = rec.Result
+		}
+	}
+	if good < len(raw) {
+		if err := f.Truncate(int64(good)); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("serve: truncating torn journal tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("serve: seeking journal: %w", err)
+	}
+	out := make([]JobState, 0, len(order))
+	for _, id := range order {
+		j.state[id] = jobs[id].State
+		out = append(out, *jobs[id])
+	}
+	return j, out, nil
+}
+
+// SetCorruptor installs a post-append hook given (append ordinal, path)
+// — the tear-journal fault drill. It runs after the fsync, modeling
+// damage from a crash, not from the writer.
+func (j *Journal) SetCorruptor(fn func(n int64, path string)) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.corrupt = fn
+}
+
+// Append journals one transition, enforcing the state machine and
+// returning only after the line is fsync'd. A new job's first append
+// must be StateQueued with a spec.
+func (j *Journal) Append(id string, to State, spec *JobSpec, detail string, step int64, res *Result) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	from := j.state[id]
+	if !validNext(from, to) {
+		return fmt.Errorf("serve: illegal transition %s: %q -> %q", id, from, to)
+	}
+	if from == "" && spec == nil {
+		return fmt.Errorf("serve: first record of %s must carry its spec", id)
+	}
+	j.seq++
+	rec := record{Seq: j.seq, Job: id, State: to, Spec: spec,
+		Detail: detail, Step: step, Result: res}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("serve: encoding journal record: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("serve: appending journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("serve: syncing journal: %w", err)
+	}
+	j.state[id] = to
+	j.appends++
+	if j.corrupt != nil {
+		j.corrupt(j.appends, j.path)
+	}
+	return nil
+}
+
+// Close syncs and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.f.Sync(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}

@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func openTestJournal(t *testing.T, path string) (*Journal, []JobState) {
+	t.Helper()
+	j, replayed, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	return j, replayed
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "serve.journal")
+	j, replayed := openTestJournal(t, path)
+	if len(replayed) != 0 {
+		t.Fatalf("fresh journal replayed %d jobs", len(replayed))
+	}
+	spec := JobSpec{Workload: "lj", Steps: 100, Tenant: "a"}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(j.Append("j-0", StateQueued, &spec, "", 0, nil))
+	must(j.Append("j-0", StateRunning, nil, "", 0, nil))
+	must(j.Append("j-0", StateDone, nil, "", 100, &Result{Steps: 100}))
+	must(j.Append("j-1", StateQueued, &spec, "", 0, nil))
+	must(j.Append("j-1", StateRunning, nil, "", 0, nil))
+	must(j.Append("j-2", StateQueued, &spec, "", 0, nil))
+	must(j.Close())
+
+	j2, replayed := openTestJournal(t, path)
+	defer j2.Close()
+	if len(replayed) != 3 {
+		t.Fatalf("replayed %d jobs, want 3", len(replayed))
+	}
+	byID := map[string]JobState{}
+	for _, js := range replayed {
+		byID[js.ID] = js
+	}
+	if st := byID["j-0"]; st.State != StateDone || st.Result == nil || st.Result.Steps != 100 {
+		t.Fatalf("j-0 replayed as %+v", st)
+	}
+	if st := byID["j-1"]; st.State != StateRunning {
+		t.Fatalf("j-1 replayed as %q, want running", st.State)
+	}
+	if st := byID["j-2"]; st.State != StateQueued || st.Spec.Workload != "lj" {
+		t.Fatalf("j-2 replayed as %+v", st)
+	}
+	// Replay preserves submission order.
+	if replayed[0].ID != "j-0" || replayed[2].ID != "j-2" {
+		t.Fatalf("replay order %v", []string{replayed[0].ID, replayed[1].ID, replayed[2].ID})
+	}
+}
+
+func TestJournalRejectsIllegalTransitions(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "serve.journal")
+	j, _ := openTestJournal(t, path)
+	defer j.Close()
+	spec := JobSpec{Workload: "lj", Steps: 10}
+	if err := j.Append("j-0", StateRunning, nil, "", 0, nil); err == nil {
+		t.Fatal("running before queued accepted")
+	}
+	if err := j.Append("j-0", StateQueued, nil, "", 0, nil); err == nil {
+		t.Fatal("first queued record without spec accepted")
+	}
+	if err := j.Append("j-0", StateQueued, &spec, "", 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append("j-0", StateDone, nil, "", 0, nil); err == nil {
+		t.Fatal("queued -> done accepted")
+	}
+	if err := j.Append("j-0", StateCancelled, nil, "", 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append("j-0", StateQueued, &spec, "", 0, nil); err == nil {
+		t.Fatal("transition out of terminal state accepted")
+	}
+}
+
+// TestJournalTornTail drops crash-shaped damage on the journal tail —
+// an unterminated partial line, a corrupted line, trailing garbage —
+// and requires replay to keep the longest good prefix, truncate the
+// rest, and stay appendable.
+func TestJournalTornTail(t *testing.T) {
+	spec := JobSpec{Workload: "lj", Steps: 10}
+	seed := func(t *testing.T, path string) {
+		j, _ := openTestJournal(t, path)
+		for _, id := range []string{"j-0", "j-1"} {
+			if err := j.Append(id, StateQueued, &spec, "", 0, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := j.Append("j-0", StateRunning, nil, "", 0, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		name   string
+		damage func(t *testing.T, path string)
+		// wantStates after replay (j-0, j-1); "" = job lost entirely
+		j0, j1 State
+	}{
+		{"unterminated-tail", func(t *testing.T, path string) {
+			f, _ := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+			f.WriteString(`{"seq":9,"job":"j-1","state":"run`)
+			f.Close()
+		}, StateRunning, StateQueued},
+		{"torn-mid-record", func(t *testing.T, path string) {
+			raw, _ := os.ReadFile(path)
+			os.WriteFile(path, raw[:len(raw)-7], 0o644) // tear the last line
+		}, StateQueued, StateQueued},
+		{"corrupt-byte-in-tail", func(t *testing.T, path string) {
+			raw, _ := os.ReadFile(path)
+			raw[len(raw)-10] ^= 0xff
+			os.WriteFile(path, raw, 0o644)
+		}, StateQueued, StateQueued},
+		{"garbage-line", func(t *testing.T, path string) {
+			f, _ := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+			f.WriteString("not json at all\n")
+			f.Close()
+		}, StateRunning, StateQueued},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "serve.journal")
+			seed(t, path)
+			tc.damage(t, path)
+			j, replayed := openTestJournal(t, path)
+			states := map[string]State{}
+			for _, js := range replayed {
+				states[js.ID] = js.State
+			}
+			if states["j-0"] != tc.j0 || states["j-1"] != tc.j1 {
+				t.Fatalf("replayed j-0=%q j-1=%q, want %q/%q",
+					states["j-0"], states["j-1"], tc.j0, tc.j1)
+			}
+			// The torn tail is gone from disk and the journal appends on.
+			if err := j.Append("j-2", StateQueued, &spec, "", 0, nil); err != nil {
+				t.Fatalf("append after torn-tail recovery: %v", err)
+			}
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+			raw, _ := os.ReadFile(path)
+			for _, line := range strings.Split(strings.TrimRight(string(raw), "\n"), "\n") {
+				if !strings.HasPrefix(line, "{") || !strings.HasSuffix(line, "}") {
+					t.Fatalf("journal still holds a malformed line: %q", line)
+				}
+			}
+			j2, replayed2 := openTestJournal(t, path)
+			j2.Close()
+			if len(replayed2) != len(replayed)+1 {
+				t.Fatalf("second replay found %d jobs, want %d", len(replayed2), len(replayed)+1)
+			}
+		})
+	}
+}
+
+// TestJournalTearDrill runs the same scenario through the fault
+// injector's tear-journal drill instead of hand-made damage.
+func TestJournalTearDrill(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "serve.journal")
+	j, _ := openTestJournal(t, path)
+	spec := JobSpec{Workload: "lj", Steps: 10}
+	if err := j.Append("j-0", StateQueued, &spec, "", 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	inj := mustParseFault(t, "tear-journal:append=2,bytes=9")
+	j.SetCorruptor(inj.CorruptJournal)
+	if err := j.Append("j-0", StateRunning, nil, "", 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	_, replayed := openTestJournal(t, path)
+	if len(replayed) != 1 || replayed[0].State != StateQueued {
+		t.Fatalf("replay after tear drill: %+v", replayed)
+	}
+}

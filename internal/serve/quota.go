@@ -1,0 +1,79 @@
+package serve
+
+import "fmt"
+
+// Limits is the server's admission-control policy. Zero values mean
+// unlimited. Slots are rank x worker units (JobSpec.Slots): the
+// scheduler never has more slots running than SlotBudget, and never
+// more of one tenant's than MaxSlotsPerTenant — queued jobs wait for
+// capacity, over-quota submissions are pushed back at the door.
+type Limits struct {
+	// MaxQueue bounds jobs admitted but not yet terminal (queued +
+	// running), across all tenants. Submissions beyond it get 429 +
+	// Retry-After: the queue is the crash-durability surface, and an
+	// unbounded one turns a traffic spike into an unbounded journal.
+	MaxQueue int
+	// MaxQueuePerTenant is MaxQueue scoped to one tenant — one noisy
+	// client cannot occupy the whole queue.
+	MaxQueuePerTenant int
+	// SlotBudget bounds slots running concurrently (0 = unlimited).
+	SlotBudget int
+	// MaxSlotsPerTenant bounds one tenant's concurrently running slots.
+	MaxSlotsPerTenant int
+	// MaxSlotsPerJob rejects any single job larger than this outright
+	// (400, not 429: it could never be scheduled).
+	MaxSlotsPerJob int
+}
+
+// rejection is an admission refusal: Code is the HTTP status (400 =
+// never schedulable, 429 = try later, 503 = draining), RetryAfter the
+// Retry-After seconds hint for 429s.
+type rejection struct {
+	Code       int
+	RetryAfter int
+	Reason     string
+}
+
+func (r *rejection) Error() string { return r.Reason }
+
+// admit decides a submission against the policy, given the current
+// non-terminal job count and the submitting tenant's share of it.
+// Structural refusals (the job exceeds a hard cap and will never fit)
+// are 400s; capacity refusals (full right now) are 429s.
+func (l Limits) admit(spec *JobSpec, pending, tenantPending int) *rejection {
+	slots := spec.Slots()
+	if l.MaxSlotsPerJob > 0 && slots > l.MaxSlotsPerJob {
+		return &rejection{Code: 400, Reason: fmt.Sprintf(
+			"job needs %d slots, per-job cap is %d", slots, l.MaxSlotsPerJob)}
+	}
+	if l.SlotBudget > 0 && slots > l.SlotBudget {
+		return &rejection{Code: 400, Reason: fmt.Sprintf(
+			"job needs %d slots, server budget is %d", slots, l.SlotBudget)}
+	}
+	if l.MaxSlotsPerTenant > 0 && slots > l.MaxSlotsPerTenant {
+		return &rejection{Code: 400, Reason: fmt.Sprintf(
+			"job needs %d slots, tenant cap is %d", slots, l.MaxSlotsPerTenant)}
+	}
+	if l.MaxQueue > 0 && pending >= l.MaxQueue {
+		return &rejection{Code: 429, RetryAfter: 2, Reason: fmt.Sprintf(
+			"queue full (%d jobs pending)", pending)}
+	}
+	if l.MaxQueuePerTenant > 0 && tenantPending >= l.MaxQueuePerTenant {
+		return &rejection{Code: 429, RetryAfter: 2, Reason: fmt.Sprintf(
+			"tenant queue full (%d jobs pending)", tenantPending)}
+	}
+	return nil
+}
+
+// fits reports whether a queued job can start now, given the global
+// slots in use and its tenant's share.
+func (l Limits) fits(spec *JobSpec, usedSlots, tenantSlots int) bool {
+	slots := spec.Slots()
+	if l.SlotBudget > 0 && usedSlots+slots > l.SlotBudget {
+		return false
+	}
+	if l.MaxSlotsPerTenant > 0 && tenantSlots+slots > l.MaxSlotsPerTenant {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"gomd/internal/obs"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST /api/v1/jobs             submit a JobSpec; 202 {"id": ...}
+//	GET  /api/v1/jobs             list jobs
+//	GET  /api/v1/jobs/{id}        one job's status
+//	GET  /api/v1/jobs/{id}/result the result (409 until terminal)
+//	POST /api/v1/jobs/{id}/cancel cancel queued/running
+//	GET  /api/v1/jobs/{id}/events SSE stream (thermo/log/drain/done)
+//	GET  /metrics, /metrics.json  OpenMetrics / JSON (when Metrics set)
+//	GET  /healthz                 liveness + drain state
+//
+// Backpressure is expressed in status codes: 400 never-schedulable,
+// 429 + Retry-After queue/tenant full, 503 draining.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, 200, s.Jobs())
+	})
+	mux.HandleFunc("GET /api/v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := s.Status(r.PathValue("id"))
+		if !ok {
+			writeErr(w, 404, "no such job")
+			return
+		}
+		writeJSON(w, 200, st)
+	})
+	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("POST /api/v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
+	if s.Metrics != nil {
+		mux.Handle("GET /metrics", obs.MetricsHandler(s.Metrics))
+		mux.Handle("GET /metrics.json", obs.MetricsJSONHandler(s.Metrics))
+	}
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, 200, map[string]any{"status": "ok", "draining": s.Draining()})
+	})
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeErr(w, 400, fmt.Sprintf("bad job spec: %v", err))
+		return
+	}
+	id, err := s.Submit(spec)
+	if err != nil {
+		var rej *rejection
+		if errors.As(err, &rej) {
+			if rej.RetryAfter > 0 {
+				w.Header().Set("Retry-After", strconv.Itoa(rej.RetryAfter))
+			}
+			writeErr(w, rej.Code, rej.Reason)
+			return
+		}
+		writeErr(w, 500, err.Error())
+		return
+	}
+	writeJSON(w, 202, map[string]string{"id": id, "state": string(StateQueued)})
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	res, state, ok := s.Result(r.PathValue("id"))
+	if !ok {
+		writeErr(w, 404, "no such job")
+		return
+	}
+	if !state.Terminal() {
+		writeErr(w, 409, fmt.Sprintf("job is %s; result not ready", state))
+		return
+	}
+	writeJSON(w, 200, map[string]any{"state": state, "result": res})
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	if err := s.Cancel(r.PathValue("id")); err != nil {
+		var rej *rejection
+		if errors.As(err, &rej) {
+			writeErr(w, rej.Code, rej.Reason)
+			return
+		}
+		writeErr(w, 500, err.Error())
+		return
+	}
+	writeJSON(w, 200, map[string]string{"cancelling": r.PathValue("id")})
+}
+
+// handleEvents streams a job's events as SSE: the full history first
+// (a late subscriber replays the run from frame one), then live events
+// until the job ends or the client goes away.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	hist, live, ok := s.Events(id)
+	if !ok {
+		writeErr(w, 404, "no such job")
+		return
+	}
+	fl, canFlush := w.(http.Flusher)
+	if !canFlush {
+		s.Unsubscribe(id, live)
+		writeErr(w, 500, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	write := func(ev Event) {
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Name, ev.Data)
+	}
+	for _, ev := range hist {
+		write(ev)
+	}
+	fl.Flush()
+	if live == nil {
+		return // stream already ended; history is complete
+	}
+	defer s.Unsubscribe(id, live)
+	for {
+		select {
+		case ev, open := <-live:
+			if !open {
+				return
+			}
+			write(ev)
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
